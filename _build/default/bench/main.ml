@@ -1,0 +1,137 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation, then runs Bechamel micro-benchmarks of the substrate.
+
+     dune exec bench/main.exe
+
+   Environment knobs:
+     STCG_BENCH_QUICK=1   smaller budgets / fewer seeds (smoke mode)
+     STCG_BENCH_SEEDS=n   number of seeds for randomized tools *)
+
+let quick = Sys.getenv_opt "STCG_BENCH_QUICK" = Some "1"
+
+let n_seeds =
+  match Sys.getenv_opt "STCG_BENCH_SEEDS" with
+  | Some s -> (try int_of_string s with _ -> if quick then 2 else 5)
+  | None -> if quick then 2 else 5
+
+let budget = if quick then 600.0 else 3600.0
+let seeds = List.init n_seeds (fun i -> i + 1)
+
+let section title =
+  Fmt.pr "@.%s@.%s@.@." title (String.make (String.length title) '=')
+
+(* --- paper artifacts --------------------------------------------------- *)
+
+let paper_artifacts () =
+  section "Table II - benchmark models";
+  print_string (Harness.Experiment.table2 ());
+  Fmt.pr "@.";
+
+  section "Table I - state-tree construction on CPUTask";
+  print_string (Harness.Experiment.table1 ~budget ~seed:1 ());
+
+  section "Figure 3 - CPUTask branch structure and state tree";
+  print_string (Harness.Experiment.fig3 ());
+
+  section "Table III - coverage comparison";
+  let _, table3 = Harness.Experiment.table3 ~budget ~seeds () in
+  print_string table3;
+  Fmt.pr "@.";
+
+  section "Figure 4 - decision coverage vs time";
+  let panels, _csvs = Harness.Experiment.fig4 ~budget ~seed:1 () in
+  print_string panels;
+
+  section "Ablations - STCG design choices";
+  print_string
+    (Harness.Experiment.ablations ~budget
+       ~seeds:(List.filteri (fun i _ -> i < 3) seeds)
+       ())
+
+(* --- micro-benchmarks --------------------------------------------------- *)
+
+let micro_benchmarks () =
+  section "Bechamel micro-benchmarks (substrate primitives)";
+  let open Bechamel in
+  let open Toolkit in
+  let cputask = (Option.get (Models.Registry.find "CPUTask")).program () in
+  let st0 = Slim.Interp.initial_state cputask in
+  let rng = Random.State.make [| 11 |] in
+  let inputs = Slim.Interp.random_inputs rng cputask in
+  let branch =
+    List.nth (Slim.Branch.sort_by_depth (Slim.Branch.of_program cputask)) 10
+  in
+  let tracker = Coverage.Tracker.create cputask in
+  let test_interp =
+    Test.make ~name:"interp: one CPUTask step"
+      (Staged.stage (fun () ->
+           ignore (Slim.Interp.run_step cputask st0 inputs)))
+  in
+  let test_tracked =
+    Test.make ~name:"interp: step + coverage tracking"
+      (Staged.stage (fun () ->
+           ignore
+             (Slim.Interp.run_step
+                ~on_event:(Coverage.Tracker.observe tracker)
+                cputask st0 inputs)))
+  in
+  let test_solve =
+    Test.make ~name:"symexec: one-step branch solve"
+      (Staged.stage (fun () ->
+           ignore
+             (Symexec.Explore.solve_branch cputask ~state:st0
+                ~target:branch.Slim.Branch.key)))
+  in
+  let csp_problem =
+    let open Solver in
+    {
+      Csp.p_vars =
+        [
+          ("x", Slim.Value.tint_range 0 10000);
+          ("y", Slim.Value.tint_range 0 10000);
+        ];
+      p_constraint =
+        Term.and_
+          (Term.cmp Slim.Ir.Eq (Term.var "x")
+             (Term.binop Slim.Ir.Add (Term.var "y") (Term.cint 137)))
+          (Term.cmp Slim.Ir.Ge (Term.var "y") (Term.cint 420));
+    }
+  in
+  let test_csp =
+    Test.make ~name:"solver: linear int CSP"
+      (Staged.stage (fun () -> ignore (Solver.Csp.solve csp_problem)))
+  in
+  let test_compile =
+    Test.make ~name:"compile: AFC diagram -> IR"
+      (Staged.stage (fun () ->
+           ignore (Slim.Compile.to_program (Models.Afc.model ()))))
+  in
+  let tests =
+    [ test_interp; test_tracked; test_solve; test_csp; test_compile ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:(Some 500) ()
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg instances test in
+      let results = Analyze.all ols Instance.monotonic_clock raw in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Fmt.pr "%-40s %12.1f ns/run@." name est
+          | Some _ | None -> Fmt.pr "%-40s (no estimate)@." name)
+        results)
+    tests
+
+let () =
+  Fmt.pr "STCG reproduction benchmark harness%s@."
+    (if quick then " (quick mode)" else "");
+  Fmt.pr "budget=%.0f virtual seconds, %d seeds@." budget n_seeds;
+  paper_artifacts ();
+  micro_benchmarks ();
+  Fmt.pr "@.done.@."

@@ -1,0 +1,180 @@
+(* stcg — command-line front-end.
+
+   Subcommands mirror the paper's artifacts:
+     list-models          the benchmark suite (Table II data)
+     run                  one tool on one model, with test-case export
+     table1 table2 table3 the paper's tables
+     fig3 fig4            the paper's figures (fig4 can dump CSV)
+     ablations            design-choice ablations
+     replay               re-measure coverage of an exported test suite *)
+
+open Cmdliner
+
+let budget_arg =
+  let doc = "Virtual time budget in seconds (the paper uses 3600)." in
+  Arg.(value & opt float 3600.0 & info [ "budget" ] ~docv:"SECONDS" ~doc)
+
+let seed_arg =
+  let doc = "PRNG seed for randomized tools." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let seeds_arg =
+  let doc = "Number of seeds to average randomized tools over." in
+  Arg.(value & opt int 5 & info [ "seeds" ] ~docv:"N" ~doc)
+
+let model_arg =
+  let doc = "Benchmark model name (see list-models)." in
+  Arg.(required & opt (some string) None & info [ "model"; "m" ] ~docv:"MODEL" ~doc)
+
+let tool_arg =
+  let doc = "Tool: stcg, stcg-hybrid, sldv or simcotest." in
+  Arg.(value & opt string "stcg" & info [ "tool"; "t" ] ~docv:"TOOL" ~doc)
+
+let find_model name =
+  match Models.Registry.find name with
+  | Some e -> e
+  | None ->
+    Fmt.epr "unknown model %s; available: %s@." name
+      (String.concat ", " Models.Registry.names);
+    exit 2
+
+let parse_tool = function
+  | "stcg" -> Harness.Experiment.STCG
+  | "stcg-hybrid" -> Harness.Experiment.STCG_hybrid
+  | "sldv" -> Harness.Experiment.SLDV
+  | "simcotest" -> Harness.Experiment.SimCoTest
+  | t ->
+    Fmt.epr "unknown tool %s (stcg | stcg-hybrid | sldv | simcotest)@." t;
+    exit 2
+
+let list_models_cmd =
+  let run () =
+    List.iter
+      (fun (e : Models.Registry.entry) ->
+        let prog = e.Models.Registry.program () in
+        Fmt.pr "%-12s %-40s %4d branches@." e.Models.Registry.name
+          e.Models.Registry.description
+          (Slim.Branch.count prog))
+      Models.Registry.entries
+  in
+  Cmd.v (Cmd.info "list-models" ~doc:"List the benchmark models (Table II).")
+    Term.(const run $ const ())
+
+let run_cmd =
+  let run model tool budget seed export =
+    let entry = find_model model in
+    let tool = parse_tool tool in
+    let result = Harness.Experiment.run_tool ~budget ~seed tool entry in
+    Fmt.pr "%a@." Stcg.Run_result.pp_summary result;
+    (match export with
+     | Some path ->
+       let prog = entry.Models.Registry.program () in
+       Stcg.Testcase.save prog result.Stcg.Run_result.testcases path;
+       Fmt.pr "exported %d test cases to %s@."
+         (List.length result.Stcg.Run_result.testcases)
+         path
+     | None -> ());
+    Fmt.pr "timeline:@.";
+    List.iter
+      (fun (t, p) -> Fmt.pr "  %7.1fs  %5.1f%%@." t p)
+      result.Stcg.Run_result.timeline
+  in
+  let export_arg =
+    Arg.(value & opt (some string) None
+         & info [ "export" ] ~docv:"FILE" ~doc:"Export test cases to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one tool on one benchmark model.")
+    Term.(const run $ model_arg $ tool_arg $ budget_arg $ seed_arg $ export_arg)
+
+let table1_cmd =
+  let run budget seed = print_string (Harness.Experiment.table1 ~budget ~seed ()) in
+  Cmd.v (Cmd.info "table1" ~doc:"State-tree construction trace (Table I).")
+    Term.(const run $ budget_arg $ seed_arg)
+
+let table2_cmd =
+  let run () = print_string (Harness.Experiment.table2 ()) in
+  Cmd.v (Cmd.info "table2" ~doc:"Benchmark description (Table II).")
+    Term.(const run $ const ())
+
+let table3_cmd =
+  let run budget seeds =
+    let seeds = List.init seeds (fun i -> i + 1) in
+    let _, text = Harness.Experiment.table3 ~budget ~seeds () in
+    print_string text
+  in
+  Cmd.v (Cmd.info "table3" ~doc:"Coverage comparison (Table III).")
+    Term.(const run $ budget_arg $ seeds_arg)
+
+let fig3_cmd =
+  let run () = print_string (Harness.Experiment.fig3 ()) in
+  Cmd.v (Cmd.info "fig3" ~doc:"CPUTask branch structure and state tree (Figure 3).")
+    Term.(const run $ const ())
+
+let fig4_cmd =
+  let run budget seed models csv_dir =
+    let models = match models with [] -> None | l -> Some l in
+    let panels, csvs = Harness.Experiment.fig4 ~budget ~seed ?models () in
+    print_string panels;
+    match csv_dir with
+    | None -> ()
+    | Some dir ->
+      (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      List.iter
+        (fun (name, csv) ->
+          let path = Filename.concat dir (Fmt.str "fig4_%s.csv" name) in
+          let oc = open_out path in
+          output_string oc csv;
+          close_out oc;
+          Fmt.pr "wrote %s@." path)
+        csvs
+  in
+  let models_arg =
+    Arg.(value & opt_all string [] & info [ "only" ] ~docv:"MODEL"
+         ~doc:"Restrict to the given model(s); repeatable.")
+  in
+  let csv_arg =
+    Arg.(value & opt (some string) None
+         & info [ "csv" ] ~docv:"DIR" ~doc:"Also dump per-model CSV series to $(docv).")
+  in
+  Cmd.v (Cmd.info "fig4" ~doc:"Coverage versus time, all tools (Figure 4).")
+    Term.(const run $ budget_arg $ seed_arg $ models_arg $ csv_arg)
+
+let ablations_cmd =
+  let run budget seeds =
+    let seeds = List.init seeds (fun i -> i + 1) in
+    print_string (Harness.Experiment.ablations ~budget ~seeds ())
+  in
+  Cmd.v
+    (Cmd.info "ablations"
+       ~doc:"Ablate STCG's design choices (depth sort, state constants, random fallback, hybrid).")
+    Term.(const run $ budget_arg $ Arg.(value & opt int 3 & info [ "seeds" ] ~docv:"N" ~doc:"Seeds to average over."))
+
+let replay_cmd =
+  let run model path =
+    let entry = find_model model in
+    let prog = entry.Models.Registry.program () in
+    let testcases = Stcg.Testcase.load prog path in
+    let tracker = Stcg.Testcase.replay_suite prog testcases in
+    Fmt.pr "replayed %d test cases: %a@." (List.length testcases)
+      Coverage.Tracker.pp_summary tracker
+  in
+  let file_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
+         ~doc:"Test-suite file produced by run --export.")
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Independently re-measure the coverage of an exported test suite.")
+    Term.(const run $ model_arg $ file_arg)
+
+let () =
+  let doc = "STCG: state-aware test case generation (DAC'23 reproduction)" in
+  let info = Cmd.info "stcg" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            list_models_cmd; run_cmd; table1_cmd; table2_cmd; table3_cmd;
+            fig3_cmd; fig4_cmd; ablations_cmd; replay_cmd;
+          ]))

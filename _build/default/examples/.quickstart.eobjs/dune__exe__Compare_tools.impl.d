@@ -1,0 +1,1 @@
+examples/compare_tools.ml: Array Fmt Harness List Models Stcg String Sys

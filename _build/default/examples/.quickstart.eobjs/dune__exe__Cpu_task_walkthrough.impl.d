@@ -1,0 +1,1 @@
+examples/cpu_task_walkthrough.ml: Coverage Fmt List Models Option Slim Stcg Symexec

@@ -1,0 +1,1 @@
+examples/custom_controller.ml: Coverage Fmt List Slim Stateflow Stcg

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Coverage Fmt List Slim Stcg

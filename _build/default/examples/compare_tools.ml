@@ -1,0 +1,44 @@
+(* Run all three generators on one model and print a mini Table III row
+   plus a coverage-versus-time panel (one Figure 4 subplot).
+
+     dune exec examples/compare_tools.exe            # NICProtocol
+     dune exec examples/compare_tools.exe -- TCP     # another model *)
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "NICProtocol" in
+  let entry =
+    match Models.Registry.find name with
+    | Some e -> e
+    | None ->
+      Fmt.epr "unknown model %s; try: %s@." name
+        (String.concat ", " Models.Registry.names);
+      exit 2
+  in
+  Fmt.pr "== tool comparison on %s ==@.@." entry.Models.Registry.name;
+  let budget = 3600.0 in
+  let results =
+    List.map
+      (fun tool -> Harness.Experiment.run_tool ~budget ~seed:1 tool entry)
+      [ Harness.Experiment.SLDV; Harness.Experiment.SimCoTest;
+        Harness.Experiment.STCG ]
+  in
+  List.iter (fun r -> Fmt.pr "%a@." Stcg.Run_result.pp_summary r) results;
+  let series =
+    List.map
+      (fun (r : Stcg.Run_result.t) ->
+        let glyph =
+          match r.Stcg.Run_result.tool with
+          | "STCG" -> '*'
+          | "SLDV" -> '#'
+          | _ -> '.'
+        in
+        {
+          Harness.Ascii_plot.s_label = r.Stcg.Run_result.tool;
+          s_glyph = glyph;
+          s_points = r.Stcg.Run_result.timeline;
+          s_markers = [];
+        })
+      results
+  in
+  Fmt.pr "@.decision coverage vs virtual time:@.%s@."
+    (Harness.Ascii_plot.render ~x_max:budget series)

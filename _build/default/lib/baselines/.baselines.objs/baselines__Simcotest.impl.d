@@ -1,0 +1,1 @@
+lib/baselines/simcotest.ml: Coverage Float List Random Slim Stcg

@@ -1,0 +1,1 @@
+lib/baselines/simcotest.mli: Slim Stcg

@@ -1,0 +1,1 @@
+lib/baselines/sldv.ml: Coverage Hashtbl List Slim Stcg Symexec

@@ -1,0 +1,1 @@
+lib/baselines/sldv.mli: Slim Stcg Symexec

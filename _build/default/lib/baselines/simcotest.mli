@@ -1,0 +1,23 @@
+(** SimCoTest-like baseline: random search with simulation feedback.
+
+    SimCoTest generates test suites of input {e signals} (constant,
+    step, ramp, pulse, random-walk shapes over a fixed horizon), runs
+    them on the model, and keeps candidates that improve coverage.  All
+    candidates start from the initial model state — there is no state
+    tree — so state-matching conditions ("the ID added earlier") are hit
+    only by luck, which is the weakness the paper exploits.
+
+    Random but reproducible: all randomness flows from [seed]. *)
+
+type config = {
+  budget : float;  (** virtual seconds *)
+  horizon : int;  (** steps per candidate signal *)
+  seed : int;
+  gen_overhead : float;
+      (** virtual cost of generating one candidate and starting its
+          simulation (MATLAB-hosted runs pay seconds per test) *)
+}
+
+val default_config : config
+
+val run : ?config:config -> model:string -> Slim.Ir.program -> Stcg.Run_result.t

@@ -1,0 +1,22 @@
+(** SLDV-like baseline: whole-trace constraint solving.
+
+    Simulink Design Verifier generates tests by symbolic analysis of the
+    unrolled model, without dynamic state feedback.  This baseline
+    reproduces that method class: iterative-deepening bounded symbolic
+    execution ({!Symexec.Explore.solve_branch_multi}) from the initial
+    state, one query per uncovered branch per horizon.  Deep
+    state-dependent branches blow up the path count and time out —
+    the failure mode STCG addresses.
+
+    Runs are deterministic (no random search), matching the paper's
+    single-shot SLDV behaviour in Figure 4. *)
+
+type config = {
+  budget : float;  (** virtual seconds *)
+  horizons : int list;  (** iterative deepening schedule *)
+  solver : Symexec.Explore.config;
+}
+
+val default_config : config
+
+val run : ?config:config -> model:string -> Slim.Ir.program -> Stcg.Run_result.t

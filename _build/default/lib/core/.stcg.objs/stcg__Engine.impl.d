@@ -1,0 +1,1 @@
+lib/core/engine.ml: Array Coverage Fmt Fun Hashtbl Int List Option Random Slim State_tree Symexec Testcase Vclock

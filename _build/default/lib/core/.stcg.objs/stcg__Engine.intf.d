@@ -1,0 +1,1 @@
+lib/core/engine.mli: Coverage Slim State_tree Symexec Testcase Vclock

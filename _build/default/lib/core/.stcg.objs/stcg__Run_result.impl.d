@@ -1,0 +1,1 @@
+lib/core/run_result.ml: Coverage Engine Fmt List Testcase Vclock

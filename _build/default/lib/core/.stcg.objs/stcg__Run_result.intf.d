@@ -1,0 +1,1 @@
+lib/core/run_result.mli: Coverage Engine Fmt Testcase

@@ -1,0 +1,1 @@
+lib/core/state_tree.ml: Fmt Hashtbl List Random Set Slim String

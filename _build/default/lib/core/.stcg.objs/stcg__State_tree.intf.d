@@ -1,0 +1,1 @@
+lib/core/state_tree.mli: Fmt Random Set Slim String

@@ -1,0 +1,1 @@
+lib/core/testcase.ml: Buffer Coverage Fmt List Slim String

@@ -1,0 +1,523 @@
+module Interp = Slim.Interp
+module Branch = Slim.Branch
+module Ir = Slim.Ir
+module Tracker = Coverage.Tracker
+module Explore = Symexec.Explore
+
+type config = {
+  seed : int;
+  budget : float;
+  random_seq_len : int;
+  solver : Explore.config;
+  sort_branches : bool;
+  state_aware : bool;
+  random_fallback : bool;
+  random_first : bool;
+  random_first_rounds : int;
+  max_tree_nodes : int;
+}
+
+let default_config =
+  {
+    seed = 1;
+    budget = 3600.0;
+    random_seq_len = 12;
+    solver =
+      { Explore.default_config with Explore.max_paths = 32; node_budget = 20_000 };
+    sort_branches = true;
+    state_aware = true;
+    random_fallback = true;
+    random_first = false;
+    random_first_rounds = 20;
+    max_tree_nodes = 30_000;
+  }
+
+type solve_result = [ `Sat | `Unsat | `Unknown ]
+
+type event =
+  | Ev_testcase of Testcase.t
+  | Ev_solve of {
+      time : float;
+      target : Explore.target;
+      node : int;
+      result : solve_result;
+    }
+  | Ev_random_exec of { time : float; node : int; len : int }
+  | Ev_coverage of { time : float; decision_covered : int }
+
+type stop_reason = Full_coverage | Budget_exhausted
+
+type run = {
+  r_config : config;
+  r_testcases : Testcase.t list;
+  r_tracker : Tracker.t;
+  r_tree : State_tree.t;
+  r_events : event list;
+  r_clock : Vclock.t;
+  r_stop : stop_reason;
+}
+
+(* A coverage objective with a stable key for the per-node solved set
+   and a depth used for shallow-first ordering. *)
+type objective = {
+  obj_target : Explore.target;
+  obj_key : string;
+  obj_depth : int;
+}
+
+type state = {
+  cfg : config;
+  prog : Ir.program;
+  tracker : Tracker.t;
+  tree : State_tree.t;
+  clock : Vclock.t;
+  rng : Random.State.t;
+  objectives : objective list;  (** traversal order of Algorithm 1 *)
+  cursors : (string, int) Hashtbl.t;
+      (** per-objective index of the next unattempted tree node; nodes
+          are append-only, so attempted pairs are never rescanned *)
+  snap_keys : (int, string) Hashtbl.t;  (** node id -> serialized state *)
+  misses : (string, int) Hashtbl.t;
+      (** consecutive failed attempts per objective: objectives that
+          keep failing are probed on progressively fewer states (the
+          back-off the paper's Discussion calls for to stop "multiple
+          solving for this type of branch" from eating the budget) *)
+  solve_cache : (string, unit) Hashtbl.t;
+      (** (state, objective) pairs that already failed to solve: two
+          nodes with equal snapshots give identical one-step answers, so
+          re-solving is skipped (the "duplicate solving" waste the
+          paper's Discussion flags) *)
+  mutable mcdc_stamp : int;  (** tracker progress at last MCDC refresh *)
+  mutable mcdc_cache : objective list;
+  mutable library : Interp.inputs list;  (** all solved inputs *)
+  mutable events : event list;
+  mutable testcases : Testcase.t list;
+  mutable next_tc : int;
+}
+
+let key_of_target target = Fmt.str "%a" Explore.pp_target target
+
+let objective_covered st obj =
+  match obj.obj_target with
+  | Explore.Branch_target key -> Tracker.is_branch_covered st.tracker key
+  | Explore.Condition_target { decision; atom; value } ->
+    Tracker.is_condition_covered st.tracker decision atom value
+  | Explore.Vector_target { decision; vector } ->
+    List.exists
+      (fun (v, _) -> v = vector)
+      (Tracker.observed_vectors st.tracker decision)
+
+let emit st ev = st.events <- ev :: st.events
+
+let emit_coverage st =
+  emit st
+    (Ev_coverage
+       {
+         time = Vclock.now st.clock;
+         decision_covered = (Tracker.decision st.tracker).Tracker.covered;
+       })
+
+(* Execute one input from [snapshot]; update the tracker and clock;
+   return the new snapshot and the freshly covered branches. *)
+let execute_raw st snapshot input =
+  let before = Tracker.covered_branches st.tracker in
+  let _, state' =
+    Interp.run_step ~on_event:(Tracker.observe st.tracker) st.prog snapshot
+      input
+  in
+  Vclock.charge_steps st.clock 1;
+  let after = Tracker.covered_branches st.tracker in
+  let fresh = Branch.Key_set.diff after before in
+  if not (Branch.Key_set.is_empty fresh) then emit_coverage st;
+  (state', fresh)
+
+(* Record the transition in the state tree unless the node cap is
+   reached — the cap bounds memory, never the run itself. *)
+let maybe_record st (parent : State_tree.node option) input state' =
+  match parent with
+  | Some parent when State_tree.size st.tree < st.cfg.max_tree_nodes ->
+    let child, _ = State_tree.add_child st.tree ~parent ~input state' in
+    Some child
+  | Some _ | None -> None
+
+let execute_step st (node : State_tree.node) input =
+  let state', fresh = execute_raw st node.State_tree.state input in
+  let child = maybe_record st (Some node) input state' in
+  (child, state', fresh)
+
+(* [steps] is the actual executed sequence: the (replayable) tree path
+   of the start node followed by the inputs executed in this episode.
+   Using the executed inputs — not the final node's tree path — matters
+   because node deduplication may have recorded a different input that
+   reaches the same state but covers different branches. *)
+let synthesize_testcase st ~steps origin fresh =
+  let tc =
+    {
+      Testcase.tc_id = st.next_tc;
+      steps;
+      origin;
+      found_at = Vclock.now st.clock;
+      new_branches = Branch.Key_set.elements fresh;
+    }
+  in
+  st.next_tc <- st.next_tc + 1;
+  st.testcases <- tc :: st.testcases;
+  emit st (Ev_testcase tc);
+  tc
+
+(* Dynamic MCDC objectives: for each condition whose independent effect
+   is still unshown, propose the unique-cause flip of already observed
+   vectors (capped per sweep; keys make retries idempotent per node). *)
+let mcdc_objectives st =
+  let flips_per_condition = 4 in
+  List.concat_map
+    (fun (decision, atom) ->
+      let observed = Tracker.observed_vectors st.tracker decision in
+      let rec take k = function
+        | [] -> []
+        | _ when k = 0 -> []
+        | (v, _) :: rest ->
+          let flipped = Array.copy v in
+          flipped.(atom) <- not flipped.(atom);
+          if List.exists (fun (w, _) -> w = flipped) observed then
+            take k rest
+          else
+            Explore.Vector_target { decision; vector = flipped }
+            :: take (k - 1) rest
+      in
+      List.map
+        (fun target ->
+          { obj_target = target; obj_key = key_of_target target; obj_depth = 0 })
+        (take flips_per_condition observed))
+    (Tracker.uncovered_mcdc st.tracker)
+
+(* Algorithm 1: state-aware solving.  Returns the first (node,
+   objective, input) that solves, or None when no (open objective,
+   state) pair yields a solution.  A per-objective cursor into the
+   append-only node list makes re-sweeps cost only the new work. *)
+let state_aware_solving st =
+  let solver_cfg = { st.cfg.solver with Explore.rng_seed = st.cfg.seed } in
+  if Tracker.progress st.tracker <> st.mcdc_stamp then begin
+    st.mcdc_stamp <- Tracker.progress st.tracker;
+    st.mcdc_cache <- mcdc_objectives st
+  end;
+  let rec try_objectives = function
+    | [] -> None
+    | obj :: rest ->
+      if objective_covered st obj then try_objectives rest
+      else begin
+        let size = State_tree.size st.tree in
+        let stride () =
+          let m = Option.value ~default:0 (Hashtbl.find_opt st.misses obj.obj_key) in
+          1 lsl min 5 (m / 40)
+        in
+        let rec try_nodes id =
+          if id >= size then begin
+            Hashtbl.replace st.cursors obj.obj_key id;
+            try_objectives rest
+          end
+          else if Vclock.expired st.clock then begin
+            Hashtbl.replace st.cursors obj.obj_key id;
+            None
+          end
+          else if id mod stride () <> 0 then
+            (* back-off: this objective failed many times in a row;
+               probe only a thinning subset of new states *)
+            try_nodes (id + 1)
+          else begin
+            let node = State_tree.node st.tree id in
+            let snap_key =
+              match Hashtbl.find_opt st.snap_keys id with
+              | Some k -> k
+              | None ->
+                let k = Fmt.str "%a" Interp.pp_snapshot node.State_tree.state in
+                Hashtbl.replace st.snap_keys id k;
+                k
+            in
+            let cache_key = obj.obj_key ^ "@" ^ snap_key in
+            if
+              State_tree.is_solved node obj.obj_key
+              || Hashtbl.mem st.solve_cache cache_key
+            then try_nodes (id + 1)
+            else begin
+              State_tree.mark_solved node obj.obj_key;
+              let outcome, cost =
+                Explore.solve_target ~config:solver_cfg
+                  ~symbolic_state:(not st.cfg.state_aware) st.prog
+                  ~state:node.state ~target:obj.obj_target
+              in
+              (match outcome with
+               | Explore.Sat _ -> ()
+               | Explore.Unsat | Explore.Unknown ->
+                 Hashtbl.replace st.solve_cache cache_key ());
+              Vclock.charge_solve st.clock cost;
+              let result : solve_result =
+                match outcome with
+                | Explore.Sat _ -> `Sat
+                | Explore.Unsat -> `Unsat
+                | Explore.Unknown -> `Unknown
+              in
+              emit st
+                (Ev_solve
+                   {
+                     time = Vclock.now st.clock;
+                     target = obj.obj_target;
+                     node = node.id;
+                     result;
+                   });
+              match outcome with
+              | Explore.Sat (input :: _) ->
+                st.library <- input :: st.library;
+                Hashtbl.replace st.cursors obj.obj_key id;
+                Hashtbl.replace st.misses obj.obj_key 0;
+                Some (node, obj, input)
+              | Explore.Sat [] | Explore.Unsat | Explore.Unknown ->
+                Hashtbl.replace st.misses obj.obj_key
+                  (1 + Option.value ~default:0
+                         (Hashtbl.find_opt st.misses obj.obj_key));
+                try_nodes (id + 1)
+            end
+          end
+        in
+        let start =
+          Option.value ~default:0 (Hashtbl.find_opt st.cursors obj.obj_key)
+        in
+        try_nodes start
+      end
+  in
+  try_objectives (st.objectives @ st.mcdc_cache)
+
+(* Algorithm 2, random mode: a random sequence of previously solved
+   inputs executed from a random tree node.  Sequences are bursty —
+   each step repeats the previous input with probability 1/2 — because
+   reaching saturation-style states needs sustained stimuli (the
+   paper's own example: "the constructed sequence contains enough
+   operations of adding CPU tasks").  Node selection mixes uniform
+   choice with a bias toward recently added (deep) nodes so progress
+   into large state spaces compounds across rounds. *)
+let random_execution st =
+  let node =
+    if Random.State.bool st.rng then State_tree.random_node st.tree st.rng
+    else begin
+      (* among the most recent quarter of the tree *)
+      let size = State_tree.size st.tree in
+      let lo = size - 1 - (size / 4) in
+      State_tree.node st.tree (lo + Random.State.int st.rng (size - lo))
+    end
+  in
+  let len = st.cfg.random_seq_len in
+  emit st
+    (Ev_random_exec { time = Vclock.now st.clock; node = node.id; len });
+  let fresh_input () =
+    match st.library with
+    | [] -> Interp.random_inputs st.rng st.prog
+    | lib ->
+      (* bias toward recently solved inputs: they target the deep
+         objectives currently being chased *)
+      let n = List.length lib in
+      let bound = if Random.State.bool st.rng then min 8 n else n in
+      List.nth lib (Random.State.int st.rng bound)
+  in
+  let previous = ref None in
+  let pick_input () =
+    match !previous with
+    | Some input when Random.State.bool st.rng -> input
+    | Some _ | None ->
+      let input = fresh_input () in
+      previous := Some input;
+      input
+  in
+  let rec steps snapshot node_opt executed fresh_acc k =
+    if k = 0 || Vclock.expired st.clock then (executed, fresh_acc)
+    else begin
+      let input = pick_input () in
+      let state', fresh = execute_raw st snapshot input in
+      let node_opt' =
+        match node_opt with
+        | Some parent -> maybe_record st (Some parent) input state'
+        | None -> None
+      in
+      steps state' node_opt' (input :: executed)
+        (Branch.Key_set.union fresh_acc fresh)
+        (k - 1)
+    end
+  in
+  let executed, fresh =
+    steps node.State_tree.state (Some node) [] Branch.Key_set.empty len
+  in
+  if not (Branch.Key_set.is_empty fresh) then begin
+    let steps = State_tree.path_inputs st.tree node @ List.rev executed in
+    ignore (synthesize_testcase st ~steps Testcase.Random_exec fresh)
+  end
+
+(* Optional hybrid prelude (paper Discussion): cheap random exploration
+   before any solving. *)
+let random_first_phase st =
+  let rounds = st.cfg.random_first_rounds in
+  for _ = 1 to rounds do
+    if not (Vclock.expired st.clock) && not (Tracker.fully_covered st.tracker)
+    then begin
+      let node = State_tree.random_node st.tree st.rng in
+      let rec steps snapshot node_opt executed fresh_acc k =
+        if k = 0 then (executed, fresh_acc)
+        else begin
+          let input = Interp.random_inputs st.rng st.prog in
+          let state', fresh = execute_raw st snapshot input in
+          let node_opt' =
+            match node_opt with
+            | Some parent -> maybe_record st (Some parent) input state'
+            | None -> None
+          in
+          steps state' node_opt' (input :: executed)
+            (Branch.Key_set.union fresh_acc fresh)
+            (k - 1)
+        end
+      in
+      let executed, fresh =
+        steps node.State_tree.state (Some node) [] Branch.Key_set.empty
+          st.cfg.random_seq_len
+      in
+      if not (Branch.Key_set.is_empty fresh) then begin
+        let steps = State_tree.path_inputs st.tree node @ List.rev executed in
+        ignore (synthesize_testcase st ~steps Testcase.Random_exec fresh)
+      end
+    end
+  done
+
+(* Every coverage requirement satisfied: decision, condition and MCDC. *)
+let all_requirements_met tracker =
+  let full (r : Tracker.ratio) = r.Tracker.covered = r.Tracker.total in
+  Tracker.fully_covered tracker
+  && full (Tracker.condition tracker)
+  && full (Tracker.mcdc tracker)
+
+let run ?(config = default_config) prog =
+  let tracker = Tracker.create prog in
+  let tree = State_tree.create prog in
+  let clock = Vclock.create ~budget:config.budget in
+  let branch_objectives =
+    let bs = Branch.of_program prog in
+    let bs = if config.sort_branches then Branch.sort_by_depth bs else bs in
+    List.map
+      (fun (b : Branch.t) ->
+        {
+          obj_target = Explore.Branch_target b.key;
+          obj_key = key_of_target (Explore.Branch_target b.key);
+          obj_depth = b.depth;
+        })
+      bs
+  in
+  (* Condition objectives, shallow decisions first, after the branch
+     objectives (branches usually cover most condition outcomes along
+     the way). *)
+  let condition_objectives =
+    let depth_of_decision =
+      let tbl = Hashtbl.create 64 in
+      List.iter
+        (fun (b : Branch.t) ->
+          if not (Hashtbl.mem tbl b.decision) then
+            Hashtbl.replace tbl b.decision b.depth)
+        (Branch.of_program prog);
+      fun d -> Option.value ~default:0 (Hashtbl.find_opt tbl d)
+    in
+    let criteria = Tracker.criteria tracker in
+    List.concat_map
+      (fun (d : Coverage.Criteria.decision_info) ->
+        List.concat_map
+          (fun atom ->
+            List.map
+              (fun value ->
+                let target =
+                  Explore.Condition_target
+                    { decision = d.Coverage.Criteria.d_id; atom; value }
+                in
+                {
+                  obj_target = target;
+                  obj_key = key_of_target target;
+                  obj_depth = depth_of_decision d.Coverage.Criteria.d_id;
+                })
+              [ true; false ])
+          (List.init d.Coverage.Criteria.d_atom_count Fun.id))
+      criteria.Coverage.Criteria.decisions
+    |> List.stable_sort (fun a b -> Int.compare a.obj_depth b.obj_depth)
+  in
+  let st =
+    {
+      cfg = config;
+      prog;
+      tracker;
+      tree;
+      clock;
+      rng = Random.State.make [| config.seed; 0xC7C6 |];
+      objectives = branch_objectives @ condition_objectives;
+      cursors = Hashtbl.create 256;
+      snap_keys = Hashtbl.create 1024;
+      solve_cache = Hashtbl.create 4096;
+      misses = Hashtbl.create 256;
+      mcdc_stamp = -1;
+      mcdc_cache = [];
+      library = [];
+      events = [];
+      testcases = [];
+      next_tc = 0;
+    }
+  in
+  if config.random_first then random_first_phase st;
+  (* MCDC is quadratic in observed vectors; memoize the termination
+     check on the tracker's progress stamp (per run). *)
+  let met_cache = ref (-1, false) in
+  let requirements_met () =
+    let stamp = Tracker.progress st.tracker in
+    let cached_stamp, cached = !met_cache in
+    if stamp = cached_stamp then cached
+    else begin
+      let result = all_requirements_met st.tracker in
+      met_cache := (stamp, result);
+      result
+    end
+  in
+  let stop = ref None in
+  while !stop = None do
+    if requirements_met () then stop := Some Full_coverage
+    else if Vclock.expired st.clock then stop := Some Budget_exhausted
+    else begin
+      match state_aware_solving st with
+      | Some (node, branch, input) ->
+        let _child, _state', fresh = execute_step st node input in
+        (* the solved branch may cover siblings too; any new coverage
+           yields a test case (Algorithm 2, lines 21-25) *)
+        if not (Branch.Key_set.is_empty fresh) then begin
+          let steps = State_tree.path_inputs st.tree node @ [ input ] in
+          ignore (synthesize_testcase st ~steps Testcase.Solved fresh)
+        end
+        else ignore branch
+      | None ->
+        if Vclock.expired st.clock then stop := Some Budget_exhausted
+        else if st.cfg.random_fallback then random_execution st
+        else
+          (* no random fallback (ablation): burn a beat of the clock so
+             the loop revisits solving as new states appear — or stalls
+             out the budget, which the ablation measures *)
+          Vclock.charge st.clock 1.0
+    end
+  done;
+  let r_stop = match !stop with Some s -> s | None -> assert false in
+  {
+    r_config = config;
+    r_testcases = List.rev st.testcases;
+    r_tracker = st.tracker;
+    r_tree = st.tree;
+    r_events = List.rev st.events;
+    r_clock = st.clock;
+    r_stop;
+  }
+
+let coverage_timeline run =
+  let total = (Tracker.decision run.r_tracker).Tracker.total in
+  let pct c = if total = 0 then 100.0 else 100.0 *. float c /. float total in
+  List.filter_map
+    (function
+      | Ev_coverage { time; decision_covered } ->
+        Some (time, pct decision_covered)
+      | Ev_testcase _ | Ev_solve _ | Ev_random_exec _ -> None)
+    run.r_events

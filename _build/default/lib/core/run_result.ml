@@ -1,0 +1,34 @@
+module Tracker = Coverage.Tracker
+
+type t = {
+  tool : string;
+  model : string;
+  tracker : Tracker.t;
+  testcases : Testcase.t list;
+  timeline : (float * float) list;
+  markers : (float * Testcase.origin) list;
+  final_time : float;
+}
+
+let of_engine_run ~model (run : Engine.run) =
+  {
+    tool = "STCG";
+    model;
+    tracker = run.Engine.r_tracker;
+    testcases = run.Engine.r_testcases;
+    timeline = Engine.coverage_timeline run;
+    markers =
+      List.map
+        (fun (tc : Testcase.t) -> (tc.Testcase.found_at, tc.Testcase.origin))
+        run.Engine.r_testcases;
+    final_time = Vclock.now run.Engine.r_clock;
+  }
+
+let decision_pct t = Tracker.pct (Tracker.decision t.tracker)
+let condition_pct t = Tracker.pct (Tracker.condition t.tracker)
+let mcdc_pct t = Tracker.pct (Tracker.mcdc t.tracker)
+
+let pp_summary ppf t =
+  Fmt.pf ppf "%-10s %-12s decision %5.1f%%  condition %5.1f%%  mcdc %5.1f%%  (%d tests, %.0fs)"
+    t.tool t.model (decision_pct t) (condition_pct t) (mcdc_pct t)
+    (List.length t.testcases) t.final_time

@@ -1,0 +1,23 @@
+(** Uniform view of one tool run on one model — what the experiment
+    harness consumes to build Table III and Figure 4. *)
+
+type t = {
+  tool : string;
+  model : string;
+  tracker : Coverage.Tracker.t;
+  testcases : Testcase.t list;
+  timeline : (float * float) list;
+      (** (virtual time, decision coverage %) — increasing *)
+  markers : (float * Testcase.origin) list;
+      (** test-case discovery times with their origin (Figure 4's
+          triangles and diamonds) *)
+  final_time : float;
+}
+
+val of_engine_run : model:string -> Engine.run -> t
+
+val decision_pct : t -> float
+val condition_pct : t -> float
+val mcdc_pct : t -> float
+
+val pp_summary : t Fmt.t

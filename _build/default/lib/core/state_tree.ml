@@ -1,0 +1,116 @@
+module Interp = Slim.Interp
+module Sset = Set.Make (String)
+
+type node = {
+  id : int;
+  parent : int option;
+  state : Interp.snapshot;
+  input : Interp.inputs option;
+  depth : int;
+  mutable solved : Sset.t;
+}
+
+type t = {
+  mutable nodes_rev : node list;
+  mutable count : int;
+  children : (int, int list ref) Hashtbl.t;
+  by_id : (int, node) Hashtbl.t;
+}
+
+let create prog =
+  let root =
+    {
+      id = 0;
+      parent = None;
+      state = Interp.initial_state prog;
+      input = None;
+      depth = 0;
+      solved = Sset.empty;
+    }
+  in
+  let t =
+    { nodes_rev = [ root ]; count = 1; children = Hashtbl.create 64;
+      by_id = Hashtbl.create 64 }
+  in
+  Hashtbl.replace t.by_id 0 root;
+  t
+
+let root t = Hashtbl.find t.by_id 0
+let node t id = Hashtbl.find t.by_id id
+let size t = t.count
+let nodes t = List.rev t.nodes_rev
+
+let children_of t id =
+  match Hashtbl.find_opt t.children id with
+  | Some l -> !l
+  | None -> []
+
+let add_child t ~parent ~input state =
+  if Interp.snapshot_equal state parent.state then (parent, false)
+  else
+    let existing =
+      List.find_opt
+        (fun cid -> Interp.snapshot_equal (node t cid).state state)
+        (children_of t parent.id)
+    in
+    match existing with
+    | Some cid -> (node t cid, false)
+    | None ->
+      let n =
+        {
+          id = t.count;
+          parent = Some parent.id;
+          state;
+          input = Some input;
+          depth = parent.depth + 1;
+          solved = Sset.empty;
+        }
+      in
+      t.count <- t.count + 1;
+      t.nodes_rev <- n :: t.nodes_rev;
+      Hashtbl.replace t.by_id n.id n;
+      (match Hashtbl.find_opt t.children parent.id with
+       | Some l -> l := n.id :: !l
+       | None -> Hashtbl.replace t.children parent.id (ref [ n.id ]));
+      (n, true)
+
+let path_inputs t n =
+  let rec go acc n =
+    match n.parent, n.input with
+    | None, _ -> acc
+    | Some pid, Some input -> go (input :: acc) (node t pid)
+    | Some pid, None -> go acc (node t pid)
+  in
+  go [] n
+
+let random_node t rng =
+  let k = Random.State.int rng t.count in
+  node t k
+
+let mark_solved n key = n.solved <- Sset.add key n.solved
+let is_solved n key = Sset.mem key n.solved
+
+let distinct_states t =
+  let states = nodes t |> List.map (fun n -> n.state) in
+  let rec count_distinct seen = function
+    | [] -> List.length seen
+    | s :: rest ->
+      if List.exists (Interp.snapshot_equal s) seen then
+        count_distinct seen rest
+      else count_distinct (s :: seen) rest
+  in
+  count_distinct [] states
+
+let pp ppf t =
+  let rec render indent id =
+    let n = node t id in
+    Fmt.pf ppf "%sS%d" indent n.id;
+    (match n.input with
+     | Some input -> Fmt.pf ppf "  <- %a" Interp.pp_inputs input
+     | None -> Fmt.pf ppf "  (initial state)");
+    Fmt.pf ppf "@,";
+    List.iter (render (indent ^ "  ")) (List.rev (children_of t id))
+  in
+  Fmt.pf ppf "@[<v>";
+  render "" 0;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,52 @@
+(** The state tree (paper Definitions 3 and 4).
+
+    Each node is one explored model state: the snapshot itself, the
+    one-step input that produced it from its parent, the set of branches
+    already attempted by the solver on this state ([solved]), and the
+    branches confirmed covered when executing into this state.  The
+    root holds the model's default state.
+
+    Nodes are deduplicated against their parent: executing an input
+    that leaves the state unchanged does not grow the tree. *)
+
+type node = {
+  id : int;
+  parent : int option;
+  state : Slim.Interp.snapshot;
+  input : Slim.Interp.inputs option;  (** [None] only for the root *)
+  depth : int;
+  mutable solved : Set.Make(String).t;
+      (** objective keys already attempted on this state (Algorithm 1
+          line 11) *)
+}
+
+type t
+
+val create : Slim.Ir.program -> t
+val root : t -> node
+val node : t -> int -> node
+val size : t -> int
+val nodes : t -> node list
+(** In insertion (BFS-ish) order — the traversal order of Algorithm 1. *)
+
+val add_child :
+  t -> parent:node -> input:Slim.Interp.inputs -> Slim.Interp.snapshot -> node * bool
+(** [add_child t ~parent ~input state] returns the node for [state]
+    reached from [parent] and whether it is new.  If [state] equals
+    [parent.state] or an existing child of [parent] reached the same
+    state, that node is reused. *)
+
+val path_inputs : t -> node -> Slim.Interp.inputs list
+(** Inputs along root -> node, in execution order (Algorithm 2,
+    lines 21-25). *)
+
+val random_node : t -> Random.State.t -> node
+
+val mark_solved : node -> string -> unit
+val is_solved : node -> string -> bool
+
+val distinct_states : t -> int
+(** Number of distinct snapshots in the tree. *)
+
+val pp : t Fmt.t
+(** Compact tree rendering (used for the paper's Figure 3(b)). *)

@@ -1,0 +1,137 @@
+module Interp = Slim.Interp
+module Value = Slim.Value
+module Ir = Slim.Ir
+
+type origin = Solved | Random_exec
+
+type t = {
+  tc_id : int;
+  steps : Interp.inputs list;
+  origin : origin;
+  found_at : float;
+  new_branches : Slim.Branch.key list;
+}
+
+let length tc = List.length tc.steps
+
+let replay ?tracker prog tc =
+  let on_event =
+    match tracker with
+    | Some tr -> Coverage.Tracker.observe tr
+    | None -> fun _ -> ()
+  in
+  let _, final =
+    Interp.run_sequence ~on_event prog (Interp.initial_state prog) tc.steps
+  in
+  final
+
+let replay_suite prog tcs =
+  let tracker = Coverage.Tracker.create prog in
+  List.iter (fun tc -> ignore (replay ~tracker prog tc)) tcs;
+  tracker
+
+let pp_origin ppf = function
+  | Solved -> Fmt.string ppf "solved"
+  | Random_exec -> Fmt.string ppf "random"
+
+let origin_of_string = function
+  | "solved" -> Solved
+  | "random" -> Random_exec
+  | s -> invalid_arg ("unknown test case origin " ^ s)
+
+let step_to_line (prog : Ir.program) inputs =
+  prog.inputs
+  |> List.map (fun (v : Ir.var) ->
+         let value =
+           match Interp.Smap.find_opt v.name inputs with
+           | Some x -> x
+           | None -> Value.default_of_ty v.ty
+         in
+         Fmt.str "%s=%s" v.name (Value.to_string value))
+  |> String.concat "\t"
+
+let line_to_step (prog : Ir.program) line =
+  let fields =
+    String.split_on_char '\t' line
+    |> List.filter (fun s -> String.trim s <> "")
+  in
+  List.fold_left
+    (fun acc field ->
+      match String.index_opt field '=' with
+      | None -> acc
+      | Some i ->
+        let name = String.sub field 0 i in
+        let text = String.sub field (i + 1) (String.length field - i - 1) in
+        (match
+           List.find_opt (fun (v : Ir.var) -> v.name = name) prog.inputs
+         with
+         | Some v -> Interp.Smap.add name (Value.of_string v.ty text) acc
+         | None -> acc))
+    Interp.Smap.empty fields
+
+let to_text prog tcs =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun tc ->
+      Buffer.add_string buf
+        (Fmt.str "# testcase %d %a\n" tc.tc_id pp_origin tc.origin);
+      List.iter
+        (fun step ->
+          Buffer.add_string buf (step_to_line prog step);
+          Buffer.add_char buf '\n')
+        tc.steps)
+    tcs;
+  Buffer.contents buf
+
+let of_text prog text =
+  let lines = String.split_on_char '\n' text in
+  let finish acc current =
+    match current with
+    | None -> acc
+    | Some (id, origin, steps) ->
+      {
+        tc_id = id;
+        steps = List.rev steps;
+        origin;
+        found_at = 0.0;
+        new_branches = [];
+      }
+      :: acc
+  in
+  let acc, current =
+    List.fold_left
+      (fun (acc, current) line ->
+        let line = String.trim line in
+        if line = "" then (acc, current)
+        else if String.length line > 0 && line.[0] = '#' then begin
+          match String.split_on_char ' ' line with
+          | [ "#"; "testcase"; id; origin ] ->
+            (finish acc current,
+             Some (int_of_string id, origin_of_string origin, []))
+          | _ -> (acc, current)
+        end
+        else
+          match current with
+          | None -> (acc, current)
+          | Some (id, origin, steps) ->
+            (acc, Some (id, origin, line_to_step prog line :: steps)))
+      ([], None) lines
+  in
+  List.rev (finish acc current)
+
+let save prog tcs path =
+  let oc = open_out path in
+  output_string oc (to_text prog tcs);
+  close_out oc
+
+let load prog path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  of_text prog text
+
+let pp ppf tc =
+  Fmt.pf ppf "testcase #%d (%a, %d steps, t=%.1fs, +%d branches)" tc.tc_id
+    pp_origin tc.origin (length tc) tc.found_at
+    (List.length tc.new_branches)

@@ -1,0 +1,46 @@
+(** Test cases: input sequences from the initial model state.
+
+    A test case is the concatenation of the one-step inputs stored along
+    a state-tree path (paper Algorithm 2, lines 21-25).  Test suites
+    replay through the concrete interpreter — the equivalent of feeding
+    exported files to Simulink's Signal Builder for an independent
+    coverage measurement. *)
+
+type origin =
+  | Solved  (** produced by state-aware constraint solving (paper: △) *)
+  | Random_exec  (** produced by a random input sequence (paper: ◇) *)
+
+type t = {
+  tc_id : int;
+  steps : Slim.Interp.inputs list;  (** inputs per iteration, in order *)
+  origin : origin;
+  found_at : float;  (** virtual timestamp *)
+  new_branches : Slim.Branch.key list;
+      (** branches first covered by this test case *)
+}
+
+val length : t -> int
+
+val replay :
+  ?tracker:Coverage.Tracker.t -> Slim.Ir.program -> t ->
+  Slim.Interp.snapshot
+(** Run the test case from the initial state, feeding events to the
+    optional tracker; returns the final state. *)
+
+val replay_suite : Slim.Ir.program -> t list -> Coverage.Tracker.t
+(** Independent coverage measurement of a whole suite on a fresh
+    tracker. *)
+
+(** {1 Text export/import}
+
+    One line per step; each line is [name=value] pairs separated by
+    tabs; test cases are separated by [# testcase <id> <origin>]
+    headers — a plain-text stand-in for Signal Builder files. *)
+
+val to_text : Slim.Ir.program -> t list -> string
+val of_text : Slim.Ir.program -> string -> t list
+val save : Slim.Ir.program -> t list -> string -> unit
+val load : Slim.Ir.program -> string -> t list
+
+val pp_origin : origin Fmt.t
+val pp : t Fmt.t

@@ -1,0 +1,1 @@
+lib/coverage/criteria.ml: Array List Slim

@@ -1,0 +1,1 @@
+lib/coverage/tracker.ml: Array Criteria Fmt Fun Hashtbl List Slim String

@@ -1,0 +1,1 @@
+lib/coverage/tracker.mli: Criteria Fmt Slim

@@ -1,0 +1,95 @@
+module Ir = Slim.Ir
+module Branch = Slim.Branch
+
+type decision_info = {
+  d_id : int;
+  d_kind : [ `If | `Switch ];
+  d_atom_count : int;
+  d_fn : bool array -> bool;
+}
+
+type t = {
+  branches : Branch.t list;
+  decisions : decision_info list;
+  decision_total : int;
+  condition_total : int;
+  mcdc_total : int;
+}
+
+(* Compile a guard into a function of its atom vector.  Atom positions
+   follow [Ir.atoms_of_condition] (left-to-right). *)
+let guard_fn (cond : Ir.expr) : bool array -> bool =
+  let counter = ref 0 in
+  let rec build e =
+    match (e : Ir.expr) with
+    | And (a, b) ->
+      let fa = build a in
+      let fb = build b in
+      fun v ->
+        (* evaluate both: SLIM logic is non-short-circuit *)
+        let ra = fa v in
+        let rb = fb v in
+        ra && rb
+    | Or (a, b) ->
+      let fa = build a in
+      let fb = build b in
+      fun v ->
+        let ra = fa v in
+        let rb = fb v in
+        ra || rb
+    | Unop (Not, inner) ->
+      let f = build inner in
+      fun v -> not (f v)
+    | Const _ | Var _ | Unop _ | Binop _ | Cmp _ | Ite _ | Index _ ->
+      let i = !counter in
+      incr counter;
+      fun v -> v.(i)
+  in
+  build cond
+
+let of_program prog =
+  let branches = Branch.of_program prog in
+  let decisions =
+    List.map
+      (fun (id, d) ->
+        match d with
+        | `If cond ->
+          {
+            d_id = id;
+            d_kind = `If;
+            d_atom_count = List.length (Ir.atoms_of_condition cond);
+            d_fn = guard_fn cond;
+          }
+        | `Switch (_, _) ->
+          { d_id = id; d_kind = `Switch; d_atom_count = 0; d_fn = (fun _ -> false) })
+      (Ir.decisions_of_program prog)
+  in
+  let atoms =
+    List.fold_left (fun n d -> n + d.d_atom_count) 0 decisions
+  in
+  {
+    branches;
+    decisions;
+    decision_total = List.length branches;
+    condition_total = 2 * atoms;
+    mcdc_total = atoms;
+  }
+
+let mcdc_pair_ok fn i (v1, o1) (v2, o2) =
+  Array.length v1 = Array.length v2
+  && o1 <> o2
+  && v1.(i) <> v2.(i)
+  &&
+  let masked vec j =
+    (* flipping j alone does not change the outcome on [vec] *)
+    let flipped = Array.copy vec in
+    flipped.(j) <- not flipped.(j);
+    fn flipped = fn vec
+  in
+  let ok = ref true in
+  Array.iteri
+    (fun j x ->
+      if j <> i && x <> v2.(j) then
+        if not (masked v1 j && masked v2 j) then ok := false)
+    v1;
+  !ok

@@ -1,0 +1,39 @@
+(** Static structure of the three coverage criteria on a SLIM program.
+
+    - {b Decision coverage}: every branch (then/else of each [If], every
+      case and the default of each [Switch]) executes.
+    - {b Condition coverage}: every atomic condition of every [If] guard
+      evaluates to both true and false.
+    - {b MCDC}: every atomic condition is shown to independently affect
+      its decision's outcome.  We check unique-cause MCDC extended with
+      masking: a pair of observed condition vectors demonstrates
+      independence of condition [i] when the outcomes differ, [i]
+      differs, and every other differing condition is masked (flipping
+      it alone changes neither vector's outcome). *)
+
+type decision_info = {
+  d_id : int;
+  d_kind : [ `If | `Switch ];
+  d_atom_count : int;  (** 0 for [Switch] *)
+  d_fn : bool array -> bool;
+      (** the guard as a function of its atom vector ([`If] only) *)
+}
+
+type t = {
+  branches : Slim.Branch.t list;
+  decisions : decision_info list;
+  decision_total : int;  (** number of branches *)
+  condition_total : int;  (** 2 x number of atoms over all [If] guards *)
+  mcdc_total : int;  (** number of atoms over all [If] guards *)
+}
+
+val of_program : Slim.Ir.program -> t
+
+val guard_fn : Slim.Ir.expr -> bool array -> bool
+(** Evaluate a guard over given atom truth values (atoms in
+    {!Slim.Ir.atoms_of_condition} order). *)
+
+val mcdc_pair_ok :
+  (bool array -> bool) -> int -> bool array * bool -> bool array * bool -> bool
+(** [mcdc_pair_ok fn i (v1, o1) (v2, o2)] — does the pair demonstrate
+    the independent effect of condition [i] (masking allowed)? *)

@@ -1,0 +1,168 @@
+module Interp = Slim.Interp
+module Branch = Slim.Branch
+
+(* Observed condition vectors are interned per decision as strings of
+   'T'/'F' so the set stays small and hashable. *)
+let key_of_vector (v : bool array) =
+  String.init (Array.length v) (fun i -> if v.(i) then 'T' else 'F')
+
+let vector_of_key s =
+  Array.init (String.length s) (fun i -> s.[i] = 'T')
+
+type t = {
+  criteria : Criteria.t;
+  info : (int, Criteria.decision_info) Hashtbl.t;
+  mutable branches : Branch.Key_set.t;
+  cond_seen : (int * int * bool, unit) Hashtbl.t;
+  vectors : (int, (string, bool) Hashtbl.t) Hashtbl.t;
+      (* decision id -> vector key -> outcome *)
+  mutable progress : int;
+      (* bumped whenever genuinely new information arrives *)
+}
+
+let create prog =
+  let criteria = Criteria.of_program prog in
+  let info = Hashtbl.create 64 in
+  List.iter
+    (fun (d : Criteria.decision_info) -> Hashtbl.replace info d.d_id d)
+    criteria.decisions;
+  {
+    criteria;
+    info;
+    branches = Branch.Key_set.empty;
+    cond_seen = Hashtbl.create 256;
+    vectors = Hashtbl.create 64;
+    progress = 0;
+  }
+
+let criteria t = t.criteria
+
+let observe t = function
+  | Interp.Branch_hit key ->
+    if not (Branch.Key_set.mem key t.branches) then begin
+      t.branches <- Branch.Key_set.add key t.branches;
+      t.progress <- t.progress + 1
+    end
+  | Interp.Cond_vector { id; vector; outcome } ->
+    Array.iteri
+      (fun i b ->
+        if not (Hashtbl.mem t.cond_seen (id, i, b)) then begin
+          Hashtbl.replace t.cond_seen (id, i, b) ();
+          t.progress <- t.progress + 1
+        end)
+      vector;
+    let tbl =
+      match Hashtbl.find_opt t.vectors id with
+      | Some tbl -> tbl
+      | None ->
+        let tbl = Hashtbl.create 8 in
+        Hashtbl.replace t.vectors id tbl;
+        tbl
+    in
+    let vk = key_of_vector vector in
+    if not (Hashtbl.mem tbl vk) then begin
+      Hashtbl.replace tbl vk outcome;
+      t.progress <- t.progress + 1
+    end
+
+let progress t = t.progress
+
+let covered_branches t = t.branches
+let is_branch_covered t key = Branch.Key_set.mem key t.branches
+
+type ratio = { covered : int; total : int }
+
+let pct r = if r.total = 0 then 100.0 else 100.0 *. float r.covered /. float r.total
+
+let decision t =
+  { covered = Branch.Key_set.cardinal t.branches;
+    total = t.criteria.decision_total }
+
+let condition t =
+  { covered = Hashtbl.length t.cond_seen;
+    total = t.criteria.condition_total }
+
+let mcdc t =
+  let covered = ref 0 in
+  List.iter
+    (fun (d : Criteria.decision_info) ->
+      if d.d_atom_count > 0 then begin
+        let observed =
+          match Hashtbl.find_opt t.vectors d.d_id with
+          | None -> []
+          | Some tbl ->
+            Hashtbl.fold (fun k o acc -> (vector_of_key k, o) :: acc) tbl []
+        in
+        for i = 0 to d.d_atom_count - 1 do
+          let ok =
+            List.exists
+              (fun p1 ->
+                List.exists
+                  (fun p2 -> Criteria.mcdc_pair_ok d.d_fn i p1 p2)
+                  observed)
+              observed
+          in
+          if ok then incr covered
+        done
+      end)
+    t.criteria.decisions;
+  { covered = !covered; total = t.criteria.mcdc_total }
+
+let is_condition_covered t decision atom value =
+  Hashtbl.mem t.cond_seen (decision, atom, value)
+
+let observed_vectors t decision =
+  match Hashtbl.find_opt t.vectors decision with
+  | None -> []
+  | Some tbl ->
+    Hashtbl.fold (fun k o acc -> (vector_of_key k, o) :: acc) tbl []
+
+let find_decision t id = Hashtbl.find_opt t.info id
+
+let uncovered_mcdc t =
+  List.concat_map
+    (fun (d : Criteria.decision_info) ->
+      if d.d_atom_count = 0 then []
+      else begin
+        let observed = observed_vectors t d.d_id in
+        List.filter_map
+          (fun i ->
+            let ok =
+              List.exists
+                (fun p1 ->
+                  List.exists
+                    (fun p2 -> Criteria.mcdc_pair_ok d.d_fn i p1 p2)
+                    observed)
+                observed
+            in
+            if ok then None else Some (d.d_id, i))
+          (List.init d.d_atom_count Fun.id)
+      end)
+    t.criteria.decisions
+
+let uncovered_branches t =
+  List.filter
+    (fun (b : Branch.t) -> not (Branch.Key_set.mem b.key t.branches))
+    t.criteria.branches
+
+let fully_covered t =
+  Branch.Key_set.cardinal t.branches = t.criteria.decision_total
+
+let copy t =
+  {
+    criteria = t.criteria;
+    info = t.info;
+    branches = t.branches;
+    cond_seen = Hashtbl.copy t.cond_seen;
+    vectors =
+      (let v = Hashtbl.create (Hashtbl.length t.vectors) in
+       Hashtbl.iter (fun k tbl -> Hashtbl.replace v k (Hashtbl.copy tbl)) t.vectors;
+       v);
+    progress = t.progress;
+  }
+
+let pp_summary ppf t =
+  let d = decision t and c = condition t and m = mcdc t in
+  Fmt.pf ppf "decision %d/%d (%.1f%%)  condition %d/%d (%.1f%%)  mcdc %d/%d (%.1f%%)"
+    d.covered d.total (pct d) c.covered c.total (pct c) m.covered m.total
+    (pct m)

@@ -1,0 +1,51 @@
+(** Runtime coverage accumulation.
+
+    A tracker consumes {!Slim.Interp.event}s (feed {!observe} as the
+    [on_event] callback of {!Slim.Interp.run_step}) and accumulates the
+    three criteria of {!Criteria}. *)
+
+type t
+
+val create : Slim.Ir.program -> t
+val criteria : t -> Criteria.t
+
+val observe : t -> Slim.Interp.event -> unit
+
+val progress : t -> int
+(** Monotone stamp, bumped only when an observation adds genuinely new
+    information (new branch, condition outcome or condition vector) —
+    lets clients cache derived structures. *)
+
+val covered_branches : t -> Slim.Branch.Key_set.t
+val is_branch_covered : t -> Slim.Branch.key -> bool
+
+type ratio = { covered : int; total : int }
+
+val pct : ratio -> float
+(** Percentage; 100.0 when [total = 0]. *)
+
+val decision : t -> ratio
+val condition : t -> ratio
+val mcdc : t -> ratio
+
+val uncovered_branches : t -> Slim.Branch.t list
+
+val is_condition_covered : t -> int -> int -> bool -> bool
+(** [is_condition_covered t decision atom value] — has atom [atom] of
+    decision [decision] been observed with the given truth value? *)
+
+val observed_vectors : t -> int -> (bool array * bool) list
+(** Condition vectors (with outcomes) observed for a decision. *)
+
+val uncovered_mcdc : t -> (int * int) list
+(** (decision, atom) pairs whose independent effect is not yet shown. *)
+
+val find_decision : t -> int -> Criteria.decision_info option
+
+val fully_covered : t -> bool
+(** All branches covered (decision coverage complete). *)
+
+val copy : t -> t
+(** Independent clone (used for what-if executions). *)
+
+val pp_summary : t Fmt.t

@@ -1,0 +1,1 @@
+lib/harness/experiment.ml: Ascii_plot Baselines Buffer Coverage Fmt List Models Option Slim Stcg String Symexec Text_table

@@ -1,0 +1,70 @@
+(* Terminal line plots for coverage-versus-time series (Figure 4).
+
+   Series are step functions (coverage only moves at test-case events);
+   each series draws with its own glyph, and optional point markers
+   (test-case origins) overlay the curves. *)
+
+type series = {
+  s_label : string;
+  s_glyph : char;
+  s_points : (float * float) list;  (* (time, value), increasing time *)
+  s_markers : (float * char) list;  (* extra marker glyphs at times *)
+}
+
+let value_at points x =
+  (* step interpolation: last value at time <= x, 0 before first *)
+  let rec go last = function
+    | [] -> last
+    | (t, v) :: rest -> if t <= x then go v rest else last
+  in
+  go 0.0 points
+
+let render ?(width = 72) ?(height = 16) ?(x_max = 3600.0) ?(y_max = 100.0)
+    (series : series list) =
+  let grid = Array.make_matrix height width ' ' in
+  let put row col ch =
+    if row >= 0 && row < height && col >= 0 && col < width then
+      grid.(row).(col) <- ch
+  in
+  let col_of_x x =
+    int_of_float (Float.min (float (width - 1)) (x /. x_max *. float (width - 1)))
+  in
+  let row_of_y y =
+    let y = Float.min y_max (Float.max 0.0 y) in
+    height - 1 - int_of_float (y /. y_max *. float (height - 1))
+  in
+  List.iter
+    (fun s ->
+      for col = 0 to width - 1 do
+        let x = float col /. float (width - 1) *. x_max in
+        let y = value_at s.s_points x in
+        if y > 0.0 then put (row_of_y y) col s.s_glyph
+      done;
+      List.iter
+        (fun (t, glyph) ->
+          let y = value_at s.s_points t in
+          put (row_of_y y) (col_of_x t) glyph)
+        s.s_markers)
+    series;
+  let buf = Buffer.create (width * height) in
+  Array.iteri
+    (fun r row ->
+      let y =
+        y_max *. float (height - 1 - r) /. float (height - 1)
+      in
+      Buffer.add_string buf (Printf.sprintf "%5.0f |" y);
+      Array.iter (Buffer.add_char buf) row;
+      Buffer.add_char buf '\n')
+    grid;
+  Buffer.add_string buf (String.make 6 ' ');
+  Buffer.add_char buf '+';
+  Buffer.add_string buf (String.make width '-');
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Printf.sprintf "%6s0%*s%.0fs\n" "" (width - 6) "" x_max);
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "      %c %s\n" s.s_glyph s.s_label))
+    series;
+  Buffer.contents buf

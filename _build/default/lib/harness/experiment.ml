@@ -1,0 +1,403 @@
+module Registry = Models.Registry
+module Run_result = Stcg.Run_result
+module Engine = Stcg.Engine
+module Tracker = Coverage.Tracker
+module Testcase = Stcg.Testcase
+
+type tool = STCG | STCG_hybrid | SLDV | SimCoTest
+
+let tool_name = function
+  | STCG -> "STCG"
+  | STCG_hybrid -> "STCG-hybrid"
+  | SLDV -> "SLDV"
+  | SimCoTest -> "SimCoTest"
+
+let run_tool ?(budget = 3600.0) ~seed tool (entry : Registry.entry) =
+  let prog = entry.Registry.program () in
+  match tool with
+  | STCG ->
+    let config = { Engine.default_config with Engine.seed; budget } in
+    Run_result.of_engine_run ~model:entry.Registry.name
+      (Engine.run ~config prog)
+  | STCG_hybrid ->
+    let config =
+      { Engine.default_config with Engine.seed; budget; random_first = true }
+    in
+    let result =
+      Run_result.of_engine_run ~model:entry.Registry.name
+        (Engine.run ~config prog)
+    in
+    { result with Run_result.tool = "STCG-hybrid" }
+  | SLDV ->
+    let config = { Baselines.Sldv.default_config with Baselines.Sldv.budget } in
+    Baselines.Sldv.run ~config ~model:entry.Registry.name prog
+  | SimCoTest ->
+    let config =
+      { Baselines.Simcotest.default_config with
+        Baselines.Simcotest.budget; seed }
+    in
+    Baselines.Simcotest.run ~config ~model:entry.Registry.name prog
+
+type averaged = {
+  a_model : string;
+  a_tool : tool;
+  a_decision : float;
+  a_condition : float;
+  a_mcdc : float;
+  a_tests : float;
+  a_runs : int;
+}
+
+let average ?budget ~seeds tool entry =
+  (* SLDV is deterministic: one run regardless of the seed list *)
+  let seeds = match tool with SLDV -> [ 1 ] | _ -> seeds in
+  let results = List.map (fun seed -> run_tool ?budget ~seed tool entry) seeds in
+  let n = float (List.length results) in
+  let mean f = List.fold_left (fun acc r -> acc +. f r) 0.0 results /. n in
+  {
+    a_model = entry.Registry.name;
+    a_tool = tool;
+    a_decision = mean Run_result.decision_pct;
+    a_condition = mean Run_result.condition_pct;
+    a_mcdc = mean Run_result.mcdc_pct;
+    a_tests =
+      mean (fun r -> float (List.length r.Run_result.testcases));
+    a_runs = List.length results;
+  }
+
+(* --- Table I ---------------------------------------------------------- *)
+
+let table1 ?(budget = 3600.0) ?(seed = 1) () =
+  let entry = Option.get (Registry.find "CPUTask") in
+  let prog = entry.Registry.program () in
+  let config = { Engine.default_config with Engine.seed; budget } in
+  let run = Engine.run ~config prog in
+  let total = (Tracker.decision run.Engine.r_tracker).Tracker.total in
+  (* Rebuild the construction narrative from the event log: each solve
+     event is one "step"; successful steps name the branch target, the
+     state node and the branches achieved by the execution right after. *)
+  let covered_so_far = ref 0 in
+  let step = ref 0 in
+  let rows = ref [] in
+  let pending : (string * string) option ref = ref None in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Engine.Ev_solve { target; node; result; _ } ->
+        (match result with
+         | `Sat ->
+           incr step;
+           pending :=
+             Some (Fmt.str "%a" Symexec.Explore.pp_target target,
+                   Fmt.str "S%d" node)
+         | `Unsat | `Unknown -> ())
+      | Engine.Ev_random_exec { node; len; _ } ->
+        incr step;
+        pending := Some (Fmt.str "random x%d" len, Fmt.str "S%d" node)
+      | Engine.Ev_coverage { decision_covered; _ } ->
+        (match !pending with
+         | Some (target, state) when decision_covered > !covered_so_far ->
+           let gained = decision_covered - !covered_so_far in
+           covered_so_far := decision_covered;
+           rows :=
+             [
+               string_of_int !step;
+               target;
+               state;
+               Fmt.str "+%d" gained;
+               Fmt.str "%d/%d" decision_covered total;
+             ]
+             :: !rows;
+           pending := None
+         | _ -> ())
+      | Engine.Ev_testcase _ -> ())
+    run.Engine.r_events;
+  let table =
+    Text_table.render
+      ~header:
+        [ "Step"; "Target"; "Target state"; "New branches"; "Total achieved" ]
+      (List.rev !rows)
+  in
+  Fmt.str
+    "Table I - state-tree construction on CPUTask (seed %d)\n%s\nstates explored: %d, test cases: %d, final: %a\n"
+    seed table
+    (Stcg.State_tree.size run.Engine.r_tree)
+    (List.length run.Engine.r_testcases)
+    Tracker.pp_summary run.Engine.r_tracker
+
+(* --- Table II --------------------------------------------------------- *)
+
+let table2 () =
+  let rows =
+    List.map
+      (fun (e : Registry.entry) ->
+        let prog = e.Registry.program () in
+        [
+          e.Registry.name;
+          e.Registry.description;
+          string_of_int (Slim.Branch.count prog);
+          string_of_int e.Registry.paper_branches;
+          string_of_int (Slim.Ir.stmt_count prog);
+          string_of_int e.Registry.paper_blocks;
+        ])
+      Registry.entries
+  in
+  Fmt.str "Table II - benchmark models (ours vs paper)\n%s"
+    (Text_table.render
+       ~header:
+         [
+           "Model"; "Functionality"; "#Branch"; "paper"; "#Stmt"; "paper #Block";
+         ]
+       rows)
+
+(* --- Table III -------------------------------------------------------- *)
+
+let pct_str x = Fmt.str "%.0f%%" x
+
+let table3 ?budget ?(seeds = [ 1; 2; 3; 4; 5 ]) () =
+  let tools = [ SLDV; SimCoTest; STCG ] in
+  let rows =
+    List.concat_map
+      (fun entry ->
+        List.map (fun tool -> average ?budget ~seeds tool entry) tools)
+      Registry.entries
+  in
+  let paper_of tool (e : Registry.entry) =
+    match tool with
+    | SLDV -> e.Registry.paper.Registry.p_sldv
+    | SimCoTest -> e.Registry.paper.Registry.p_simcotest
+    | STCG | STCG_hybrid -> e.Registry.paper.Registry.p_stcg
+  in
+  let text_rows =
+    List.concat_map
+      (fun (e : Registry.entry) ->
+        List.map
+          (fun tool ->
+            let a =
+              List.find
+                (fun r -> r.a_model = e.Registry.name && r.a_tool = tool)
+                rows
+            in
+            let pd, pc, pm = paper_of tool e in
+            [
+              e.Registry.name;
+              tool_name tool;
+              pct_str a.a_decision;
+              pct_str pd;
+              pct_str a.a_condition;
+              pct_str pc;
+              pct_str a.a_mcdc;
+              pct_str pm;
+            ])
+          tools)
+      Registry.entries
+  in
+  (* average improvements of STCG over the baselines, paper-style *)
+  let improvement base =
+    let ratios metric =
+      List.filter_map
+        (fun (e : Registry.entry) ->
+          let get tool =
+            List.find
+              (fun r -> r.a_model = e.Registry.name && r.a_tool = tool)
+              rows
+          in
+          let b = metric (get base) and s = metric (get STCG) in
+          if b > 0.0 then Some (100.0 *. (s -. b) /. b) else None)
+        Registry.entries
+    in
+    let mean l =
+      if l = [] then 0.0 else List.fold_left ( +. ) 0.0 l /. float (List.length l)
+    in
+    ( mean (ratios (fun r -> r.a_decision)),
+      mean (ratios (fun r -> r.a_condition)),
+      mean (ratios (fun r -> r.a_mcdc)) )
+  in
+  let d_sldv, c_sldv, m_sldv = improvement SLDV in
+  let d_sct, c_sct, m_sct = improvement SimCoTest in
+  let table =
+    Text_table.render
+      ~header:
+        [
+          "Model"; "Tool"; "Decision"; "paper"; "Condition"; "paper"; "MCDC";
+          "paper";
+        ]
+      (text_rows
+      @ [
+          [
+            "Average"; "STCG vs SLDV"; Fmt.str "+%.0f%%" d_sldv; "+58%";
+            Fmt.str "+%.0f%%" c_sldv; "+52%"; Fmt.str "+%.0f%%" m_sldv; "+239%";
+          ];
+          [
+            "improvement"; "STCG vs SimCoTest"; Fmt.str "+%.0f%%" d_sct;
+            "+132%"; Fmt.str "+%.0f%%" c_sct; "+70%"; Fmt.str "+%.0f%%" m_sct;
+            "+237%";
+          ];
+        ])
+  in
+  ( rows,
+    Fmt.str
+      "Table III - coverage comparison (avg over %d seeds, %s virtual budget)\n%s"
+      (List.length seeds)
+      (match budget with Some b -> Fmt.str "%.0fs" b | None -> "3600s")
+      table )
+
+(* --- Figure 3 --------------------------------------------------------- *)
+
+let fig3 () =
+  let entry = Option.get (Registry.find "CPUTask") in
+  let prog = entry.Registry.program () in
+  let branches = Slim.Branch.of_program prog in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    "Figure 3(a) - CPUTask branch structure (first two levels)\n";
+  List.iter
+    (fun (b : Slim.Branch.t) ->
+      if b.depth <= 1 then
+        Buffer.add_string buf
+          (Fmt.str "%s%a\n"
+             (String.make (2 * b.depth) ' ')
+             Slim.Branch.pp b))
+    branches;
+  (* a small exploration to draw an actual state tree *)
+  let config =
+    { Engine.default_config with Engine.seed = 1; budget = 120.0 }
+  in
+  let run = Engine.run ~config prog in
+  Buffer.add_string buf "\nFigure 3(b) - explored state tree (excerpt)\n";
+  let tree_text = Fmt.str "%a" Stcg.State_tree.pp run.Engine.r_tree in
+  let lines = String.split_on_char '\n' tree_text in
+  let rec take k = function
+    | [] -> []
+    | x :: rest -> if k = 0 then [ "  ..." ] else x :: take (k - 1) rest
+  in
+  List.iter
+    (fun l ->
+      Buffer.add_string buf l;
+      Buffer.add_char buf '\n')
+    (take 25 lines);
+  Buffer.contents buf
+
+(* --- Figure 4 --------------------------------------------------------- *)
+
+let csv_of_result (r : Run_result.t) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "tool,time_s,decision_pct\n";
+  List.iter
+    (fun (t, p) ->
+      Buffer.add_string buf (Fmt.str "%s,%.1f,%.2f\n" r.Run_result.tool t p))
+    r.Run_result.timeline;
+  Buffer.contents buf
+
+let fig4 ?(budget = 3600.0) ?(seed = 1) ?models () =
+  let entries =
+    match models with
+    | None -> Registry.entries
+    | Some names ->
+      List.filter_map Registry.find names
+  in
+  let panels = Buffer.create 4096 in
+  let csvs = ref [] in
+  List.iter
+    (fun (entry : Registry.entry) ->
+      let stcg = run_tool ~budget ~seed STCG entry in
+      let sldv = run_tool ~budget ~seed SLDV entry in
+      let sct = run_tool ~budget ~seed SimCoTest entry in
+      let markers_of (r : Run_result.t) =
+        List.map
+          (fun (t, origin) ->
+            ( t,
+              match origin with
+              | Testcase.Solved -> '^'  (* paper's triangle *)
+              | Testcase.Random_exec -> 'o' (* paper's diamond *) ))
+          r.Run_result.markers
+      in
+      let series =
+        [
+          {
+            Ascii_plot.s_label = "STCG (^ solved, o random)";
+            s_glyph = '*';
+            s_points = stcg.Run_result.timeline;
+            s_markers = markers_of stcg;
+          };
+          {
+            Ascii_plot.s_label = "SLDV";
+            s_glyph = '#';
+            s_points = sldv.Run_result.timeline;
+            s_markers = [];
+          };
+          {
+            Ascii_plot.s_label = "SimCoTest";
+            s_glyph = '.';
+            s_points = sct.Run_result.timeline;
+            s_markers = [];
+          };
+        ]
+      in
+      Buffer.add_string panels
+        (Fmt.str "\n--- %s : decision coverage vs time ---\n"
+           entry.Registry.name);
+      Buffer.add_string panels (Ascii_plot.render ~x_max:budget series);
+      let csv =
+        csv_of_result stcg ^ csv_of_result sldv ^ csv_of_result sct
+      in
+      csvs := (entry.Registry.name, csv) :: !csvs)
+    entries;
+  (Buffer.contents panels, List.rev !csvs)
+
+(* --- Ablations --------------------------------------------------------- *)
+
+let ablations ?(budget = 3600.0) ?(seeds = [ 1; 2; 3 ]) () =
+  let variants =
+    [
+      ("STCG (full)", fun c -> c);
+      ( "no depth sort",
+        fun c -> { c with Engine.sort_branches = false } );
+      ( "state symbolic (not constant)",
+        fun c -> { c with Engine.state_aware = false } );
+      ( "no random fallback",
+        fun c -> { c with Engine.random_fallback = false } );
+      ("random-first hybrid", fun c -> { c with Engine.random_first = true });
+    ]
+  in
+  let models = [ "CPUTask"; "TCP" ] in
+  let rows =
+    List.concat_map
+      (fun mname ->
+        let entry = Option.get (Registry.find mname) in
+        let prog = entry.Registry.program () in
+        List.map
+          (fun (label, tweak) ->
+            let mean_of f =
+              List.fold_left
+                (fun acc seed ->
+                  let config =
+                    tweak { Engine.default_config with Engine.seed; budget }
+                  in
+                  let run = Engine.run ~config prog in
+                  acc +. f run)
+                0.0 seeds
+              /. float (List.length seeds)
+            in
+            let decision run =
+              Tracker.pct (Tracker.decision run.Engine.r_tracker)
+            in
+            let time_to_full (run : Engine.run) =
+              match run.Engine.r_stop with
+              | Engine.Full_coverage -> Stcg.Vclock.now run.Engine.r_clock
+              | Engine.Budget_exhausted -> budget
+            in
+            [
+              mname;
+              label;
+              Fmt.str "%.1f%%" (mean_of decision);
+              Fmt.str "%.0fs" (mean_of time_to_full);
+            ])
+          variants)
+      models
+  in
+  Fmt.str "Ablations (avg over %d seeds; time = virtual time to full coverage, budget %.0fs)\n%s"
+    (List.length seeds) budget
+    (Text_table.render
+       ~header:[ "Model"; "Variant"; "Decision"; "Time-to-done" ]
+       rows)

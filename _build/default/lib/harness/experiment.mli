@@ -1,0 +1,57 @@
+(** The experiment harness: reproduces every table and figure of the
+    paper's evaluation on the rebuilt benchmark suite.
+
+    All experiments are deterministic given their seeds; randomized
+    tools (STCG, SimCoTest) are averaged over [seeds] as the paper
+    averages over 10 repetitions. *)
+
+type tool = STCG | STCG_hybrid | SLDV | SimCoTest
+
+val tool_name : tool -> string
+
+val run_tool :
+  ?budget:float -> seed:int -> tool -> Models.Registry.entry ->
+  Stcg.Run_result.t
+
+type averaged = {
+  a_model : string;
+  a_tool : tool;
+  a_decision : float;
+  a_condition : float;
+  a_mcdc : float;
+  a_tests : float;
+  a_runs : int;
+}
+
+val average :
+  ?budget:float -> seeds:int list -> tool -> Models.Registry.entry -> averaged
+
+(** {1 Paper artifacts} *)
+
+val table1 : ?budget:float -> ?seed:int -> unit -> string
+(** The state-tree construction trace on CPUTask (paper Table I). *)
+
+val table2 : unit -> string
+(** Benchmark description: our branch/block counts next to the paper's
+    (paper Table II). *)
+
+val table3 : ?budget:float -> ?seeds:int list -> unit -> averaged list * string
+(** Coverage comparison of the three tools over all models with average
+    improvements (paper Table III).  Returns the raw rows and the
+    rendered table. *)
+
+val fig3 : unit -> string
+(** CPUTask branch structure and an example explored state tree
+    (paper Figure 3). *)
+
+val fig4 :
+  ?budget:float -> ?seed:int -> ?models:string list -> unit ->
+  string * (string * string) list
+(** Decision-coverage-versus-time panels for each model (paper
+    Figure 4).  Returns the rendered panels and, per model, a CSV dump
+    of the series ((model, csv) pairs). *)
+
+val ablations : ?budget:float -> ?seeds:int list -> unit -> string
+(** Ablation study over STCG's design choices: depth-sorted targets,
+    state-aware (constant) solving, the random-sequence fallback, and
+    the random-first hybrid from the paper's Discussion. *)

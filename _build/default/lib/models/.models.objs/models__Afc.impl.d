@@ -1,0 +1,1 @@
+lib/models/afc.ml: Lazy Slim Stateflow

@@ -1,0 +1,1 @@
+lib/models/cputask.ml: Array Lazy List Slim

@@ -1,0 +1,1 @@
+lib/models/lanswitch.ml: Array Fun Lazy List Slim

@@ -1,0 +1,1 @@
+lib/models/ledlc.ml: Array Fmt Fun Lazy List Slim

@@ -1,0 +1,1 @@
+lib/models/nicprotocol.ml: Lazy Slim Stateflow

@@ -1,0 +1,1 @@
+lib/models/registry.ml: Afc Cputask Lanswitch Ledlc List Nicprotocol Slim String Tcp Twc Utpc

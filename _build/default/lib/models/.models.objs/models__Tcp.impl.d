@@ -1,0 +1,1 @@
+lib/models/tcp.ml: Array Fun Lazy List Slim

@@ -1,0 +1,1 @@
+lib/models/twc.ml: Array Fmt Fun Lazy List Slim Stateflow

@@ -1,0 +1,1 @@
+lib/models/utpc.ml: Fmt Lazy List Slim Stateflow

@@ -1,0 +1,175 @@
+(* Engine air-fuel control system (paper Table II: AFC).
+
+   A block-diagram model in the style of the classic Simulink
+   fuel-control demo: throttle / RPM / O2 sensor inputs, a mode chart
+   (startup, normal closed-loop, power enrichment, sensor-fail
+   open-loop), a closed-loop trim integrator driven by the O2 reading,
+   and saturated fuel-command arithmetic.  State dependence comes from
+   the mode chart, the warmup counter and the O2 trim integrator. *)
+
+module V = Slim.Value
+module Ir = Slim.Ir
+module B = Slim.Builder
+module C = Stateflow.Chart
+
+(* Mode chart: Startup -(warm)-> Normal <-> Power; any -(o2 fail)->
+   Failsafe, which latches until a reset command. *)
+let mode_chart () =
+  let open Ir in
+  C.chart ~name:"afc_mode"
+    ~inputs:
+      [
+        input "warm" V.Tbool;
+        input "high_load" V.Tbool;
+        input "o2_fail" V.Tbool;
+        input "reset" V.Tbool;
+      ]
+    ~outputs:[ output "mode" (V.tint_range 0 3) ]
+    ~data:[ state "warm_ticks" (V.tint_range 0 20) (V.Int 0) ]
+    (C.region ~initial:"Startup"
+       ~transitions:
+         [
+           C.trans ~guard:(iv "o2_fail") "Startup" "Failsafe";
+           C.trans
+             ~guard:(iv "warm" &&: (sv "warm_ticks" >=: ci 3))
+             "Startup" "Normal";
+           C.trans ~guard:(iv "o2_fail") "Normal" "Failsafe";
+           C.trans ~guard:(iv "high_load") "Normal" "Power";
+           C.trans ~guard:(iv "o2_fail") "Power" "Failsafe";
+           C.trans ~guard:(not_ (iv "high_load")) "Power" "Normal";
+           C.trans ~guard:(iv "reset" &&: not_ (iv "o2_fail")) "Failsafe"
+             "Startup";
+         ]
+       [
+         C.state "Startup"
+           ~entry:
+             [ assign_state "warm_ticks" (ci 0); assign_out "mode" (ci 0) ]
+           ~during:
+             [
+               assign_state "warm_ticks"
+                 (Binop (Min, ci 20, sv "warm_ticks" +: ci 1));
+             ];
+         C.state "Normal" ~entry:[ assign_out "mode" (ci 1) ];
+         C.state "Power" ~entry:[ assign_out "mode" (ci 2) ];
+         C.state "Failsafe" ~entry:[ assign_out "mode" (ci 3) ];
+       ])
+
+let model () =
+  let b = B.create "afc" in
+  let throttle = B.inport b "throttle" (V.treal_range 0.0 100.0) in
+  let rpm = B.inport b "rpm" (V.treal_range 0.0 8000.0) in
+  let o2 = B.inport b "o2" (V.treal_range 0.0 1.0) in
+  let coolant = B.inport b "coolant" (V.treal_range (-40.0) 140.0) in
+  let reset = B.inport b "reset" V.Tbool in
+  (* derived sensor conditions *)
+  let warm = B.compare_const b Ir.Gt 70.0 coolant in
+  let high_load = B.compare_const b Ir.Gt 80.0 throttle in
+  let o2_low = B.compare_const b Ir.Lt 0.05 o2 in
+  let o2_high = B.compare_const b Ir.Gt 0.95 o2 in
+  let rpm_alive = B.compare_const b Ir.Gt 200.0 rpm in
+  (* the O2 sensor is "failed" when pegged while the engine is running *)
+  let pegged = B.or_ b [ o2_low; o2_high ] in
+  let o2_fail = B.and_ b [ pegged; rpm_alive ] in
+  let frag = Stateflow.Sf_compile.compile (mode_chart ()) in
+  let mode =
+    match B.chart b frag [ warm; high_load; o2_fail; reset ] with
+    | [ m ] -> m
+    | _ -> invalid_arg "afc: chart output arity"
+  in
+  B.outport b "mode" mode;
+  (* base fuel: airflow estimate ~ throttle * rpm, scaled and clamped *)
+  let airflow = B.prod b [ throttle; rpm ] in
+  let base_fuel = B.gain b 0.00002 airflow in
+  (* closed-loop trim: integrate the O2 error around stoichiometry *)
+  let o2_err = B.diff b o2 (B.const_r b 0.5) in
+  let trim =
+    B.integrator b ~gain:0.08 ~lower:(-0.3) ~upper:0.3 ~initial:0.0 o2_err
+  in
+  (* mode-dependent enrichment: normal uses trim; power adds 15%;
+     startup runs rich; failsafe runs a fixed open-loop table *)
+  let one = B.const_r b 1.0 in
+  let rich = B.const_r b 1.25 in
+  let power_enrich = B.const_r b 1.15 in
+  let corr_normal = B.sum b [ one; trim ] in
+  let is_power = B.compare_const b Ir.Eq 2.0 mode in
+  let is_startup = B.compare_const b Ir.Eq 0.0 mode in
+  let is_failsafe = B.compare_const b Ir.Eq 3.0 mode in
+  let corr1 =
+    B.switch b ~data1:power_enrich ~control:is_power ~data2:corr_normal ()
+  in
+  let corr2 = B.switch b ~data1:rich ~control:is_startup ~data2:corr1 () in
+  let fuel_raw = B.prod b [ base_fuel; corr2 ] in
+  let fuel_closed = B.saturation b ~lower:0.0 ~upper:12.0 fuel_raw in
+  (* failsafe open loop: fixed conservative fuel proportional to rpm *)
+  let fuel_open = B.saturation b ~lower:0.0 ~upper:6.0 (B.gain b 0.0008 rpm) in
+  let fuel =
+    B.switch b ~data1:fuel_open ~control:is_failsafe ~data2:fuel_closed ()
+  in
+  B.outport b "fuel" fuel;
+  (* misfire monitor: counts steps with high load but low rpm *)
+  let rpm_low = B.compare_const b Ir.Lt 1000.0 rpm in
+  let strain = B.and_ b [ high_load; rpm_low ] in
+  let strain_d = B.unit_delay b (V.Bool false) strain in
+  let misfire = B.and_ b [ strain; strain_d ] in
+  B.outport b "misfire" misfire;
+  (* knock control: retard timing when knocking under power in the
+     resonant rpm band; recover slowly otherwise *)
+  let knock = B.inport b "knock" (V.treal_range 0.0 10.0) in
+  let knock_high = B.compare_const b Ir.Gt 7.0 knock in
+  let band_lo = B.compare_const b Ir.Gt 3000.0 rpm in
+  let band_hi = B.compare_const b Ir.Lt 5000.0 rpm in
+  let knocking = B.and_ b [ knock_high; band_lo; band_hi; is_power ] in
+  let retard_step =
+    B.switch b ~data1:(B.const_r b 1.5) ~control:knocking
+      ~data2:(B.const_r b (-0.25)) ()
+  in
+  let retard =
+    B.integrator b ~gain:1.0 ~lower:0.0 ~upper:9.0 ~initial:0.0 retard_step
+  in
+  B.outport b "spark_retard" retard;
+  let severe_knock = B.compare_const b Ir.Gt 8.0 retard in
+  B.outport b "knock_limit" severe_knock;
+  (* mixture diagnostics on the closed-loop trim with hysteresis *)
+  let diag_chart =
+    let open Ir in
+    C.chart ~name:"afc_diag"
+      ~inputs:[ input "trim_in" (V.treal_range (-0.3) 0.3); input "cl" V.Tbool ]
+      ~outputs:[ output "diag" (V.tint_range 0 2) ]
+      (C.region ~initial:"Ok"
+         ~transitions:
+           [
+             C.trans ~guard:(iv "cl" &&: (iv "trim_in" >: cr 0.25)) "Ok" "Lean";
+             C.trans
+               ~guard:(iv "cl" &&: (iv "trim_in" <: cr (-0.25)))
+               "Ok" "Rich";
+             C.trans ~guard:(iv "trim_in" <: cr 0.1) "Lean" "Ok";
+             C.trans ~guard:(iv "trim_in" >: cr (-0.1)) "Rich" "Ok";
+           ]
+         [
+           C.state "Ok" ~entry:[ assign_out "diag" (ci 0) ];
+           C.state "Lean" ~entry:[ assign_out "diag" (ci 1) ];
+           C.state "Rich" ~entry:[ assign_out "diag" (ci 2) ];
+         ])
+  in
+  let is_normal = B.compare_const b Ir.Eq 1.0 mode in
+  let diag =
+    match
+      B.chart b (Stateflow.Sf_compile.compile diag_chart) [ trim; is_normal ]
+    with
+    | [ d ] -> d
+    | _ -> invalid_arg "afc: diag chart output arity"
+  in
+  B.outport b "diag" diag;
+  (* redundant safety check: the fuel command is saturated to 12.0 just
+     above, so the overflow cutoff can never trip - dead logic of the
+     kind the paper's Discussion reports finding in industry models *)
+  let overflow = B.compare_const b Ir.Gt 12.5 fuel_closed in
+  let cutoff =
+    B.switch b ~data1:(B.const_r b 0.0) ~control:overflow ~data2:fuel ()
+  in
+  B.outport b "fuel_final" cutoff;
+  B.finish b
+
+let cached = lazy (Slim.Compile.to_program (model ()))
+let program () = Lazy.force cached
+let description = "Engine air-fuel control system"

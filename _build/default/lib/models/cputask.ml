@@ -1,0 +1,212 @@
+(* AutoSAR CPU task dispatch system (paper Table II: CPUTask).
+
+   A task queue of [slots] entries, each holding (task id, priority,
+   deadline).  Opcode-driven interface, one operation per step:
+
+     op=1 Add     (id, prio, deadline)  - fails when the queue is full
+                                          or the id is already present
+     op=2 Delete  (id)                  - fails when no entry matches
+     op=3 Modify  (id, prio)            - fails when no entry matches
+     op=4 Check   (id, prio)            - succeeds when an entry matches
+                                          id AND priority
+     other        invalid operation
+
+   A dispatcher picks the highest-priority ready task each step and
+   tracks preemption of the running task.  All queue operations are
+   unrolled per slot, which is where the deep, state-dependent branch
+   structure comes from: Delete/Modify/Check succeed only from states
+   where a matching Add happened earlier — the paper's Figure 1. *)
+
+module V = Slim.Value
+module Ir = Slim.Ir
+open Ir
+
+let slots = 5
+let id_ty = V.tint_range 0 9999
+let prio_ty = V.tint_range 0 7
+let deadline_ty = V.tint_range 0 100
+
+let zero_vec n = V.Vec (Array.make n (V.Int 0))
+
+(* fold an if-chain over slot indices: [mk k rest] builds the statement
+   list for slot [k] with [rest] as the else-continuation *)
+let slot_chain mk finally =
+  let rec go k = if k >= slots then finally else mk k (go (k + 1)) in
+  go 0
+
+let q_id k = index (sv "q_id") (ci k)
+let q_prio k = index (sv "q_prio") (ci k)
+let q_used k = index (sv "q_used") (ci k)
+
+let set_slot k ~id ~prio ~deadline ~used =
+  [
+    Assign (Lindex (Lvar (State, "q_id"), ci k), id);
+    Assign (Lindex (Lvar (State, "q_prio"), ci k), prio);
+    Assign (Lindex (Lvar (State, "q_deadline"), ci k), deadline);
+    Assign (Lindex (Lvar (State, "q_used"), ci k), used);
+  ]
+
+(* Add: reject duplicates, then take the first free slot. *)
+let add_op =
+  let dup_check rest =
+    slot_chain
+      (fun k rest' ->
+        [
+          if_ (q_used k =: ci 1 &&: (q_id k =: iv "id"))
+            [ assign_out "status" (ci 3) (* duplicate id *) ]
+            rest';
+        ])
+      rest
+  in
+  let insert =
+    slot_chain
+      (fun k rest' ->
+        [
+          if_ (q_used k =: ci 0)
+            (set_slot k ~id:(iv "id") ~prio:(iv "prio")
+               ~deadline:(iv "deadline") ~used:(ci 1)
+            @ [
+                assign_state "count" (sv "count" +: ci 1);
+                assign_out "status" (ci 1) (* added *);
+              ])
+            rest';
+        ])
+      [ assign_out "status" (ci 2) (* full *) ]
+  in
+  dup_check insert
+
+(* Delete: clear the first slot whose id matches. *)
+let delete_op =
+  slot_chain
+    (fun k rest ->
+      [
+        if_ (q_used k =: ci 1 &&: (q_id k =: iv "id"))
+          (set_slot k ~id:(ci 0) ~prio:(ci 0) ~deadline:(ci 0) ~used:(ci 0)
+          @ [
+              assign_state "count" (Binop (Max, ci 0, sv "count" -: ci 1));
+              if_ (sv "running" =: iv "id")
+                [ assign_state "running" (ci 0) ]
+                [];
+              assign_out "status" (ci 1) (* deleted *);
+            ])
+          rest;
+      ])
+    [ assign_out "status" (ci 4) (* not found *) ]
+
+(* Modify: update the priority of a matching entry; bump a revision
+   counter so modified states are distinguishable. *)
+let modify_op =
+  slot_chain
+    (fun k rest ->
+      [
+        if_ (q_used k =: ci 1 &&: (q_id k =: iv "id"))
+          [
+            Assign (Lindex (Lvar (State, "q_prio"), ci k), iv "prio");
+            assign_state "revision"
+              (Binop (Mod, sv "revision" +: ci 1, ci 64));
+            assign_out "status" (ci 1) (* modified *);
+          ]
+          rest;
+      ])
+    [ assign_out "status" (ci 4) (* not found *) ]
+
+(* Check: succeed only when id and priority both match. *)
+let check_op =
+  slot_chain
+    (fun k rest ->
+      [
+        if_ (q_used k =: ci 1 &&: (q_id k =: iv "id"))
+          [
+            if_ (q_prio k =: iv "prio")
+              [ assign_out "status" (ci 1) (* check ok *) ]
+              [ assign_out "status" (ci 5) (* wrong priority *) ];
+          ]
+          rest;
+      ])
+    [ assign_out "status" (ci 4) (* not found *) ]
+
+(* Dispatcher: select the highest-priority used slot; preempt the
+   running task when a strictly higher priority task exists. *)
+let dispatch =
+  (* seed the scan from slot 0 (no decision: a slot-0 "higher priority"
+     test against the empty seed could never be false) *)
+  [
+    assign "best_prio" (ite (q_used 0 =: ci 1) (q_prio 0) (ci (-1)));
+    assign "best_id" (ite (q_used 0 =: ci 1) (q_id 0) (ci 0));
+  ]
+  @ List.concat_map
+      (fun k ->
+        [
+          if_ (q_used k =: ci 1 &&: (q_prio k >: lv "best_prio"))
+            [ assign "best_prio" (q_prio k); assign "best_id" (q_id k) ]
+            [];
+        ])
+      (List.init (slots - 1) (fun k -> k + 1))
+  @ [
+      if_ (lv "best_id" <>: ci 0)
+        [
+          if_ (sv "running" =: ci 0)
+            [ assign_state "running" (lv "best_id") ]
+            [
+              if_ (lv "best_id" <>: sv "running")
+                [
+                  (* preemption: count and switch *)
+                  assign_state "preemptions"
+                    (Binop (Min, ci 100, sv "preemptions" +: ci 1));
+                  assign_state "running" (lv "best_id");
+                ]
+                [];
+            ];
+        ]
+        [];
+      assign_out "running_task" (sv "running");
+      assign_out "queue_count" (sv "count");
+    ]
+
+let program_uncached () =
+  renumber_decisions
+    {
+      name = "cputask";
+      inputs =
+        [
+          input "op" (V.tint_range 0 5);
+          input "id" (V.tint_range 1 9999);
+          input "prio" prio_ty;
+          input "deadline" deadline_ty;
+        ];
+      outputs =
+        [
+          output "status" (V.tint_range 0 5);
+          output "running_task" id_ty;
+          output "queue_count" (V.tint_range 0 slots);
+        ];
+      states =
+        [
+          state "q_id" (V.Tvec (id_ty, slots)) (zero_vec slots);
+          state "q_prio" (V.Tvec (prio_ty, slots)) (zero_vec slots);
+          state "q_deadline" (V.Tvec (deadline_ty, slots)) (zero_vec slots);
+          state "q_used" (V.Tvec (V.tint_range 0 1, slots)) (zero_vec slots);
+          state "count" (V.tint_range 0 slots) (V.Int 0);
+          state "running" id_ty (V.Int 0);
+          state "preemptions" (V.tint_range 0 100) (V.Int 0);
+          state "revision" (V.tint_range 0 63) (V.Int 0);
+        ];
+      locals =
+        [
+          local "best_prio" (V.tint_range (-1) 7);
+          local "best_id" id_ty;
+        ];
+      body =
+        [
+          assign_out "status" (ci 0);
+          switch (iv "op")
+            [ (1, add_op); (2, delete_op); (3, modify_op); (4, check_op) ]
+            [ assign_out "status" (ci 0) (* invalid op *) ];
+        ]
+        @ dispatch;
+    }
+
+let cached = lazy (program_uncached ())
+let program () = Lazy.force cached
+
+let description = "AutoSAR CPU task dispatch system"

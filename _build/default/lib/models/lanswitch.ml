@@ -1,0 +1,244 @@
+(* LAN switch controller (paper Table II: LANSwitch).
+
+   A 4-port learning switch with an 8-entry MAC table and per-port VLAN
+   membership.  Per step one frame arrives: (src, dst, in_port, vlan,
+   valid).  The switch
+
+   - validates the frame (valid flag, port up, VLAN membership),
+   - learns the source address (update an existing entry, else claim a
+     free slot, else evict the oldest),
+   - forwards by destination lookup (same-VLAN entries only), flooding
+     on a miss, dropping when the entry points back to the ingress port,
+   - ages entries and maintains counters.
+
+   Forwarding and deletion succeed only in states where a matching
+   learn happened earlier — the LAN-switch version of the paper's
+   "add data first and then modify data" pattern. *)
+
+module V = Slim.Value
+module Ir = Slim.Ir
+open Ir
+
+let table_size = 6
+let ports = 4
+let mac_ty = V.tint_range 0 65535  (* 0 = no address *)
+let port_ty = V.tint_range 0 (ports - 1)
+let vlan_ty = V.tint_range 0 3
+let age_ty = V.tint_range 0 15
+
+let zero_vec n = V.Vec (Array.make n (V.Int 0))
+
+let t_mac k = index (sv "t_mac") (ci k)
+let t_port k = index (sv "t_port") (ci k)
+let t_vlan k = index (sv "t_vlan") (ci k)
+let t_age k = index (sv "t_age") (ci k)
+
+let set_entry k ~mac ~port ~vlan ~age =
+  [
+    Assign (Lindex (Lvar (State, "t_mac"), ci k), mac);
+    Assign (Lindex (Lvar (State, "t_port"), ci k), port);
+    Assign (Lindex (Lvar (State, "t_vlan"), ci k), vlan);
+    Assign (Lindex (Lvar (State, "t_age"), ci k), age);
+  ]
+
+let chain mk finally =
+  let rec go k = if k >= table_size then finally else mk k (go (k + 1)) in
+  go 0
+
+(* Port -> VLAN membership (a fixed provisioning table): port p is a
+   member of vlan v when the bit is set below. *)
+let port_in_vlan p v =
+  match p, v with
+  | 0, (0 | 1) -> true
+  | 1, (0 | 2) -> true
+  | 2, (1 | 2 | 3) -> true
+  | 3, 0 -> true
+  | _ -> false
+
+let vlan_check_ok =
+  (* membership of (in_port, vlan) as an unrolled decision ladder *)
+  let term p v = iv "in_port" =: ci p &&: (iv "vlan" =: ci v) in
+  let allowed =
+    List.concat_map
+      (fun p ->
+        List.filter_map
+          (fun v -> if port_in_vlan p v then Some (term p v) else None)
+          [ 0; 1; 2; 3 ])
+      [ 0; 1; 2; 3 ]
+  in
+  disj allowed
+
+(* Learning: refresh an existing entry for src, else take a free slot,
+   else evict the entry with the smallest age. *)
+let learn_src =
+  let refresh =
+    chain
+      (fun k rest ->
+        [
+          if_ (t_mac k =: iv "src")
+            [
+              Assign (Lindex (Lvar (State, "t_port"), ci k), iv "in_port");
+              Assign (Lindex (Lvar (State, "t_vlan"), ci k), iv "vlan");
+              Assign (Lindex (Lvar (State, "t_age"), ci k), ci 15);
+              assign "learned" (cb true);
+            ]
+            rest;
+        ])
+      []
+  in
+  let insert =
+    chain
+      (fun k rest ->
+        [
+          if_ (t_mac k =: ci 0)
+            (set_entry k ~mac:(iv "src") ~port:(iv "in_port")
+               ~vlan:(iv "vlan") ~age:(ci 15)
+            @ [ assign "learned" (cb true) ])
+            rest;
+        ])
+      (* table full: evict slot with minimum age (computed scan) *)
+      ([
+         assign "victim" (ci 0);
+         assign "victim_age" (t_age 0);
+       ]
+      @ List.concat_map
+          (fun k ->
+            [
+              if_ (t_age k <: lv "victim_age")
+                [ assign "victim" (ci k); assign "victim_age" (t_age k) ]
+                [];
+            ])
+          (List.init (table_size - 1) (fun k -> k + 1))
+      @ [
+          Assign (Lindex (Lvar (State, "t_mac"), lv "victim"), iv "src");
+          Assign (Lindex (Lvar (State, "t_port"), lv "victim"), iv "in_port");
+          Assign (Lindex (Lvar (State, "t_vlan"), lv "victim"), iv "vlan");
+          Assign (Lindex (Lvar (State, "t_age"), lv "victim"), ci 15);
+          assign_state "evictions" (Binop (Min, ci 50, sv "evictions" +: ci 1));
+        ])
+  in
+  [
+    assign "learned" (cb false);
+    if_ (iv "src" <>: ci 0)
+      (refresh @ [ if_ (not_ (lv "learned")) insert [] ])
+      [];
+  ]
+
+(* Forwarding: look the destination up among same-VLAN entries. *)
+let forward =
+  let lookup =
+    chain
+      (fun k rest ->
+        [
+          if_ (t_mac k =: iv "dst" &&: (t_vlan k =: iv "vlan"))
+            [ assign "out_port" (t_port k); assign "hit" (cb true) ]
+            rest;
+        ])
+      []
+  in
+  [ assign "hit" (cb false); assign "out_port" (ci 0) ]
+  @ lookup
+  @ [
+      if_ (lv "hit")
+        [
+          if_ (lv "out_port" =: iv "in_port")
+            [
+              (* destination is on the ingress port: filter *)
+              assign_out "action" (ci 2);
+              assign_state "filtered"
+                (Binop (Min, ci 50, sv "filtered" +: ci 1));
+            ]
+            [ assign_out "action" (ci 1); assign_out "egress" (lv "out_port") ];
+        ]
+        [
+          (* unknown destination: flood the VLAN *)
+          assign_out "action" (ci 3);
+          assign_state "floods" (Binop (Min, ci 50, sv "floods" +: ci 1));
+        ];
+    ]
+
+(* Aging: tick entry ages down; expire at zero. *)
+let aging =
+  List.concat_map
+    (fun k ->
+      [
+        if_ (t_mac k <>: ci 0)
+          [
+            if_ (t_age k >: ci 0)
+              [ Assign (Lindex (Lvar (State, "t_age"), ci k), t_age k -: ci 1) ]
+              (set_entry k ~mac:(ci 0) ~port:(ci 0) ~vlan:(ci 0) ~age:(ci 0)
+              @ [
+                  assign_state "expired"
+                    (Binop (Min, ci 50, sv "expired" +: ci 1));
+                ]);
+          ]
+          [];
+      ])
+    (List.init table_size Fun.id)
+
+let program_uncached () =
+  renumber_decisions
+    {
+      name = "lanswitch";
+      inputs =
+        [
+          input "valid" V.Tbool;
+          input "src" mac_ty;
+          input "dst" mac_ty;
+          input "in_port" port_ty;
+          input "vlan" vlan_ty;
+        ];
+      outputs =
+        [
+          output "action" (V.tint_range 0 3);
+          (* 0 none/drop, 1 forward, 2 filter, 3 flood *)
+          output "egress" port_ty;
+          output "table_load" (V.tint_range 0 table_size);
+        ];
+      states =
+        [
+          state "t_mac" (V.Tvec (mac_ty, table_size)) (zero_vec table_size);
+          state "t_port" (V.Tvec (port_ty, table_size)) (zero_vec table_size);
+          state "t_vlan" (V.Tvec (vlan_ty, table_size)) (zero_vec table_size);
+          state "t_age" (V.Tvec (age_ty, table_size)) (zero_vec table_size);
+          state "floods" (V.tint_range 0 50) (V.Int 0);
+          state "filtered" (V.tint_range 0 50) (V.Int 0);
+          state "expired" (V.tint_range 0 50) (V.Int 0);
+          state "evictions" (V.tint_range 0 50) (V.Int 0);
+          state "drops" (V.tint_range 0 50) (V.Int 0);
+        ];
+      locals =
+        [
+          local "learned" V.Tbool;
+          local "hit" V.Tbool;
+          local "out_port" port_ty;
+          local "victim" (V.tint_range 0 (table_size - 1));
+          local "victim_age" age_ty;
+          local "load" (V.tint_range 0 table_size);
+        ];
+      body =
+        [
+          assign_out "action" (ci 0);
+          if_ (iv "valid")
+            [
+              if_ vlan_check_ok
+                (learn_src @ forward)
+                [
+                  (* VLAN violation *)
+                  assign_state "drops" (Binop (Min, ci 50, sv "drops" +: ci 1));
+                ];
+            ]
+            [];
+        ]
+        @ aging
+        @ [ assign "load" (ci 0) ]
+        @ List.map
+            (fun k ->
+              assign "load" (lv "load" +: ite (t_mac k <>: ci 0) (ci 1) (ci 0)))
+            (List.init table_size Fun.id)
+        @ [ assign_out "table_load" (lv "load") ];
+    }
+
+let cached = lazy (program_uncached ())
+let program () = Lazy.force cached
+let description = "LAN switch controller"

@@ -1,0 +1,165 @@
+(* LED matrix load control (paper Table II: LEDLC).
+
+   Four LED banks, each in one of four brightness states (off / low /
+   mid / high).  Commands step one bank up or down or set a level;
+   bank currents derive from the brightness state through a Switch-Case
+   ladder that — exactly as the paper reports for the real model —
+   carries an extra default port that can never fire, because the state
+   domain has only the four encoded values.  An overcurrent monitor
+   sheds load from the brightest bank; sustained high drive trips a
+   per-bank thermal derate. *)
+
+module V = Slim.Value
+module Ir = Slim.Ir
+open Ir
+
+let banks = 4
+let state_ty = V.tint_range 0 3
+let zero_vec n = V.Vec (Array.make n (V.Int 0))
+
+let led k = index (sv "led") (ci k)
+let heat k = index (sv "heat") (ci k)
+let set_led k e = Assign (Lindex (Lvar (State, "led"), ci k), e)
+let set_heat k e = Assign (Lindex (Lvar (State, "heat"), ci k), e)
+
+(* Current draw per brightness state; the default arm is unreachable
+   (led state is always 0..3) — deliberate dead logic (paper, Sec. IV:
+   "the Switch-Case block ... has an additional default port"). *)
+let bank_current k local =
+  switch (led k)
+    [
+      (0, [ assign local (ci 0) ]);
+      (1, [ assign local (ci 2) ]);
+      (2, [ assign local (ci 5) ]);
+      (3, [ assign local (ci 9) ]);
+    ]
+    [ assign local (ci 12) ]
+
+(* Commands travel on a shared bus protected by a checksum: a command
+   is applied only when the [check] field equals bank*29 + cmd*5 +
+   level + 11 — a random bus almost never guesses it, while a
+   constraint solver reads it straight off the equality. *)
+let checksum_ok =
+  iv "check" =: (iv "bank" *: ci 29) +: (iv "cmd" *: ci 5) +: iv "level" +: ci 11
+
+(* Apply the command to the selected bank. *)
+let apply_command k =
+  [
+    if_ (iv "bank" =: ci k &&: iv "enable" &&: checksum_ok)
+      [
+        switch (iv "cmd")
+          [
+            (1, [ set_led k (Binop (Min, ci 3, led k +: ci 1)) ]);
+            (2, [ set_led k (Binop (Max, ci 0, led k -: ci 1)) ]);
+            (3, [ set_led k (iv "level") ]);
+            (4, [ set_led k (ci 0) ]);
+          ]
+          [ (* nop *) ];
+      ]
+      [];
+  ]
+
+(* Thermal bookkeeping per bank: high drive heats, otherwise cool. *)
+let thermal k =
+  [
+    if_ (led k =: ci 3)
+      [ set_heat k (Binop (Min, ci 10, heat k +: ci 2)) ]
+      [ set_heat k (Binop (Max, ci 0, heat k -: ci 1)) ];
+    if_ (heat k >=: ci 9)
+      [
+        (* thermal derate: force the bank down one level *)
+        set_led k (Binop (Max, ci 0, led k -: ci 1));
+        assign_state "derates" (Binop (Min, ci 50, sv "derates" +: ci 1));
+      ]
+      [];
+  ]
+
+(* Shed load when the total current exceeds the supply budget: find the
+   brightest bank and step it down. *)
+let shed =
+  [ assign "bright" (ci 0); assign "bright_level" (led 0) ]
+  @ List.concat_map
+      (fun k ->
+        [
+          if_ (led k >: lv "bright_level")
+            [ assign "bright" (ci k); assign "bright_level" (led k) ]
+            [];
+        ])
+      (List.init (banks - 1) (fun k -> k + 1))
+  @ [
+      switch (lv "bright")
+        (List.init banks (fun k ->
+             (k, [ set_led k (Binop (Max, ci 0, led k -: ci 1)) ])))
+        [];
+      assign_state "sheds" (Binop (Min, ci 50, sv "sheds" +: ci 1));
+    ]
+
+let program_uncached () =
+  let currents =
+    List.concat_map
+      (fun k -> [ bank_current k (Fmt.str "cur%d" k) ])
+      (List.init banks Fun.id)
+  in
+  let total =
+    List.fold_left
+      (fun acc k -> acc +: lv (Fmt.str "cur%d" k))
+      (lv "cur0")
+      (List.init (banks - 1) (fun k -> k + 1))
+  in
+  renumber_decisions
+    {
+      name = "ledlc";
+      inputs =
+        [
+          input "enable" V.Tbool;
+          input "bank" (V.tint_range 0 (banks - 1));
+          input "cmd" (V.tint_range 0 5);
+          input "level" state_ty;
+          input "budget" (V.tint_range 10 120);
+          input "check" (V.tint_range 0 255);
+        ];
+      outputs =
+        [
+          output "total_current" (V.tint_range 0 50);
+          output "overload" V.Tbool;
+          output "brightest" (V.tint_range 0 (banks - 1));
+        ];
+      states =
+        [
+          state "led" (V.Tvec (state_ty, banks)) (zero_vec banks);
+          state "heat" (V.Tvec (V.tint_range 0 10, banks)) (zero_vec banks);
+          state "sheds" (V.tint_range 0 50) (V.Int 0);
+          state "derates" (V.tint_range 0 50) (V.Int 0);
+        ];
+      locals =
+        List.init banks (fun k -> local (Fmt.str "cur%d" k) (V.tint_range 0 12))
+        @ [
+            local "bright" (V.tint_range 0 (banks - 1));
+            local "bright_level" state_ty;
+            local "total" (V.tint_range 0 50);
+          ];
+      body =
+        List.concat_map apply_command (List.init banks Fun.id)
+        @ List.concat_map thermal (List.init banks Fun.id)
+        @ currents
+        @ [ assign "total" total; assign_out "total_current" (lv "total") ]
+        @ [
+            if_ (lv "total" >: iv "budget")
+              (assign_out "overload" (cb true) :: shed)
+              [ assign_out "overload" (cb false) ];
+          ]
+        @ [ assign "bright" (ci 0); assign "bright_level" (led 0) ]
+        @ List.concat_map
+            (fun k ->
+              [
+                if_ (led k >: lv "bright_level")
+                  [ assign "bright" (ci k); assign "bright_level" (led k) ]
+                  [];
+              ])
+            (List.init (banks - 1) (fun k -> k + 1))
+        @ [ assign_out "brightest" (lv "bright") ];
+    }
+
+let cached = lazy (program_uncached ())
+let program () = Lazy.force cached
+let description = "LED matrix load control"

@@ -1,0 +1,201 @@
+(* Vehicle NIC communication protocol (paper Table II: NICProtocol).
+
+   Link-layer session machine: Down -> Negotiate -> Auth -> Up, with an
+   Error state and retry counting.  The deep, state-dependent logic:
+
+   - the session token granted during authentication is stored in chart
+     data, and every subsequent data frame must carry the same token;
+   - data frames must arrive with the expected sequence number, which
+     increments (mod 16) on every accepted frame.
+
+   A whole-trace solver must reason about the token/sequence registers
+   across many steps; state-aware solving reads them off the snapshot. *)
+
+module V = Slim.Value
+module Ir = Slim.Ir
+module C = Stateflow.Chart
+open Ir
+
+(* frame types *)
+let f_none = 0
+let f_beacon = 1
+let f_auth_req = 2
+let f_auth_ack = 3
+let f_data = 4
+let f_disconnect = 5
+
+let chart () =
+  C.chart ~name:"nicprotocol"
+    ~inputs:
+      [
+        input "frame" (V.tint_range 0 6);
+        input "crc_ok" V.Tbool;
+        input "seq" (V.tint_range 0 63);
+        input "token" (V.tint_range 0 4095);
+      ]
+    ~outputs:
+      [
+        output "link" (V.tint_range 0 4);
+        output "tx" (V.tint_range 0 5);
+        output "accepted" (V.tint_range 0 100);
+        output "dropped" (V.tint_range 0 100);
+      ]
+    ~data:
+      [
+        state "expected_seq" (V.tint_range 0 63) (V.Int 0);
+        state "session" (V.tint_range 0 4095) (V.Int 0);
+        state "retries" (V.tint_range 0 3) (V.Int 0);
+        state "beacons" (V.tint_range 0 7) (V.Int 0);
+        state "idle" (V.tint_range 0 7) (V.Int 0);
+        state "burst" (V.tint_range 0 7) (V.Int 0);
+      ]
+    (C.region ~initial:"Down"
+       ~transitions:
+         [
+           (* link comes up after two clean beacons *)
+           C.trans
+             ~guard:
+               (iv "frame" =: ci f_beacon &&: iv "crc_ok"
+               &&: (sv "beacons" >=: ci 1))
+             "Down" "Negotiate"
+             ~action:[ assign_out "tx" (ci f_beacon) ];
+           C.trans
+             ~guard:(iv "frame" =: ci f_auth_req &&: iv "crc_ok")
+             "Negotiate" "Auth"
+             ~action:
+               [
+                 (* grant the session token carried by the request *)
+                 assign_state "session" (iv "token");
+                 assign_out "tx" (ci f_auth_ack);
+               ];
+           C.trans
+             ~guard:(not_ (iv "crc_ok") &&: (iv "frame" <>: ci f_none))
+             "Negotiate" "Down";
+           (* the ack must echo the granted token *)
+           C.trans
+             ~guard:
+               (iv "frame" =: ci f_auth_ack &&: iv "crc_ok"
+               &&: (iv "token" =: sv "session"))
+             "Auth" "Up"
+             ~action:[ assign_state "expected_seq" (ci 0) ];
+           C.trans
+             ~guard:
+               (iv "frame" =: ci f_auth_ack &&: (iv "token" <>: sv "session"))
+             "Auth" "Error"
+             ~action:
+               [
+                 assign_state "retries"
+                   (Binop (Min, ci 3, sv "retries" +: ci 1));
+               ];
+           C.trans ~guard:(iv "frame" =: ci f_disconnect) "Up" "Down"
+             ~action:[ assign_out "tx" (ci f_disconnect) ];
+           (* keepalive: the link drops after 5 consecutive idle steps *)
+           C.trans ~guard:(sv "idle" >=: ci 5) "Up" "Down";
+           C.trans
+             ~guard:(sv "retries" >=: ci 3)
+             "Error" "Down"
+             ~action:[ assign_state "retries" (ci 0) ];
+           (* defensive overflow check: retries is clamped at 3, so this
+              guard is perpetually false - dead logic as discussed in
+              the paper's evaluation of NICProtocol/TWC *)
+           C.trans ~guard:(sv "retries" >: ci 3) "Error" "Error";
+           C.trans
+             ~guard:(iv "frame" =: ci f_beacon &&: iv "crc_ok")
+             "Error" "Negotiate";
+         ]
+       [
+         C.state "Down"
+           ~entry:
+             [
+               assign_out "link" (ci 0);
+               assign_state "beacons" (ci 0);
+               assign_state "session" (ci 0);
+             ]
+           ~during:
+             [
+               if_ (iv "frame" =: ci f_beacon &&: iv "crc_ok")
+                 [
+                   assign_state "beacons"
+                     (Binop (Min, ci 7, sv "beacons" +: ci 1));
+                 ]
+                 [];
+             ];
+         C.state "Negotiate" ~entry:[ assign_out "link" (ci 1) ];
+         C.state "Auth" ~entry:[ assign_out "link" (ci 2) ];
+         C.state "Up"
+           ~entry:
+             [
+               assign_out "link" (ci 3);
+               assign_state "idle" (ci 0);
+               assign_state "burst" (ci 0);
+             ]
+           ~during:
+             [
+               (* keepalive and burst-rate bookkeeping *)
+               if_ (iv "frame" =: ci f_none)
+                 [
+                   assign_state "idle" (Binop (Min, ci 7, sv "idle" +: ci 1));
+                   assign_state "burst" (ci 0);
+                 ]
+                 [
+                   assign_state "idle" (ci 0);
+                   assign_state "burst" (Binop (Min, ci 7, sv "burst" +: ci 1));
+                 ];
+               if_ (iv "frame" =: ci f_data)
+                 [
+                   if_ (not_ (iv "crc_ok"))
+                     [
+                       assign_out "dropped"
+                         (Binop
+                            (Min, ci 100, Var (Output, "dropped") +: ci 1));
+                     ]
+                     [
+                       if_ (iv "token" =: sv "session")
+                         [
+                           if_ (iv "seq" =: sv "expected_seq")
+                             [
+                               if_ (sv "burst" >=: ci 6)
+                                 [
+                                   (* rate limited: hold the window *)
+                                   assign_out "tx" (ci 6);
+                                 ]
+                                 [
+                                   assign_state "expected_seq"
+                                     (Binop
+                                        ( Mod,
+                                          sv "expected_seq" +: ci 1,
+                                          ci 64 ));
+                                   assign_out "accepted"
+                                     (Binop
+                                        ( Min,
+                                          ci 100,
+                                          Var (Output, "accepted") +: ci 1 ));
+                                   assign_out "tx" (ci f_data);
+                                 ];
+                             ]
+                             [
+                               (* out-of-order: request retransmission *)
+                               assign_out "tx" (ci 6);
+                               assign_out "dropped"
+                                 (Binop
+                                    ( Min,
+                                      ci 100,
+                                      Var (Output, "dropped") +: ci 1 ));
+                             ];
+                         ]
+                         [
+                           (* token mismatch: hijack attempt, drop *)
+                           assign_out "dropped"
+                             (Binop
+                                (Min, ci 100, Var (Output, "dropped") +: ci 1));
+                         ];
+                     ];
+                 ]
+                 [];
+             ];
+         C.state "Error" ~entry:[ assign_out "link" (ci 4) ];
+       ])
+
+let cached = lazy (Stateflow.Sf_compile.to_program (chart ()))
+let program () = Lazy.force cached
+let description = "Vehicle NIC communication protocol"

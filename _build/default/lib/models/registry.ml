@@ -1,0 +1,131 @@
+(* The benchmark-model registry: one entry per Table II row, with the
+   paper's reported metrics attached for side-by-side reporting. *)
+
+(* Paper Table III row: (decision, condition, mcdc) percentages. *)
+type paper_row = { p_sldv : float * float * float;
+                   p_simcotest : float * float * float;
+                   p_stcg : float * float * float }
+
+type entry = {
+  name : string;
+  description : string;
+  program : unit -> Slim.Ir.program;
+  paper_branches : int;  (** Table II "#Branch" *)
+  paper_blocks : int;  (** Table II "#Block" *)
+  paper : paper_row;  (** Table III *)
+}
+
+let entries =
+  [
+    {
+      name = "CPUTask";
+      description = Cputask.description;
+      program = Cputask.program;
+      paper_branches = 107;
+      paper_blocks = 275;
+      paper =
+        {
+          p_sldv = (89., 72., 42.);
+          p_simcotest = (72., 56., 21.);
+          p_stcg = (100., 100., 100.);
+        };
+    };
+    {
+      name = "AFC";
+      description = Afc.description;
+      program = Afc.program;
+      paper_branches = 35;
+      paper_blocks = 125;
+      paper =
+        {
+          p_sldv = (67., 64., 11.);
+          p_simcotest = (72., 68., 11.);
+          p_stcg = (83., 79., 22.);
+        };
+    };
+    {
+      name = "TWC";
+      description = Twc.description;
+      program = Twc.program;
+      paper_branches = 80;
+      paper_blocks = 214;
+      paper =
+        {
+          p_sldv = (46., 68., 40.);
+          p_simcotest = (15., 57., 20.);
+          p_stcg = (92., 97., 100.);
+        };
+    };
+    {
+      name = "NICProtocol";
+      description = Nicprotocol.description;
+      program = Nicprotocol.program;
+      paper_branches = 46;
+      paper_blocks = 294;
+      paper =
+        {
+          p_sldv = (75., 83., 10.);
+          p_simcotest = (30., 43., 20.);
+          p_stcg = (95., 98., 100.);
+        };
+    };
+    {
+      name = "UTPC";
+      description = Utpc.description;
+      program = Utpc.program;
+      paper_branches = 92;
+      paper_blocks = 214;
+      paper =
+        {
+          p_sldv = (44., 59., 44.);
+          p_simcotest = (40., 58., 44.);
+          p_stcg = (100., 100., 100.);
+        };
+    };
+    {
+      name = "LANSwitch";
+      description = Lanswitch.description;
+      program = Lanswitch.program;
+      paper_branches = 131;
+      paper_blocks = 570;
+      paper =
+        {
+          p_sldv = (72., 76., 15.);
+          p_simcotest = (78., 81., 15.);
+          p_stcg = (100., 98., 55.);
+        };
+    };
+    {
+      name = "LEDLC";
+      description = Ledlc.description;
+      program = Ledlc.program;
+      paper_branches = 94;
+      paper_blocks = 270;
+      paper =
+        {
+          p_sldv = (55., 41., 43.);
+          p_simcotest = (55., 41., 43.);
+          p_stcg = (98., 100., 100.);
+        };
+    };
+    {
+      name = "TCP";
+      description = Tcp.description;
+      program = Tcp.program;
+      paper_branches = 146;
+      paper_blocks = 330;
+      paper =
+        {
+          p_sldv = (63., 64., 33.);
+          p_simcotest = (82., 74., 17.);
+          p_stcg = (99., 100., 67.);
+        };
+    };
+  ]
+
+let find name =
+  List.find_opt
+    (fun e -> String.lowercase_ascii e.name = String.lowercase_ascii name)
+    entries
+
+let names = List.map (fun e -> e.name) entries

@@ -1,0 +1,221 @@
+(* TCP three-way handshake protocol (paper Table II: TCP).
+
+   A server endpoint with four connection slots.  Each incoming segment
+   addresses one slot (port field); per slot a connection state machine
+   runs CLOSED -> LISTEN -> SYN_RCVD -> ESTABLISHED -> (FIN_WAIT |
+   CLOSE_WAIT) -> TIME_WAIT -> CLOSED.
+
+   The deep state dependence the paper highlights for this model: the
+   handshake-completing ACK must carry ack-number = ISN+1 where the ISN
+   was derived from the client's SYN in an *earlier* step and stored in
+   slot state, and sequence numbers must track per-slot expected values
+   (mod 32).  Whole-trace solvers must thread those registers through
+   every step; STCG reads them off the snapshot ("it is easy to solve
+   the relevant branches of the second or the third handshake based on
+   the existing handshake states"). *)
+
+module V = Slim.Value
+module Ir = Slim.Ir
+open Ir
+
+let slots = 4
+let seq_mod = 64
+let seq_ty = V.tint_range 0 (seq_mod - 1)
+
+(* connection states *)
+let s_closed = 0
+let s_listen = 1
+let s_syn_rcvd = 2
+let s_established = 3
+let s_fin_wait = 4
+let s_close_wait = 5
+let s_time_wait = 6
+
+let zero_vec n = V.Vec (Array.make n (V.Int 0))
+
+let cstate k = index (sv "cstate") (ci k)
+let isn k = index (sv "isn") (ci k)
+let peer_seq k = index (sv "peer_seq") (ci k)
+let timer k = index (sv "timer") (ci k)
+
+let set_cstate k e = Assign (Lindex (Lvar (State, "cstate"), ci k), e)
+let set_isn k e = Assign (Lindex (Lvar (State, "isn"), ci k), e)
+let set_peer_seq k e = Assign (Lindex (Lvar (State, "peer_seq"), ci k), e)
+let set_timer k e = Assign (Lindex (Lvar (State, "timer"), ci k), e)
+
+let bump_out name =
+  assign_out name (Binop (Min, ci 100, Var (Output, name) +: ci 1))
+
+let next_seq e = Binop (Mod, e +: ci 1, ci seq_mod)
+
+(* Segment handling for slot [k], guarded by [port = k] upstream. *)
+let slot_segment k =
+  [
+    switch (cstate k)
+      [
+        ( s_closed,
+          [
+            if_ (iv "listen_cmd")
+              [ set_cstate k (ci s_listen) ]
+              [ bump_out "rst_tx" (* segment to a closed port *) ];
+          ] );
+        ( s_listen,
+          [
+            if_ (iv "syn" &&: not_ (iv "ack"))
+              [
+                (* record the client ISN; derive and stash our own *)
+                set_peer_seq k (iv "seq");
+                set_isn k (Binop (Mod, (iv "seq" *: ci 7) +: ci 3, ci seq_mod));
+                set_timer k (ci 8);
+                set_cstate k (ci s_syn_rcvd);
+                bump_out "synack_tx";
+              ]
+              [ if_ (iv "rst") [] [ bump_out "rst_tx" ] ];
+          ] );
+        ( s_syn_rcvd,
+          [
+            if_ (iv "rst")
+              [ set_cstate k (ci s_listen) ]
+              [
+                if_
+                  (iv "ack" &&: not_ (iv "syn")
+                  &&: (iv "ackno" =: next_seq (isn k))
+                  &&: (iv "seq" =: next_seq (peer_seq k)))
+                  [
+                    (* third handshake: numbers must echo slot state *)
+                    set_peer_seq k (iv "seq");
+                    set_cstate k (ci s_established);
+                    bump_out "established";
+                  ]
+                  [
+                    if_ (iv "ack")
+                      [ bump_out "bad_ack" ]
+                      [];
+                  ];
+              ];
+          ] );
+        ( s_established,
+          [
+            if_ (iv "rst")
+              [ set_cstate k (ci s_closed); bump_out "resets" ]
+              [
+                if_ (iv "fin")
+                  [
+                    set_cstate k (ci s_close_wait);
+                    set_peer_seq k (next_seq (peer_seq k));
+                    bump_out "fin_rx";
+                  ]
+                  [
+                    if_ (iv "close_cmd")
+                      [ set_cstate k (ci s_fin_wait); bump_out "fin_tx" ]
+                      [
+                        (* in-order data advances the window *)
+                        if_ (iv "seq" =: next_seq (peer_seq k))
+                          [
+                            set_peer_seq k (iv "seq");
+                            bump_out "data_ok";
+                          ]
+                          [ bump_out "data_dup" ];
+                      ];
+                  ];
+              ];
+          ] );
+        ( s_fin_wait,
+          [
+            if_ (iv "ack" &&: (iv "ackno" =: next_seq (next_seq (isn k))))
+              [ set_cstate k (ci s_time_wait); set_timer k (ci 4) ]
+              [ if_ (iv "rst") [ set_cstate k (ci s_closed) ] [] ];
+          ] );
+        ( s_close_wait,
+          [
+            if_ (iv "close_cmd")
+              [ set_cstate k (ci s_time_wait); set_timer k (ci 4); bump_out "fin_tx" ]
+              [];
+          ] );
+      ]
+      (* TIME_WAIT: wait out the timer (handled in the tick pass) *)
+      [ if_ (iv "rst") [ set_cstate k (ci s_closed) ] [] ];
+  ]
+
+(* Per-step timer tick for every slot. *)
+let slot_tick k =
+  [
+    if_ (timer k >: ci 0)
+      [
+        set_timer k (timer k -: ci 1);
+        if_ (timer k =: ci 1)
+          [
+            (* expiry: half-open handshakes fall back, TIME_WAIT closes *)
+            if_ (cstate k =: ci s_syn_rcvd)
+              [ set_cstate k (ci s_listen); bump_out "timeouts" ]
+              [
+                if_ (cstate k =: ci s_time_wait)
+                  [ set_cstate k (ci s_closed) ]
+                  [];
+              ];
+          ]
+          [];
+      ]
+      [];
+  ]
+
+let count_established =
+  [ assign "active" (ci 0) ]
+  @ List.map
+      (fun k ->
+        assign "active"
+          (lv "active" +: ite (cstate k =: ci s_established) (ci 1) (ci 0)))
+      (List.init slots Fun.id)
+  @ [ assign_out "active_conns" (lv "active") ]
+
+let program_uncached () =
+  renumber_decisions
+    {
+      name = "tcp";
+      inputs =
+        [
+          input "port" (V.tint_range 0 (slots - 1));
+          input "syn" V.Tbool;
+          input "ack" V.Tbool;
+          input "fin" V.Tbool;
+          input "rst" V.Tbool;
+          input "seq" seq_ty;
+          input "ackno" seq_ty;
+          input "listen_cmd" V.Tbool;
+          input "close_cmd" V.Tbool;
+        ];
+      outputs =
+        [
+          output "synack_tx" (V.tint_range 0 100);
+          output "established" (V.tint_range 0 100);
+          output "bad_ack" (V.tint_range 0 100);
+          output "rst_tx" (V.tint_range 0 100);
+          output "resets" (V.tint_range 0 100);
+          output "fin_rx" (V.tint_range 0 100);
+          output "fin_tx" (V.tint_range 0 100);
+          output "data_ok" (V.tint_range 0 100);
+          output "data_dup" (V.tint_range 0 100);
+          output "timeouts" (V.tint_range 0 100);
+          output "active_conns" (V.tint_range 0 slots);
+        ];
+      states =
+        [
+          state "cstate" (V.Tvec (V.tint_range 0 6, slots)) (zero_vec slots);
+          state "isn" (V.Tvec (seq_ty, slots)) (zero_vec slots);
+          state "peer_seq" (V.Tvec (seq_ty, slots)) (zero_vec slots);
+          state "timer" (V.Tvec (V.tint_range 0 8, slots)) (zero_vec slots);
+        ];
+      locals = [ local "active" (V.tint_range 0 slots) ];
+      body =
+        [
+          switch (iv "port")
+            (List.init (slots - 1) (fun k -> (k, slot_segment k)))
+            (slot_segment (slots - 1));
+        ]
+        @ List.concat_map slot_tick (List.init slots Fun.id)
+        @ count_established;
+    }
+
+let cached = lazy (program_uncached ())
+let program () = Lazy.force cached
+let description = "TCP three-way handshake protocol"

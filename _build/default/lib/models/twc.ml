@@ -1,0 +1,185 @@
+(* Train wheel speed controller (paper Table II: TWC).
+
+   A hierarchical mode chart: Idle, Active (with Accel / Cruise / Coast
+   / Brake sub-modes), wheel-slip control and an emergency brake mode.
+   Speed is an internal state advanced by mode-specific during actions;
+   leaving Emergency requires the train to have actually stopped, so the
+   exit is reachable only through a multi-step braking trajectory —
+   exactly the state-dependent coverage the paper targets.
+
+   Per-axle slip warnings are unrolled conditional actions over a
+   4-entry state vector. *)
+
+module V = Slim.Value
+module Ir = Slim.Ir
+module C = Stateflow.Chart
+open Ir
+
+let axles = 4
+
+let speed_ty = V.tint_range 0 400  (* 0.1 m/s units *)
+
+let axle_delta k = iv (Fmt.str "w%d" k)
+
+(* worst slip over all axles *)
+let max_slip =
+  let rec go k acc = if k >= axles then acc else go (k + 1) (Binop (Max, acc, axle_delta k)) in
+  go 1 (axle_delta 0)
+
+(* per-axle warning latches, set when an axle slips hard *)
+let axle_checks =
+  List.concat_map
+    (fun k ->
+      [
+        if_ (axle_delta k >: ci 20)
+          [ Assign (Lindex (Lvar (State, "axle_warn"), ci k), ci 1) ]
+          [];
+      ])
+    (List.init axles Fun.id)
+
+let accel_rate = ite (iv "rail_wet") (ci 3) (ci 6)
+
+let clamp_speed e = Binop (Min, ci 400, Binop (Max, ci 0, e))
+
+let chart () =
+  C.chart ~name:"twc"
+    ~inputs:
+      ([
+         input "cmd" (V.tint_range 0 3);
+         (* 0 idle, 1 run, 2 brake, 3 emergency stop *)
+         input "target" (V.tint_range 0 300);
+         input "rail_wet" V.Tbool;
+       ]
+      @ List.init axles (fun k -> input (Fmt.str "w%d" k) (V.tint_range 0 50)))
+    ~outputs:
+      [
+        output "mode" (V.tint_range 0 6);
+        output "motor" (V.tint_range 0 100);
+        output "brake" (V.tint_range 0 100);
+      ]
+    ~data:
+      [
+        state "speed" speed_ty (V.Int 0);
+        state "slip_count" (V.tint_range 0 5) (V.Int 0);
+        state "axle_warn" (V.Tvec (V.tint_range 0 1, axles))
+          (V.Vec (Array.make axles (V.Int 0)));
+      ]
+    (C.region ~initial:"Idle"
+       ~transitions:
+         [
+           C.trans ~guard:(iv "cmd" =: ci 1 &&: (iv "target" >: ci 0)) "Idle"
+             "Active";
+           C.trans ~guard:(iv "cmd" =: ci 3 ||: (sv "speed" >: ci 350))
+             "Active" "Emergency";
+           C.trans
+             ~guard:(max_slip >: ci 15 &&: (sv "speed" >: ci 20))
+             "Active" "Slip"
+             ~action:
+               [
+                 assign_state "slip_count"
+                   (Binop (Min, ci 5, sv "slip_count" +: ci 1));
+               ];
+           C.trans
+             ~guard:(iv "cmd" =: ci 0 &&: (sv "speed" =: ci 0))
+             "Active" "Idle";
+           C.trans ~guard:(sv "slip_count" >=: ci 3) "Slip" "Emergency";
+           C.trans
+             ~guard:(max_slip <: ci 5 &&: (sv "slip_count" <: ci 3))
+             "Slip" "Active";
+           C.trans ~guard:(iv "cmd" =: ci 3) "Slip" "Emergency";
+           (* leaving Emergency needs a full stop AND an explicit reset *)
+           C.trans
+             ~guard:(sv "speed" =: ci 0 &&: (iv "cmd" =: ci 0))
+             "Emergency" "Idle"
+             ~action:[ assign_state "slip_count" (ci 0) ];
+         ]
+       [
+         C.state "Idle"
+           ~entry:
+             [
+               assign_out "mode" (ci 0);
+               assign_out "motor" (ci 0);
+               assign_out "brake" (ci 0);
+             ];
+         C.state "Active"
+           ~during:axle_checks
+           ~children:
+             (C.region ~initial:"Accel"
+                ~transitions:
+                  [
+                    C.trans
+                      ~guard:(sv "speed" >=: (iv "target" -: ci 5))
+                      "Accel" "Cruise";
+                    C.trans
+                      ~guard:(sv "speed" <: (iv "target" -: ci 15))
+                      "Cruise" "Accel";
+                    C.trans
+                      ~guard:(sv "speed" >: (iv "target" +: ci 10))
+                      "Cruise" "Coast";
+                    C.trans
+                      ~guard:(sv "speed" <=: (iv "target" +: ci 2))
+                      "Coast" "Cruise";
+                    C.trans ~guard:(iv "cmd" =: ci 2) "Accel" "Braking";
+                    C.trans ~guard:(iv "cmd" =: ci 2) "Cruise" "Braking";
+                    C.trans ~guard:(iv "cmd" =: ci 2) "Coast" "Braking";
+                    C.trans ~guard:(iv "cmd" =: ci 1) "Braking" "Accel";
+                  ]
+                [
+                  C.state "Accel"
+                    ~entry:[ assign_out "mode" (ci 1) ]
+                    ~during:
+                      [
+                        assign_state "speed"
+                          (clamp_speed (sv "speed" +: accel_rate));
+                        assign_out "motor"
+                          (Binop (Min, ci 100, sv "speed" /: ci 4 +: ci 40));
+                        assign_out "brake" (ci 0);
+                      ];
+                  C.state "Cruise"
+                    ~entry:[ assign_out "mode" (ci 2) ]
+                    ~during:
+                      [
+                        if_ (sv "speed" <: iv "target")
+                          [ assign_state "speed" (clamp_speed (sv "speed" +: ci 1)) ]
+                          [ assign_state "speed" (clamp_speed (sv "speed" -: ci 1)) ];
+                        assign_out "motor" (ci 30);
+                        assign_out "brake" (ci 0);
+                      ];
+                  C.state "Coast"
+                    ~entry:[ assign_out "mode" (ci 3); assign_out "motor" (ci 0) ]
+                    ~during:
+                      [ assign_state "speed" (clamp_speed (sv "speed" -: ci 2)) ];
+                  C.state "Braking"
+                    ~entry:
+                      [ assign_out "mode" (ci 4); assign_out "motor" (ci 0) ]
+                    ~during:
+                      [
+                        assign_state "speed" (clamp_speed (sv "speed" -: ci 12));
+                        assign_out "brake"
+                          (ite (iv "rail_wet") (ci 60) (ci 80));
+                      ];
+                ]);
+         C.state "Slip"
+           ~entry:
+             [
+               assign_out "mode" (ci 5);
+               assign_out "motor" (ci 0);
+               assign_out "brake" (ci 20);
+             ]
+           ~during:
+             ([ assign_state "speed" (clamp_speed (sv "speed" -: ci 8)) ]
+             @ axle_checks);
+         C.state "Emergency"
+           ~entry:
+             [
+               assign_out "mode" (ci 6);
+               assign_out "motor" (ci 0);
+               assign_out "brake" (ci 100);
+             ]
+           ~during:
+             [ assign_state "speed" (clamp_speed (sv "speed" -: ci 20)) ];
+       ])
+
+let cached = lazy (Stateflow.Sf_compile.to_program (chart ()))
+let program () = Lazy.force cached
+let description = "Train wheel speed controller"

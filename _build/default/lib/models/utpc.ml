@@ -1,0 +1,240 @@
+(* Underwater thruster power control (paper Table II: UTPC).
+
+   Four thrusters share a battery.  A power-mode chart (Off / Standby /
+   Run / Derate / Fault) gates everything; per-thruster replicated
+   subsystems (each with private duty-cycle and cutout state held in
+   subsystem-scoped data stores) slew their duty toward the command,
+   detect stall and latch overcurrent cutouts.  Battery voltage and
+   controller temperature are integrator states whose thresholds drive
+   Derate / Fault — states only reachable through sustained load, i.e.
+   multi-step trajectories. *)
+
+module V = Slim.Value
+module Ir = Slim.Ir
+module B = Slim.Builder
+module C = Stateflow.Chart
+
+let thrusters = 4
+
+let mode_chart () =
+  let open Ir in
+  C.chart ~name:"utpc_mode"
+    ~inputs:
+      [
+        input "power_on" V.Tbool;
+        input "arm" V.Tbool;
+        input "arm_code" (V.tint_range 0 4095);
+        input "vbat_low" V.Tbool;
+        input "vbat_crit" V.Tbool;
+        input "hot" V.Tbool;
+        input "overheat" V.Tbool;
+        input "clear" V.Tbool;
+      ]
+    ~outputs:[ output "mode" (V.tint_range 0 4) ]
+    ~data:
+      [
+        state "run_ticks" (V.tint_range 0 50) (V.Int 0);
+        state "pending_code" (V.tint_range 0 4095) (V.Int 0);
+        state "armed_code" (V.tint_range 0 4095) (V.Int 0);
+      ]
+    (C.region ~initial:"Off"
+       ~transitions:
+         [
+           C.trans ~guard:(iv "power_on") "Off" "Standby";
+           C.trans ~guard:(not_ (iv "power_on")) "Standby" "Off";
+           (* safety interlock: arming needs an incrementing rolling
+              code on two consecutive steps (stored, then code+1) -
+              constant or random buses practically never satisfy it *)
+           C.trans
+             ~guard:
+               (iv "arm" &&: not_ (iv "vbat_low")
+               &&: (iv "arm_code" =: sv "pending_code" +: ci 1)
+               &&: (sv "pending_code" >: ci 0)
+               &&: (sv "pending_code" <: ci 4000))
+             "Standby" "Run"
+             ~action:[ assign_state "armed_code" (iv "arm_code") ];
+           C.trans ~guard:(iv "overheat" ||: iv "vbat_crit") "Run" "Fault";
+           C.trans ~guard:(iv "hot" ||: iv "vbat_low") "Run" "Derate";
+           C.trans ~guard:(iv "overheat" ||: iv "vbat_crit") "Derate" "Fault";
+           C.trans
+             ~guard:(not_ (iv "hot") &&: not_ (iv "vbat_low"))
+             "Derate" "Run";
+           C.trans ~guard:(not_ (iv "arm")) "Run" "Standby";
+           (* faults latch; recovery needs power off AND an explicit clear *)
+           C.trans
+             ~guard:
+               (iv "clear" &&: not_ (iv "power_on")
+               &&: (iv "arm_code" =: sv "armed_code"))
+             "Fault" "Off";
+         ]
+       [
+         C.state "Off" ~entry:[ assign_out "mode" (ci 0) ];
+         C.state "Standby"
+           ~entry:[ assign_out "mode" (ci 1); assign_state "run_ticks" (ci 0) ]
+           ~during:[ assign_state "pending_code" (iv "arm_code") ];
+         C.state "Run"
+           ~entry:[ assign_out "mode" (ci 2) ]
+           ~during:
+             [
+               assign_state "run_ticks"
+                 (Binop (Min, ci 50, sv "run_ticks" +: ci 1));
+             ];
+         C.state "Derate" ~entry:[ assign_out "mode" (ci 3) ];
+         C.state "Fault" ~entry:[ assign_out "mode" (ci 4) ];
+       ])
+
+(* One thruster channel.  Private state: [duty] (slew-limited duty
+   cycle) and [cut] (overcurrent cutout latch) in data stores scoped to
+   this subsystem instance; a unit delay implements two-step stall
+   confirmation. *)
+let thruster_sub () =
+  let b = B.create "thruster" in
+  B.data_store b "duty" (V.treal_range 0.0 100.0) (V.Real 0.0);
+  B.data_store b "cut" (V.tint_range 0 1) (V.Int 0);
+  let cmd = B.inport b "cmd" (V.treal_range 0.0 100.0) in
+  let rpm_fb = B.inport b "rpm_fb" (V.treal_range 0.0 3000.0) in
+  let run = B.inport b "run" V.Tbool in
+  let derated = B.inport b "derated" V.Tbool in
+  let reset = B.inport b "reset" V.Tbool in
+  let duty = B.ds_read b "duty" in
+  let cut = B.ds_read b "cut" in
+  (* derate halves the command; a disarmed controller commands zero *)
+  let cmd_half = B.gain b 0.5 cmd in
+  let cmd_lim = B.switch b ~data1:cmd_half ~control:derated ~data2:cmd () in
+  let cmd_eff =
+    B.switch b ~data1:cmd_lim ~control:run ~data2:(B.const_r b 0.0) ()
+  in
+  (* slew limit: at most 15 duty points per step toward the command *)
+  let err = B.diff b cmd_eff duty in
+  let step = B.saturation b ~lower:(-15.0) ~upper:15.0 err in
+  let next = B.saturation b ~lower:0.0 ~upper:100.0 (B.sum b [ duty; step ]) in
+  (* electrical model: current rises with duty, spikes when stalled *)
+  let stall_now =
+    B.and_ b
+      [
+        B.compare_const b Ir.Gt 60.0 cmd_eff;
+        B.compare_const b Ir.Lt 200.0 rpm_fb;
+      ]
+  in
+  let stall_prev = B.unit_delay b (V.Bool false) stall_now in
+  let stalled = B.and_ b [ stall_now; stall_prev ] in
+  let spike =
+    B.switch b ~data1:(B.const_r b 12.0) ~control:stalled
+      ~data2:(B.const_r b 0.0) ()
+  in
+  let current = B.sum b [ B.gain b 0.35 next; spike ] in
+  (* overcurrent latches the cutout; a reset (disarm) clears it *)
+  let over = B.compare_const b Ir.Gt 32.0 current in
+  let cut_raw =
+    B.switch b ~data1:(B.const_i b 1) ~control:over ~data2:cut ()
+  in
+  let cut_next =
+    B.switch b ~data1:(B.const_i b 0) ~control:reset ~data2:cut_raw ()
+  in
+  B.ds_write b "cut" cut_next;
+  let is_cut = B.compare_const b Ir.Eq 1.0 cut in
+  let duty_out =
+    B.switch b ~data1:(B.const_r b 0.0) ~control:is_cut ~data2:next ()
+  in
+  B.ds_write b "duty" duty_out;
+  B.outport b "duty" duty_out;
+  B.outport b "current" current;
+  B.outport b "stalled" stalled;
+  B.outport b "cutout" is_cut;
+  B.finish b
+
+let model () =
+  let b = B.create "utpc" in
+  let power_on = B.inport b "power_on" V.Tbool in
+  let arm = B.inport b "arm" V.Tbool in
+  let arm_code = B.inport b "arm_code" (V.tint_range 0 4095) in
+  let clear = B.inport b "clear" V.Tbool in
+  let cmds =
+    List.init thrusters (fun k ->
+        B.inport b (Fmt.str "cmd%d" k) (V.treal_range 0.0 100.0))
+  in
+  let rpms =
+    List.init thrusters (fun k ->
+        B.inport b (Fmt.str "rpm%d" k) (V.treal_range 0.0 3000.0))
+  in
+  (* battery: discharges with total load, trickle-charges when idle *)
+  let vbat_fb = B.ds_read b "vbat_fb" in
+  let temp_fb = B.ds_read b "temp_fb" in
+  B.data_store b "vbat_fb" (V.treal_range 9.0 13.0) (V.Real 12.6);
+  B.data_store b "temp_fb" (V.treal_range 0.0 120.0) (V.Real 20.0);
+  let vbat_low = B.compare_const b Ir.Lt 10.5 vbat_fb in
+  let vbat_crit = B.compare_const b Ir.Lt 9.6 vbat_fb in
+  let hot = B.compare_const b Ir.Gt 70.0 temp_fb in
+  let overheat = B.compare_const b Ir.Gt 95.0 temp_fb in
+  let frag = Stateflow.Sf_compile.compile (mode_chart ()) in
+  let mode =
+    match
+      B.chart b frag
+        [ power_on; arm; arm_code; vbat_low; vbat_crit; hot; overheat; clear ]
+    with
+    | [ m ] -> m
+    | _ -> invalid_arg "utpc: chart output arity"
+  in
+  B.outport b "mode" mode;
+  (* thruster subsystems run whenever powered (standby included) so
+     that cutout latches can be reset while disarmed *)
+  let running =
+    B.or_ b
+      [ B.compare_const b Ir.Eq 2.0 mode; B.compare_const b Ir.Eq 3.0 mode ]
+  in
+  let enabled = B.or_ b [ running; B.compare_const b Ir.Eq 1.0 mode ] in
+  let derated = B.compare_const b Ir.Eq 3.0 mode in
+  let disarmed = B.not_ b running in
+  (* four replicated thruster subsystems; disabled => outputs reset,
+     inner state frozen *)
+  let outs =
+    List.map2
+      (fun cmd rpm ->
+        match
+          B.enabled b ~held:false (thruster_sub ()) ~enable:enabled
+            [ cmd; rpm; running; derated; disarmed ]
+        with
+        | [ duty; current; stalled; cutout ] -> (duty, current, stalled, cutout)
+        | _ -> invalid_arg "utpc: thruster output arity")
+      cmds rpms
+  in
+  let duties = List.map (fun (d, _, _, _) -> d) outs in
+  let currents = List.map (fun (_, c, _, _) -> c) outs in
+  let total_load = B.sum b currents in
+  B.outport b "total_load" total_load;
+  List.iteri
+    (fun k (d, _, s, c) ->
+      B.outport b (Fmt.str "duty%d" k) d;
+      B.outport b (Fmt.str "stall%d" k) s;
+      B.outport b (Fmt.str "cut%d" k) c)
+    outs;
+  ignore duties;
+  (* battery dynamics: discharge with load, trickle-charge when idle *)
+  let charge =
+    B.switch b ~data1:(B.const_r b 0.0) ~control:running
+      ~data2:(B.const_r b 0.08) ()
+  in
+  let vbat_delta = B.sum_signed b
+      [ (Slim.Model.Plus, charge); (Slim.Model.Minus, B.gain b 0.015 total_load) ]
+  in
+  let vbat_next =
+    B.saturation b ~lower:9.0 ~upper:13.0 (B.sum b [ vbat_fb; vbat_delta ])
+  in
+  B.ds_write b "vbat_fb" vbat_next;
+  B.outport b "vbat" vbat_next;
+  (* thermal dynamics: heats with load, cools toward ambient *)
+  let cooling = B.gain b 0.05 (B.diff b temp_fb (B.const_r b 20.0)) in
+  let temp_delta =
+    B.sum_signed b
+      [ (Slim.Model.Plus, B.gain b 0.25 total_load); (Slim.Model.Minus, cooling) ]
+  in
+  let temp_next =
+    B.saturation b ~lower:0.0 ~upper:120.0 (B.sum b [ temp_fb; temp_delta ])
+  in
+  B.ds_write b "temp_fb" temp_next;
+  B.outport b "temp" temp_next;
+  B.finish b
+
+let cached = lazy (Slim.Compile.to_program (model ()))
+let program () = Lazy.force cached
+let description = "Underwater thruster power control"

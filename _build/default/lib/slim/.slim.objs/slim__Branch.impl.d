@@ -1,0 +1,1 @@
+lib/slim/branch.ml: Fmt Int Ir List Map Set

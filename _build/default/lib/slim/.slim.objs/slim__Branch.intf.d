@@ -1,0 +1,1 @@
+lib/slim/branch.mli: Fmt Ir Map Set

@@ -1,0 +1,1 @@
+lib/slim/builder.ml: Array Fmt Ir List Model Value

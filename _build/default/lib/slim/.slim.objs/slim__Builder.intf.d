@@ -1,0 +1,1 @@
+lib/slim/builder.mli: Ir Model Value

@@ -1,0 +1,1 @@
+lib/slim/compile.ml: Array Float Fmt Format Hashtbl Int Ir List Model Set String Value

@@ -1,0 +1,1 @@
+lib/slim/compile.mli: Ir Model

@@ -1,0 +1,1 @@
+lib/slim/interp.mli: Branch Fmt Ir Map Random Value

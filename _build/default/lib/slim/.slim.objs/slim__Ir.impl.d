@@ -1,0 +1,1 @@
+lib/slim/ir.ml: Array Fmt Format Hashtbl Int List Value

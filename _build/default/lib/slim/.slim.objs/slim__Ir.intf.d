@@ -1,0 +1,1 @@
+lib/slim/ir.mli: Fmt Value

@@ -1,0 +1,1 @@
+lib/slim/model.ml: Array Float Fmt Format Hashtbl Int Ir List String Value

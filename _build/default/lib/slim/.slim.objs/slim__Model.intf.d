@@ -1,0 +1,1 @@
+lib/slim/model.mli: Fmt Ir Value

@@ -1,0 +1,1 @@
+lib/slim/value.ml: Array Float Fmt Format Int List Random Stdlib String

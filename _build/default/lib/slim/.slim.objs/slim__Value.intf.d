@@ -1,0 +1,1 @@
+lib/slim/value.mli: Fmt Format Random

@@ -1,0 +1,131 @@
+type wire = { w_block : int; w_port : int }
+
+type t = {
+  name : string;
+  mutable blocks : Model.block list;  (* reverse order *)
+  mutable next : int;
+  mutable stores : (string * Value.ty * Value.t) list;
+}
+
+let create name = { name; blocks = []; next = 0; stores = [] }
+
+let add b kind (ins : wire list) =
+  let id = b.next in
+  b.next <- id + 1;
+  let srcs =
+    Array.of_list
+      (List.map (fun w -> Some { Model.s_block = w.w_block; s_port = w.w_port }) ins)
+  in
+  let block =
+    {
+      Model.id;
+      bname = Fmt.str "%s%d" (Model.kind_name kind) id;
+      kind;
+      srcs;
+    }
+  in
+  b.blocks <- block :: b.blocks;
+  id
+
+let add1 b kind ins = { w_block = add b kind ins; w_port = 0 }
+
+let addn b kind ins n =
+  let id = add b kind ins in
+  List.init n (fun p -> { w_block = id; w_port = p })
+
+let finish_unvalidated b =
+  {
+    Model.m_name = b.name;
+    blocks = Array.of_list (List.rev b.blocks);
+    stores = List.rev b.stores;
+  }
+
+let finish b =
+  let m = finish_unvalidated b in
+  Model.validate m;
+  m
+
+let data_store b name ty init = b.stores <- (name, ty, init) :: b.stores
+
+let inport b name ty = add1 b (Model.Inport (name, ty)) []
+let outport b name w = ignore (add b (Model.Outport name) [ w ])
+let const b v = add1 b (Model.Constant v) []
+let const_i b i = const b (Value.Int i)
+let const_r b r = const b (Value.Real r)
+let const_b b v = const b (Value.Bool v)
+
+let gain b g w = add1 b (Model.Gain g) [ w ]
+
+let sum b ws = add1 b (Model.Sum (List.map (fun _ -> Model.Plus) ws)) ws
+let diff b a c = add1 b (Model.Sum [ Model.Plus; Model.Minus ]) [ a; c ]
+
+let sum_signed b signed =
+  add1 b (Model.Sum (List.map fst signed)) (List.map snd signed)
+
+let prod b ws = add1 b (Model.Product (List.map (fun _ -> Model.Mul) ws)) ws
+let divide b a c = add1 b (Model.Product [ Model.Mul; Model.Div ]) [ a; c ]
+let min_ b ws = add1 b (Model.Min_max (`Min, List.length ws)) ws
+let max_ b ws = add1 b (Model.Min_max (`Max, List.length ws)) ws
+let abs_ b w = add1 b Model.Abs [ w ]
+
+let saturation b ~lower ~upper w =
+  add1 b (Model.Saturation { lower; upper }) [ w ]
+
+let integrator b ?(gain = 1.0) ?(lower = neg_infinity) ?(upper = infinity)
+    ~initial w =
+  let lower = if lower = neg_infinity then -1e9 else lower in
+  let upper = if upper = infinity then 1e9 else upper in
+  add1 b (Model.Discrete_integrator { initial; gain; lower; upper }) [ w ]
+
+let counter b ?(initial = 0) ~modulo () =
+  add1 b (Model.Counter { initial; modulo }) []
+
+let not_ b w = add1 b Model.Not [ w ]
+let and_ b ws = add1 b (Model.Logical (Model.L_and, List.length ws)) ws
+let or_ b ws = add1 b (Model.Logical (Model.L_or, List.length ws)) ws
+let xor_ b ws = add1 b (Model.Logical (Model.L_xor, List.length ws)) ws
+let relational b op a c = add1 b (Model.Relational op) [ a; c ]
+
+let compare_const b op c w = add1 b (Model.Compare_to_const (op, c)) [ w ]
+
+let switch b ?(cmp = Ir.Gt) ?(threshold = 0.0) ~data1 ~control ~data2 () =
+  add1 b (Model.Switch { cmp; threshold }) [ data1; control; data2 ]
+
+let multiport b ~selector cases ~default =
+  let labels = List.map fst cases in
+  add1 b
+    (Model.Multiport_switch { labels })
+    ((selector :: List.map snd cases) @ [ default ])
+
+let selector b ~vec ~index = add1 b Model.Selector [ vec; index ]
+
+let unit_delay b init w = add1 b (Model.Unit_delay init) [ w ]
+
+let delay b ~initial ~length w = add1 b (Model.Delay { initial; length }) [ w ]
+
+let ds_read b name = add1 b (Model.Data_store_read name) []
+let ds_write b name w = ignore (add b (Model.Data_store_write name) [ w ])
+
+let ds_write_element b name ~index ~value =
+  ignore (add b (Model.Data_store_write_element name) [ index; value ])
+
+let chart b frag ins =
+  addn b (Model.Chart frag) ins (List.length frag.Ir.f_outputs)
+
+let enabled b ?(held = false) sub ~enable ins =
+  let n_out = List.length (snd (Model.io_signature sub)) in
+  addn b (Model.Enabled { sub; held }) (enable :: ins) n_out
+
+let if_else b ~then_sys ~else_sys ~cond ins =
+  let n_out = List.length (snd (Model.io_signature then_sys)) in
+  addn b (Model.If_else { then_sys; else_sys }) (cond :: ins) n_out
+
+let case_switch b ~cases ?default ~selector ins =
+  let sub =
+    match cases, default with
+    | (_, s) :: _, _ -> s
+    | [], Some s -> s
+    | [], None -> raise (Model.Invalid_model "case_switch: no subsystems")
+  in
+  let n_out = List.length (snd (Model.io_signature sub)) in
+  addn b (Model.Case_switch { cases; default }) (selector :: ins) n_out

@@ -1,0 +1,96 @@
+(** Ergonomic construction of SLIM block diagrams.
+
+    A builder accumulates blocks and wires; every combinator returns the
+    wire(s) carrying the new block's output(s).  [finish] produces a
+    validated {!Model.t}.
+
+    {[
+      let open Slim in
+      let b = Builder.create "thermostat" in
+      let temp = Builder.inport b "temp" (Value.treal_range (-40.) 120.) in
+      let too_cold = Builder.compare_const b Ir.Lt 18.0 temp in
+      Builder.outport b "heat_on" too_cold;
+      let model = Builder.finish b
+    ]} *)
+
+type t
+
+type wire
+(** An output port of some block in the diagram under construction. *)
+
+val create : string -> t
+val finish : t -> Model.t
+(** Validates; raises {!Model.Invalid_model} on malformed diagrams. *)
+
+val finish_unvalidated : t -> Model.t
+(** For tests that exercise {!Model.validate} failures. *)
+
+(** {1 Data stores (model-scoped global variables)} *)
+
+val data_store : t -> string -> Value.ty -> Value.t -> unit
+
+(** {1 Sources and sinks} *)
+
+val inport : t -> string -> Value.ty -> wire
+val outport : t -> string -> wire -> unit
+val const : t -> Value.t -> wire
+val const_i : t -> int -> wire
+val const_r : t -> float -> wire
+val const_b : t -> bool -> wire
+
+(** {1 Math} *)
+
+val gain : t -> float -> wire -> wire
+val sum : t -> wire list -> wire
+val diff : t -> wire -> wire -> wire  (** first minus second *)
+
+val sum_signed : t -> (Model.sign * wire) list -> wire
+val prod : t -> wire list -> wire
+val divide : t -> wire -> wire -> wire
+val min_ : t -> wire list -> wire
+val max_ : t -> wire list -> wire
+val abs_ : t -> wire -> wire
+val saturation : t -> lower:float -> upper:float -> wire -> wire
+val integrator :
+  t -> ?gain:float -> ?lower:float -> ?upper:float -> initial:float -> wire -> wire
+val counter : t -> ?initial:int -> modulo:int -> unit -> wire
+
+(** {1 Logic} *)
+
+val not_ : t -> wire -> wire
+val and_ : t -> wire list -> wire
+val or_ : t -> wire list -> wire
+val xor_ : t -> wire list -> wire
+val relational : t -> Ir.cmpop -> wire -> wire -> wire
+val compare_const : t -> Ir.cmpop -> float -> wire -> wire
+
+(** {1 Routing (decisions)} *)
+
+val switch :
+  t -> ?cmp:Ir.cmpop -> ?threshold:float -> data1:wire -> control:wire ->
+  data2:wire -> unit -> wire
+(** Passes [data1] when [control cmp threshold] (default: [> 0]). *)
+
+val multiport : t -> selector:wire -> (int * wire) list -> default:wire -> wire
+val selector : t -> vec:wire -> index:wire -> wire
+
+(** {1 Memory} *)
+
+val unit_delay : t -> Value.t -> wire -> wire
+val delay : t -> initial:Value.t -> length:int -> wire -> wire
+val ds_read : t -> string -> wire
+val ds_write : t -> string -> wire -> unit
+val ds_write_element : t -> string -> index:wire -> value:wire -> unit
+
+(** {1 Charts and subsystems} *)
+
+val chart : t -> Ir.fragment -> wire list -> wire list
+(** Wires must follow the fragment's formal input order; the returned
+    wires follow its output order. *)
+
+val enabled : t -> ?held:bool -> Model.t -> enable:wire -> wire list -> wire list
+val if_else :
+  t -> then_sys:Model.t -> else_sys:Model.t -> cond:wire -> wire list -> wire list
+val case_switch :
+  t -> cases:(int * Model.t) list -> ?default:Model.t -> selector:wire ->
+  wire list -> wire list

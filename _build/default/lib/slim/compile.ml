@@ -1,0 +1,534 @@
+(* Diagram -> IR compiler.
+
+   Per (sub)model:
+   1. topologically order blocks on combinational dependencies (delay-like
+      blocks have none: their output is a function of state only);
+   2. emit, per block, assignments of its output-port locals;
+   3. collect state-update statements and emit them after the body, still
+      inside the conditional context of the enclosing subsystem. *)
+
+type ctx = {
+  mutable c_states : (Ir.var * Value.t) list;
+  mutable c_locals : Ir.var list;
+  mutable fresh : int;
+  c_defs : (string, Ir.expr) Hashtbl.t;
+      (* unconditional combinational definitions across the whole
+         diagram, for inlining logic cones into decision guards *)
+}
+
+let add_state ctx v init = ctx.c_states <- (v, init) :: ctx.c_states
+let add_local ctx v = ctx.c_locals <- v :: ctx.c_locals
+
+(* Name of the local holding block [id]'s output port [port]. *)
+let port_local path id port = Fmt.str "%sb%d.%d" path id port
+
+let invalid fmt =
+  Format.kasprintf (fun s -> raise (Model.Invalid_model s)) fmt
+
+let is_int_ty = function Value.Tint _ -> true | _ -> false
+
+(* Constant matching the numeric flavour of [ty]. *)
+let num_const ty (x : float) =
+  if is_int_ty ty && Float.is_integer x then Ir.ci (int_of_float x)
+  else Ir.cr x
+
+let as_real e = Ir.Unop (Ir.To_real, e)
+
+let topo_order (m : Model.t) =
+  let n = Array.length m.blocks in
+  let deps b =
+    match (b : Model.block).kind with
+    | Model.Unit_delay _ | Model.Delay _ | Model.Discrete_integrator _ ->
+      []
+    | _ ->
+      Array.to_list b.srcs
+      |> List.filter_map (function
+        | Some { Model.s_block; _ } -> Some s_block
+        | None -> None)
+  in
+  let indegree = Array.make n 0 in
+  let rdeps = Array.make n [] in
+  Array.iter
+    (fun b ->
+      let ds = List.sort_uniq Int.compare (deps b) in
+      indegree.(b.Model.id) <- List.length ds;
+      List.iter (fun d -> rdeps.(d) <- b.Model.id :: rdeps.(d)) ds)
+    m.blocks;
+  let module H = Set.Make (Int) in
+  let ready = ref H.empty in
+  Array.iteri (fun i d -> if d = 0 then ready := H.add i !ready) indegree;
+  let order = ref [] in
+  let count = ref 0 in
+  while not (H.is_empty !ready) do
+    let i = H.min_elt !ready in
+    ready := H.remove i !ready;
+    order := i :: !order;
+    incr count;
+    List.iter
+      (fun j ->
+        indegree.(j) <- indegree.(j) - 1;
+        if indegree.(j) = 0 then ready := H.add j !ready)
+      rdeps.(i)
+  done;
+  if !count <> n then invalid "%s: algebraic loop detected" m.m_name;
+  List.rev !order
+
+(* [compile_model] returns (body, updates, outport bindings).  [bind] maps
+   a (top-level or subsystem) inport name to the expression carrying its
+   actual value.  [store_env] maps visible data-store names to their IR
+   state-variable names. *)
+let rec compile_model ctx ~path ~store_env ~bind (m : Model.t) =
+  let store_env =
+    List.fold_left
+      (fun env (name, ty, init) ->
+        let svar_name = Fmt.str "%sds.%s" path name in
+        add_state ctx (Ir.var Ir.State svar_name ty) init;
+        (name, svar_name) :: env)
+      store_env m.stores
+  in
+  let types =
+    (* Types need the full store environment of enclosing models; rebuild
+       a flat store list for inference. *)
+    let flat_stores =
+      m.stores
+      @ List.filter_map
+          (fun (name, sname) ->
+            match
+              List.find_opt
+                (fun ((v : Ir.var), _) -> v.name = sname)
+                ctx.c_states
+            with
+            | Some (v, init) -> Some (name, v.ty, init)
+            | None -> None)
+          store_env
+    in
+    Model.infer_in_env flat_stores m
+  in
+  let local_of id port = Ir.lv (port_local path id port) in
+  let declare_locals (b : Model.block) =
+    Array.iteri
+      (fun p ty -> add_local ctx (Ir.local (port_local path b.id p) ty))
+      types.(b.id)
+  in
+  Array.iter declare_locals m.blocks;
+  let src_expr (b : Model.block) i =
+    match b.srcs.(i) with
+    | Some { Model.s_block; s_port } -> local_of s_block s_port
+    | None -> invalid "%s: unconnected input on %s" m.m_name b.bname
+  in
+  let src_ty (b : Model.block) i =
+    match b.srcs.(i) with
+    | Some { Model.s_block; s_port } -> types.(s_block).(s_port)
+    | None -> invalid "%s: unconnected input on %s" m.m_name b.bname
+  in
+  let out_bindings = ref [] in
+  let body = ref [] and updates = ref [] in
+  let emit s = body := s :: !body in
+  let emit_update s = updates := s :: !updates in
+  (* Simulink's coverage counts the inputs of the logic blocks feeding
+     a Switch as conditions, so guards inline the full combinational
+     cone rather than hide it behind a local. *)
+  let defs = ctx.c_defs in
+  let set0 (b : Model.block) e =
+    Hashtbl.replace defs (port_local path b.id 0) e;
+    emit (Ir.assign (port_local path b.id 0) e)
+  in
+  let inline_guard e =
+    let budget = ref 400 in
+    let rec go e =
+      if !budget <= 0 then e
+      else begin
+        decr budget;
+        match (e : Ir.expr) with
+        | Ir.Var (Ir.Local, n) -> (
+          match Hashtbl.find_opt defs n with
+          | Some def -> go def
+          | None -> e)
+        | Ir.Const _ | Ir.Var _ -> e
+        | Ir.Unop (op, a) -> Ir.Unop (op, go a)
+        | Ir.Binop (op, a, b) -> Ir.Binop (op, go a, go b)
+        | Ir.Cmp (op, a, b) -> Ir.Cmp (op, go a, go b)
+        | Ir.And (a, b) -> Ir.And (go a, go b)
+        | Ir.Or (a, b) -> Ir.Or (go a, go b)
+        | Ir.Ite (c, t, f) -> Ir.Ite (go c, go t, go f)
+        | Ir.Index (v, i) -> Ir.Index (go v, go i)
+      end
+    in
+    go e
+  in
+  let lookup_store name =
+    match List.assoc_opt name store_env with
+    | Some svar -> svar
+    | None -> invalid "%s: unknown data store %s" m.m_name name
+  in
+  let compile_block (b : Model.block) =
+    match b.kind with
+    | Model.Inport (name, _) -> set0 b (bind name)
+    | Model.Outport name ->
+      out_bindings := (name, src_expr b 0) :: !out_bindings
+    | Model.Constant v -> set0 b (Ir.Const v)
+    | Model.Gain g ->
+      let e = src_expr b 0 in
+      if is_int_ty (src_ty b 0) && Float.is_integer g then
+        set0 b Ir.(e *: ci (int_of_float g))
+      else set0 b Ir.(as_real e *: cr g)
+    | Model.Sum signs ->
+      let terms =
+        List.mapi (fun i sign -> (sign, src_expr b i)) signs
+      in
+      let e =
+        match terms with
+        | (Model.Plus, e0) :: rest ->
+          List.fold_left
+            (fun acc (sign, e) ->
+              match sign with
+              | Model.Plus -> Ir.(acc +: e)
+              | Model.Minus -> Ir.(acc -: e))
+            e0 rest
+        | (Model.Minus, e0) :: rest ->
+          List.fold_left
+            (fun acc (sign, e) ->
+              match sign with
+              | Model.Plus -> Ir.(acc +: e)
+              | Model.Minus -> Ir.(acc -: e))
+            Ir.(ci 0 -: e0)
+            rest
+        | [] -> invalid "%s: empty sum" m.m_name
+      in
+      set0 b e
+    | Model.Product factors ->
+      let terms = List.mapi (fun i f -> (f, src_expr b i)) factors in
+      let e =
+        match terms with
+        | (Model.Mul, e0) :: rest ->
+          List.fold_left
+            (fun acc (f, e) ->
+              match f with
+              | Model.Mul -> Ir.(acc *: e)
+              | Model.Div -> Ir.(acc /: e))
+            e0 rest
+        | (Model.Div, e0) :: rest ->
+          List.fold_left
+            (fun acc (f, e) ->
+              match f with
+              | Model.Mul -> Ir.(acc *: e)
+              | Model.Div -> Ir.(acc /: e))
+            Ir.(cr 1.0 /: e0)
+            rest
+        | [] -> invalid "%s: empty product" m.m_name
+      in
+      set0 b e
+    | Model.Min_max (mode, n) ->
+      let op = match mode with `Min -> Ir.Min | `Max -> Ir.Max in
+      let e = ref (src_expr b 0) in
+      for i = 1 to n - 1 do
+        e := Ir.Binop (op, !e, src_expr b i)
+      done;
+      set0 b !e
+    | Model.Abs -> set0 b (Ir.Unop (Ir.Abs_op, src_expr b 0))
+    | Model.Not -> set0 b (Ir.not_ (src_expr b 0))
+    | Model.Saturation { lower; upper } ->
+      let ty = src_ty b 0 in
+      let e = src_expr b 0 in
+      set0 b
+        (Ir.Binop
+           (Ir.Min, num_const ty upper, Ir.Binop (Ir.Max, num_const ty lower, e)))
+    | Model.Relational op -> set0 b (Ir.Cmp (op, src_expr b 0, src_expr b 1))
+    | Model.Logical (op, n) ->
+      let ins = List.init n (fun i -> src_expr b i) in
+      let e =
+        match op with
+        | Model.L_and -> Ir.conj ins
+        | Model.L_or -> Ir.disj ins
+        | Model.L_nand -> Ir.not_ (Ir.conj ins)
+        | Model.L_nor -> Ir.not_ (Ir.disj ins)
+        | Model.L_xor ->
+          (match ins with
+           | e0 :: rest ->
+             List.fold_left
+               (fun acc e ->
+                 Ir.(Or (And (acc, not_ e), And (not_ acc, e))))
+               e0 rest
+           | [] -> invalid "%s: empty xor" m.m_name)
+      in
+      set0 b e
+    | Model.Compare_to_const (op, c) ->
+      let ty = src_ty b 0 in
+      set0 b (Ir.Cmp (op, src_expr b 0, num_const ty c))
+    | Model.Switch { cmp; threshold } ->
+      let data1 = src_expr b 0 and ctrl = src_expr b 1 and data2 = src_expr b 2 in
+      (* boolean controls keep their logic structure in the guard so
+         that condition / MCDC coverage sees the logic-block inputs *)
+      let cond =
+        if src_ty b 1 = Value.Tbool then begin
+          let ctrl = inline_guard ctrl in
+          match cmp with
+          | Ir.Gt | Ir.Ge | Ir.Ne when threshold < 1.0 -> ctrl
+          | Ir.Eq when threshold >= 1.0 -> ctrl
+          | Ir.Eq | Ir.Le | Ir.Lt when threshold <= 0.0 -> Ir.not_ ctrl
+          | Ir.Eq | Ir.Ne | Ir.Lt | Ir.Le | Ir.Gt | Ir.Ge ->
+            Ir.Cmp (cmp, as_real ctrl, Ir.cr threshold)
+        end
+        else Ir.Cmp (cmp, as_real (inline_guard ctrl), Ir.cr threshold)
+      in
+      emit
+        (Ir.if_ cond
+           [ Ir.assign (port_local path b.id 0) data1 ]
+           [ Ir.assign (port_local path b.id 0) data2 ])
+    | Model.Multiport_switch { labels } ->
+      let sel = src_expr b 0 in
+      let n = List.length labels in
+      let case_of i label =
+        (label, [ Ir.assign (port_local path b.id 0) (src_expr b (1 + i)) ])
+      in
+      let cases = List.mapi case_of labels in
+      let default =
+        [ Ir.assign (port_local path b.id 0) (src_expr b (n + 1)) ]
+      in
+      emit (Ir.switch (Ir.Unop (Ir.To_int, inline_guard sel)) cases default)
+    | Model.Unit_delay init ->
+      let sname = Fmt.str "%sb%d.z" path b.id in
+      add_state ctx (Ir.var Ir.State sname (Ir.ty_of_value init)) init;
+      set0 b (Ir.sv sname);
+      emit_update (Ir.assign_state sname (src_expr b 0))
+    | Model.Delay { initial; length } ->
+      let sname = Fmt.str "%sb%d.z" path b.id in
+      let ety = Ir.ty_of_value initial in
+      let init = Value.Vec (Array.init length (fun _ -> Value.copy initial)) in
+      add_state ctx (Ir.var Ir.State sname (Value.Tvec (ety, length))) init;
+      set0 b (Ir.index (Ir.sv sname) (Ir.ci 0));
+      for i = 0 to length - 2 do
+        emit_update
+          (Ir.assign_state_idx sname (Ir.ci i)
+             (Ir.index (Ir.sv sname) (Ir.ci (i + 1))))
+      done;
+      emit_update
+        (Ir.assign_state_idx sname (Ir.ci (length - 1)) (src_expr b 0))
+    | Model.Discrete_integrator { initial; gain; lower; upper } ->
+      let sname = Fmt.str "%sb%d.x" path b.id in
+      add_state ctx
+        (Ir.var Ir.State sname (Value.treal_range lower upper))
+        (Value.Real initial);
+      set0 b (Ir.sv sname);
+      let next = Ir.(sv sname +: (cr gain *: as_real (src_expr b 0))) in
+      emit_update
+        (Ir.assign_state sname
+           Ir.(Binop (Min, cr upper, Binop (Max, cr lower, next))))
+    | Model.Counter { initial; modulo } ->
+      let sname = Fmt.str "%sb%d.c" path b.id in
+      add_state ctx
+        (Ir.var Ir.State sname (Value.tint_range 0 (modulo - 1)))
+        (Value.Int initial);
+      set0 b (Ir.sv sname);
+      emit_update
+        (Ir.assign_state sname Ir.(Binop (Mod, sv sname +: ci 1, ci modulo)))
+    | Model.Data_store_read name -> set0 b (Ir.sv (lookup_store name))
+    | Model.Data_store_write name ->
+      emit_update (Ir.assign_state (lookup_store name) (src_expr b 0))
+    | Model.Data_store_write_element name ->
+      emit_update
+        (Ir.assign_state_idx (lookup_store name) (src_expr b 0)
+           (src_expr b 1))
+    | Model.Selector -> set0 b (Ir.index (src_expr b 0) (src_expr b 1))
+    | Model.Chart frag ->
+      let prefix = Fmt.str "%sb%d.%s" path b.id frag.Ir.f_name in
+      let formal_names = List.map (fun (v : Ir.var) -> v.name) frag.Ir.f_inputs in
+      let bind_input name =
+        match List.find_index (String.equal name) formal_names with
+        | Some i -> src_expr b i
+        | None -> invalid "%s: chart %s unknown input %s" m.m_name b.bname name
+      in
+      let out_index =
+        List.mapi (fun i (v : Ir.var) -> (v.name, i)) frag.Ir.f_outputs
+      in
+      let out_local name =
+        match List.assoc_opt name out_index with
+        | Some i -> port_local path b.id i
+        | None -> invalid "%s: chart %s unknown output %s" m.m_name b.bname name
+      in
+      let states, locals, stmts =
+        Ir.instantiate ~prefix ~bind_input ~out_local frag
+      in
+      List.iter (fun (v, init) -> add_state ctx v init) states;
+      List.iter
+        (fun (v : Ir.var) ->
+          (* Output locals were already declared from the port types. *)
+          if not (List.exists (fun (l : Ir.var) -> l.name = v.name) ctx.c_locals)
+          then add_local ctx v)
+        locals;
+      List.iter emit stmts
+    | Model.Enabled { sub; held } ->
+      let enable = src_expr b 0 in
+      let sub_path = Fmt.str "%sb%d/" path b.id in
+      let formal_ins, out_names = Model.io_signature sub in
+      let bind_sub name =
+        match List.find_index (fun (n, _) -> String.equal n name) formal_ins with
+        | Some i -> src_expr b (1 + i)
+        | None -> invalid "%s: subsystem %s unknown inport %s" m.m_name b.bname name
+      in
+      let sub_body, sub_out =
+        compile_model ctx ~path:sub_path ~store_env ~bind:bind_sub sub
+      in
+      let assign_outs =
+        List.mapi
+          (fun i oname ->
+            match List.assoc_opt oname sub_out with
+            | Some e -> Ir.assign (port_local path b.id i) e
+            | None ->
+              invalid "%s: subsystem %s missing outport %s" m.m_name b.bname
+                oname)
+          out_names
+      in
+      if held then begin
+        let hold_states =
+          List.mapi
+            (fun i ty ->
+              let sname = Fmt.str "%sb%d.h%d" path b.id i in
+              add_state ctx (Ir.var Ir.State sname ty) (Value.default_of_ty ty);
+              sname)
+            (Array.to_list types.(b.id))
+        in
+        let save =
+          List.mapi
+            (fun i sname -> Ir.assign_state sname (local_of b.id i))
+            hold_states
+        in
+        let restore =
+          List.mapi
+            (fun i sname -> Ir.assign (port_local path b.id i) (Ir.sv sname))
+            hold_states
+        in
+        emit (Ir.if_ (inline_guard enable) (sub_body @ assign_outs @ save) restore)
+      end
+      else begin
+        let reset =
+          List.mapi
+            (fun i ty ->
+              Ir.assign (port_local path b.id i)
+                (Ir.Const (Value.default_of_ty ty)))
+            (Array.to_list types.(b.id))
+        in
+        emit (Ir.if_ (inline_guard enable) (sub_body @ assign_outs) reset)
+      end
+    | Model.If_else { then_sys; else_sys } ->
+      let cond = src_expr b 0 in
+      let compile_arm tag sub =
+        let sub_path = Fmt.str "%sb%d%s/" path b.id tag in
+        let formal_ins, out_names = Model.io_signature sub in
+        let bind_sub name =
+          match
+            List.find_index (fun (n, _) -> String.equal n name) formal_ins
+          with
+          | Some i -> src_expr b (1 + i)
+          | None ->
+            invalid "%s: subsystem %s unknown inport %s" m.m_name b.bname name
+        in
+        let sub_body, sub_out =
+          compile_model ctx ~path:sub_path ~store_env ~bind:bind_sub sub
+        in
+        let assign_outs =
+          List.mapi
+            (fun i oname ->
+              match List.assoc_opt oname sub_out with
+              | Some e -> Ir.assign (port_local path b.id i) e
+              | None ->
+                invalid "%s: subsystem %s missing outport %s" m.m_name
+                  b.bname oname)
+            out_names
+        in
+        sub_body @ assign_outs
+      in
+      let then_stmts = compile_arm "t" then_sys in
+      let else_stmts = compile_arm "e" else_sys in
+      emit (Ir.if_ (inline_guard cond) then_stmts else_stmts)
+    | Model.Case_switch { cases; default } ->
+      let sel = src_expr b 0 in
+      let compile_arm tag sub =
+        let sub_path = Fmt.str "%sb%d%s/" path b.id tag in
+        let formal_ins, out_names = Model.io_signature sub in
+        let bind_sub name =
+          match
+            List.find_index (fun (n, _) -> String.equal n name) formal_ins
+          with
+          | Some i -> src_expr b (1 + i)
+          | None ->
+            invalid "%s: subsystem %s unknown inport %s" m.m_name b.bname name
+        in
+        let sub_body, sub_out =
+          compile_model ctx ~path:sub_path ~store_env ~bind:bind_sub sub
+        in
+        let assign_outs =
+          List.mapi
+            (fun i oname ->
+              match List.assoc_opt oname sub_out with
+              | Some e -> Ir.assign (port_local path b.id i) e
+              | None ->
+                invalid "%s: subsystem %s missing outport %s" m.m_name
+                  b.bname oname)
+            out_names
+        in
+        sub_body @ assign_outs
+      in
+      let case_stmts =
+        List.map (fun (k, sub) -> (k, compile_arm (Fmt.str "c%d" k) sub)) cases
+      in
+      let default_stmts =
+        match default with
+        | Some sub -> compile_arm "d" sub
+        | None ->
+          List.mapi
+            (fun i ty ->
+              Ir.assign (port_local path b.id i)
+                (Ir.Const (Value.default_of_ty ty)))
+            (Array.to_list types.(b.id))
+      in
+      emit (Ir.switch (Ir.Unop (Ir.To_int, inline_guard sel)) case_stmts default_stmts)
+  in
+  List.iter (fun id -> compile_block m.blocks.(id)) (topo_order m);
+  let body = List.rev !body @ List.rev !updates in
+  (body, List.rev !out_bindings)
+
+let to_program (m : Model.t) =
+  Model.validate m;
+  let ctx = { c_states = []; c_locals = []; fresh = 0; c_defs = Hashtbl.create 256 } in
+  let ins, out_names = Model.io_signature m in
+  let bind name = Ir.iv name in
+  let body, out_bindings = compile_model ctx ~path:"" ~store_env:[] ~bind m in
+  let types = Model.infer_port_types m in
+  let out_ty name =
+    (* Type of the expression feeding the outport. *)
+    let rec find i =
+      if i >= Array.length m.blocks then Value.treal
+      else
+        match m.blocks.(i).kind with
+        | Model.Outport n when n = name ->
+          (match m.blocks.(i).srcs.(0) with
+           | Some { Model.s_block; s_port } -> types.(s_block).(s_port)
+           | None -> Value.treal)
+        | _ -> find (i + 1)
+    in
+    find 0
+  in
+  let outputs = List.map (fun n -> Ir.output n (out_ty n)) out_names in
+  let out_stmts =
+    List.map
+      (fun n ->
+        match List.assoc_opt n out_bindings with
+        | Some e -> Ir.assign_out n e
+        | None -> invalid "%s: outport %s not bound" m.m_name n)
+      out_names
+  in
+  let prog =
+    Ir.
+      {
+        name = m.m_name;
+        inputs = List.map (fun (n, ty) -> Ir.input n ty) ins;
+        outputs;
+        states = List.rev ctx.c_states;
+        locals = List.rev ctx.c_locals;
+        body = body @ out_stmts;
+      }
+  in
+  let prog = Ir.renumber_decisions prog in
+  Ir.type_check prog;
+  prog

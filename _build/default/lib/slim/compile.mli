@@ -1,0 +1,13 @@
+(** Compilation of SLIM block diagrams to the step-program IR.
+
+    Blocks are scheduled in topological order of their combinational
+    dependencies; stateful blocks (delays, integrators, counters, data
+    stores) read their state at their scheduling position and commit
+    updates at the end of the step, inside the conditional context of
+    any enclosing subsystem — matching Simulink's conditional-execution
+    semantics. *)
+
+val to_program : Model.t -> Ir.program
+(** Validates the model, compiles it, renumbers decisions densely and
+    type-checks the result.  Raises {!Model.Invalid_model} or
+    {!Ir.Ill_typed} on bad diagrams. *)

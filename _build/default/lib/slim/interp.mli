@@ -1,0 +1,53 @@
+(** Concrete one-step execution of SLIM programs with coverage tracing.
+
+    The interpreter is the paper's "dynamic execution" substrate: it runs
+    exactly one iteration of the model at a time, can snapshot and restore
+    the full internal state (Definition 2), and reports the decision and
+    condition outcomes needed by the coverage trackers. *)
+
+module Smap : Map.S with type key = string
+
+type snapshot = Value.t Smap.t
+(** Immutable map from state-variable name to (deep-copied) value: the
+    model state of Definition 2 — data stores, chart locations, delay
+    contents all live here. *)
+
+type inputs = Value.t Smap.t
+type outputs = Value.t Smap.t
+
+type event =
+  | Branch_hit of Branch.key
+      (** a decision outcome was executed *)
+  | Cond_vector of { id : int; vector : bool array; outcome : bool }
+      (** an [If] guard was evaluated: per-atom truth values (in
+          {!Ir.atoms_of_condition} order) and the guard's value *)
+
+exception Eval_error of string
+
+val initial_state : Ir.program -> snapshot
+(** The default state (root node of the state tree). *)
+
+val run_step :
+  ?on_event:(event -> unit) ->
+  Ir.program ->
+  snapshot ->
+  inputs ->
+  outputs * snapshot
+(** Execute one iteration from [snapshot] with the given inputs.  Missing
+    inputs default to their type's default value.  The input snapshot is
+    not mutated; a fresh one is returned. *)
+
+val run_sequence :
+  ?on_event:(event -> unit) ->
+  Ir.program ->
+  snapshot ->
+  inputs list ->
+  outputs list * snapshot
+
+val inputs_of_list : (string * Value.t) list -> inputs
+val default_inputs : Ir.program -> inputs
+val random_inputs : Random.State.t -> Ir.program -> inputs
+
+val snapshot_equal : snapshot -> snapshot -> bool
+val pp_snapshot : snapshot Fmt.t
+val pp_inputs : inputs Fmt.t

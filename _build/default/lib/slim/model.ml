@@ -1,0 +1,496 @@
+type sign = Plus | Minus
+
+type factor = Mul | Div
+
+type logic_op = L_and | L_or | L_xor | L_nand | L_nor
+
+type kind =
+  | Inport of string * Value.ty
+  | Outport of string
+  | Constant of Value.t
+  | Gain of float
+  | Sum of sign list
+  | Product of factor list
+  | Min_max of [ `Min | `Max ] * int
+  | Abs
+  | Not
+  | Saturation of { lower : float; upper : float }
+  | Relational of Ir.cmpop
+  | Logical of logic_op * int
+  | Compare_to_const of Ir.cmpop * float
+  | Switch of { cmp : Ir.cmpop; threshold : float }
+  | Multiport_switch of { labels : int list }
+  | Unit_delay of Value.t
+  | Delay of { initial : Value.t; length : int }
+  | Discrete_integrator of {
+      initial : float;
+      gain : float;
+      lower : float;
+      upper : float;
+    }
+  | Counter of { initial : int; modulo : int }
+  | Data_store_read of string
+  | Data_store_write of string
+  | Data_store_write_element of string
+  | Selector
+  | Chart of Ir.fragment
+  | Enabled of { sub : t; held : bool }
+  | If_else of { then_sys : t; else_sys : t }
+  | Case_switch of { cases : (int * t) list; default : t option }
+
+and block = {
+  id : int;
+  bname : string;
+  kind : kind;
+  srcs : src option array;
+}
+
+and src = { s_block : int; s_port : int }
+
+and t = {
+  m_name : string;
+  blocks : block array;
+  stores : (string * Value.ty * Value.t) list;
+}
+
+exception Invalid_model of string
+
+let invalid fmt = Format.kasprintf (fun s -> raise (Invalid_model s)) fmt
+
+let io_signature m =
+  let ins = ref [] and outs = ref [] in
+  Array.iter
+    (fun b ->
+      match b.kind with
+      | Inport (name, ty) -> ins := (name, ty) :: !ins
+      | Outport name -> outs := name :: !outs
+      | _ -> ())
+    m.blocks;
+  (List.rev !ins, List.rev !outs)
+
+let sub_signature = io_signature
+
+let in_arity = function
+  | Inport _ | Constant _ | Counter _ | Data_store_read _ -> 0
+  | Outport _ | Gain _ | Abs | Not | Saturation _ | Compare_to_const _
+  | Unit_delay _ | Delay _ | Discrete_integrator _ | Data_store_write _ ->
+    1
+  | Sum signs -> List.length signs
+  | Product factors -> List.length factors
+  | Min_max (_, n) -> n
+  | Relational _ -> 2
+  | Logical (_, n) -> n
+  | Switch _ -> 3
+  | Multiport_switch { labels } -> 2 + List.length labels
+  | Data_store_write_element _ -> 2
+  | Selector -> 2
+  | Chart frag -> List.length frag.Ir.f_inputs
+  | Enabled { sub; _ } -> 1 + List.length (fst (sub_signature sub))
+  | If_else { then_sys; _ } -> 1 + List.length (fst (sub_signature then_sys))
+  | Case_switch { cases; default } ->
+    let sub =
+      match cases, default with
+      | (_, sub) :: _, _ -> sub
+      | [], Some sub -> sub
+      | [], None -> invalid "case_switch: no subsystems"
+    in
+    1 + List.length (fst (sub_signature sub))
+
+let out_arity = function
+  | Outport _ | Data_store_write _ | Data_store_write_element _ -> 0
+  | Inport _ | Constant _ | Gain _ | Sum _ | Product _ | Min_max _ | Abs
+  | Not | Saturation _ | Relational _ | Logical _ | Compare_to_const _
+  | Switch _ | Multiport_switch _ | Unit_delay _ | Delay _
+  | Discrete_integrator _ | Counter _ | Data_store_read _ | Selector ->
+    1
+  | Chart frag -> List.length frag.Ir.f_outputs
+  | Enabled { sub; _ } -> List.length (snd (sub_signature sub))
+  | If_else { then_sys; _ } -> List.length (snd (sub_signature then_sys))
+  | Case_switch { cases; default } ->
+    (match cases, default with
+     | (_, sub) :: _, _ -> List.length (snd (sub_signature sub))
+     | [], Some sub -> List.length (snd (sub_signature sub))
+     | [], None -> invalid "case_switch: no subsystems")
+
+let kind_name = function
+  | Inport _ -> "inport"
+  | Outport _ -> "outport"
+  | Constant _ -> "constant"
+  | Gain _ -> "gain"
+  | Sum _ -> "sum"
+  | Product _ -> "product"
+  | Min_max (`Min, _) -> "min"
+  | Min_max (`Max, _) -> "max"
+  | Abs -> "abs"
+  | Not -> "not"
+  | Saturation _ -> "saturation"
+  | Relational _ -> "relational"
+  | Logical _ -> "logical"
+  | Compare_to_const _ -> "compare"
+  | Switch _ -> "switch"
+  | Multiport_switch _ -> "multiport-switch"
+  | Unit_delay _ -> "unit-delay"
+  | Delay _ -> "delay"
+  | Discrete_integrator _ -> "integrator"
+  | Counter _ -> "counter"
+  | Data_store_read _ -> "ds-read"
+  | Data_store_write _ -> "ds-write"
+  | Data_store_write_element _ -> "ds-write-elem"
+  | Selector -> "selector"
+  | Chart _ -> "chart"
+  | Enabled _ -> "enabled-subsystem"
+  | If_else _ -> "if-else-subsystem"
+  | Case_switch _ -> "case-subsystem"
+
+let rec block_count m =
+  Array.fold_left
+    (fun n b ->
+      n
+      +
+      match b.kind with
+      | Enabled { sub; _ } -> 1 + block_count sub
+      | If_else { then_sys; else_sys } ->
+        1 + block_count then_sys + block_count else_sys
+      | Case_switch { cases; default } ->
+        1
+        + List.fold_left (fun k (_, sub) -> k + block_count sub) 0 cases
+        + (match default with Some sub -> block_count sub | None -> 0)
+      | _ -> 1)
+    0 m.blocks
+
+(* Type inference.
+
+   Output types are computed with a worklist: source and stateful blocks
+   are immediately typed, combinational blocks once all their inputs are
+   typed.  If the worklist stalls before every block is typed, the
+   remaining blocks form a combinational (algebraic) loop. *)
+
+let is_num = function
+  | Value.Tint _ | Value.Treal _ -> true
+  | Value.Tbool | Value.Tvec _ -> false
+
+let join_num ctx a b =
+  match a, b with
+  | Value.Tint _, Value.Tint _ -> Value.tint
+  | (Value.Tint _ | Value.Treal _), (Value.Tint _ | Value.Treal _) ->
+    Value.treal
+  | (Value.Tbool | Value.Tvec _), _ | _, (Value.Tbool | Value.Tvec _) ->
+    invalid "%s: non-numeric operand" ctx
+
+let join_many ctx = function
+  | [] -> invalid "%s: no operands" ctx
+  | ty :: rest -> List.fold_left (join_num ctx) ty rest
+
+let require_bool ctx ty =
+  if ty <> Value.Tbool then invalid "%s: expected bool input" ctx
+
+let require_num ctx ty =
+  if not (is_num ty) then invalid "%s: expected numeric input" ctx
+
+let lookup_store stores name ctx =
+  match List.find_opt (fun (n, _, _) -> n = name) stores with
+  | Some (_, ty, _) -> ty
+  | None -> invalid "%s: unknown data store %s" ctx name
+
+(* [infer stores m] returns per-block output types; recursive over
+   subsystems.  [stores] is the data-store environment visible to [m]
+   (outer stores plus [m]'s own). *)
+let rec infer stores (m : t) : Value.ty array array =
+  let stores = m.stores @ stores in
+  let n = Array.length m.blocks in
+  let out_tys : Value.ty array option array = Array.make n None in
+  let input_ty b i =
+    match b.srcs.(i) with
+    | None -> None
+    | Some { s_block; s_port } ->
+      (match out_tys.(s_block) with
+       | None -> None
+       | Some tys ->
+         if s_port < 0 || s_port >= Array.length tys then
+           invalid "%s: source port %d out of range" b.bname s_port
+         else Some tys.(s_port))
+  in
+  let all_input_tys b =
+    let arity = Array.length b.srcs in
+    let rec go i acc =
+      if i < 0 then Some acc
+      else
+        match input_ty b i with
+        | None -> None
+        | Some ty -> go (i - 1) (ty :: acc)
+    in
+    go (arity - 1) []
+  in
+  let ctx b = Fmt.str "%s/%s" m.m_name b.bname in
+  let infer_block b (ins : Value.ty list) : Value.ty array =
+    let c = ctx b in
+    match b.kind, ins with
+    | Inport (_, ty), [] -> [| ty |]
+    | Outport _, [ _ ] -> [||]
+    | Constant v, [] -> [| Ir.ty_of_value v |]
+    | Gain g, [ ty ] ->
+      require_num c ty;
+      (match ty with
+       | Value.Tint _ when Float.is_integer g -> [| Value.tint |]
+       | _ -> [| Value.treal |])
+    | Sum _, ins | Product _, ins | Min_max _, ins ->
+      [| join_many c ins |]
+    | Abs, [ ty ] ->
+      require_num c ty;
+      [| ty |]
+    | Not, [ ty ] ->
+      require_bool c ty;
+      [| Value.Tbool |]
+    | Saturation _, [ ty ] ->
+      require_num c ty;
+      [| ty |]
+    | Relational op, [ ta; tb ] ->
+      (match op with
+       | Ir.Eq | Ir.Ne when ta = Value.Tbool && tb = Value.Tbool -> ()
+       | _ ->
+         require_num c ta;
+         require_num c tb);
+      [| Value.Tbool |]
+    | Logical _, ins ->
+      List.iter (require_bool c) ins;
+      [| Value.Tbool |]
+    | Compare_to_const _, [ ty ] ->
+      require_num c ty;
+      [| Value.Tbool |]
+    | Switch _, [ t1; tc; t2 ] ->
+      if not (is_num tc || tc = Value.Tbool) then
+        invalid "%s: switch control must be numeric or bool" c;
+      if Value.ty_compatible t1 t2 then [| t1 |]
+      else [| join_num c t1 t2 |]
+    | Multiport_switch _, sel :: data ->
+      require_num c sel;
+      (match data with
+       | [] -> invalid "%s: multiport switch without data inputs" c
+       | d0 :: rest ->
+         let ty =
+           List.fold_left
+             (fun acc ty ->
+               if Value.ty_compatible acc ty then acc
+               else join_num c acc ty)
+             d0 rest
+         in
+         [| ty |])
+    | Unit_delay init, [ ty ] | Delay { initial = init; _ }, [ ty ] ->
+      let ity = Ir.ty_of_value init in
+      if not (Value.ty_compatible ity ty || (is_num ity && is_num ty)) then
+        invalid "%s: delay initial value type mismatch" c;
+      [| ty |]
+    | Discrete_integrator _, [ ty ] ->
+      require_num c ty;
+      [| Value.treal |]
+    | Counter _, [] -> [| Value.tint |]
+    | Data_store_read name, [] -> [| lookup_store stores name c |]
+    | Data_store_write name, [ ty ] ->
+      let sty = lookup_store stores name c in
+      if not (Value.ty_compatible sty ty || (is_num sty && is_num ty)) then
+        invalid "%s: data store write type mismatch" c;
+      [||]
+    | Data_store_write_element name, [ ti; tv ] ->
+      require_num c ti;
+      (match lookup_store stores name c with
+       | Value.Tvec (ety, _) ->
+         if not (Value.ty_compatible ety tv || (is_num ety && is_num tv))
+         then invalid "%s: data store element type mismatch" c
+       | Value.Tbool | Value.Tint _ | Value.Treal _ ->
+         invalid "%s: data store %s is not a vector" c name);
+      [||]
+    | Selector, [ tvec; tidx ] ->
+      require_num c tidx;
+      (match tvec with
+       | Value.Tvec (ety, _) -> [| ety |]
+       | Value.Tbool | Value.Tint _ | Value.Treal _ ->
+         invalid "%s: selector input is not a vector" c)
+    | Chart frag, ins ->
+      List.iteri
+        (fun i ty ->
+          let formal = List.nth frag.Ir.f_inputs i in
+          if
+            not
+              (Value.ty_compatible formal.Ir.ty ty
+              || (is_num formal.Ir.ty && is_num ty))
+          then invalid "%s: chart input %s type mismatch" c formal.Ir.name)
+        ins;
+      Array.of_list (List.map (fun (v : Ir.var) -> v.ty) frag.Ir.f_outputs)
+    | Enabled { sub; _ }, enable :: ins ->
+      require_bool c enable;
+      subsystem_out_tys stores c sub ins
+    | If_else { then_sys; else_sys }, cond :: ins ->
+      require_bool c cond;
+      let t1 = subsystem_out_tys stores c then_sys ins in
+      let t2 = subsystem_out_tys stores c else_sys ins in
+      if Array.length t1 <> Array.length t2 then
+        invalid "%s: if/else subsystem output arity mismatch" c;
+      Array.map2
+        (fun a b ->
+          if Value.ty_compatible a b then a else join_num c a b)
+        t1 t2
+    | Case_switch { cases; default }, sel :: ins ->
+      require_num c sel;
+      let subs =
+        List.map snd cases
+        @ (match default with Some d -> [ d ] | None -> [])
+      in
+      (match subs with
+       | [] -> invalid "%s: empty case switch" c
+       | s0 :: rest ->
+         let t0 = subsystem_out_tys stores c s0 ins in
+         List.fold_left
+           (fun acc sub ->
+             let ts = subsystem_out_tys stores c sub ins in
+             if Array.length ts <> Array.length acc then
+               invalid "%s: case subsystem output arity mismatch" c;
+             Array.map2
+               (fun a b ->
+                 if Value.ty_compatible a b then a else join_num c a b)
+               acc ts)
+           t0 rest)
+    | _, _ -> invalid "%s: arity mismatch for %s" c (kind_name b.kind)
+  in
+  (* Stateful blocks whose outputs do not depend on current inputs can be
+     typed before their inputs are — they break combinational cycles. *)
+  let breaks_loop b =
+    match b.kind with
+    | Unit_delay _ | Delay _ | Discrete_integrator _ -> true
+    | _ -> false
+  in
+  let loop_break_ty b =
+    match b.kind with
+    | Unit_delay init | Delay { initial = init; _ } ->
+      [| Ir.ty_of_value init |]
+    | Discrete_integrator _ -> [| Value.treal |]
+    | _ -> assert false
+  in
+  let progress = ref true in
+  let remaining = ref n in
+  while !progress && !remaining > 0 do
+    progress := false;
+    Array.iter
+      (fun b ->
+        if out_tys.(b.id) = None then
+          match all_input_tys b with
+          | Some ins ->
+            out_tys.(b.id) <- Some (infer_block b ins);
+            decr remaining;
+            progress := true
+          | None ->
+            if breaks_loop b then begin
+              out_tys.(b.id) <- Some (loop_break_ty b);
+              decr remaining;
+              progress := true
+            end)
+      m.blocks
+  done;
+  if !remaining > 0 then begin
+    let stuck =
+      Array.to_list m.blocks
+      |> List.filter (fun b -> out_tys.(b.id) = None)
+      |> List.map (fun b -> b.bname)
+    in
+    invalid "%s: algebraic loop or unconnected input involving: %s" m.m_name
+      (String.concat ", " stuck)
+  end;
+  Array.map
+    (function Some tys -> tys | None -> assert false)
+    out_tys
+
+and subsystem_out_tys stores ctx sub (actual_ins : Value.ty list) =
+  let formal_ins, _ = sub_signature sub in
+  if List.length formal_ins <> List.length actual_ins then
+    invalid "%s: subsystem %s arity mismatch" ctx sub.m_name;
+  List.iter2
+    (fun (name, fty) aty ->
+      if not (Value.ty_compatible fty aty || (is_num fty && is_num aty))
+      then invalid "%s: subsystem %s input %s type mismatch" ctx sub.m_name name)
+    formal_ins actual_ins;
+  let tys = infer stores sub in
+  (* Output types are the types feeding each outport, in outport order. *)
+  let outs = ref [] in
+  Array.iter
+    (fun b ->
+      match b.kind with
+      | Outport _ ->
+        (match b.srcs.(0) with
+         | Some { s_block; s_port } -> outs := tys.(s_block).(s_port) :: !outs
+         | None -> invalid "%s: unconnected outport in %s" ctx sub.m_name)
+      | _ -> ())
+    sub.blocks;
+  Array.of_list (List.rev !outs)
+
+let infer_port_types m = infer [] m
+let infer_in_env stores m = infer stores m
+
+let rec validate_rec stores (m : t) =
+  let n = Array.length m.blocks in
+  Array.iteri
+    (fun i b ->
+      if b.id <> i then invalid "%s: block %s has id %d at index %d" m.m_name b.bname b.id i;
+      let want = in_arity b.kind in
+      if Array.length b.srcs <> want then
+        invalid "%s: block %s has %d wired inputs, expected %d" m.m_name
+          b.bname (Array.length b.srcs) want;
+      Array.iteri
+        (fun p src ->
+          match src with
+          | None -> invalid "%s: block %s input %d unconnected" m.m_name b.bname p
+          | Some { s_block; s_port } ->
+            if s_block < 0 || s_block >= n then
+              invalid "%s: block %s input %d wired to missing block" m.m_name
+                b.bname p;
+            let src_arity = out_arity m.blocks.(s_block).kind in
+            if s_port < 0 || s_port >= src_arity then
+              invalid "%s: block %s input %d wired to missing port" m.m_name
+                b.bname p)
+        b.srcs)
+    m.blocks;
+  let seen = Hashtbl.create 16 in
+  Array.iter
+    (fun b ->
+      match b.kind with
+      | Inport (name, _) | Outport name ->
+        if Hashtbl.mem seen name then
+          invalid "%s: duplicate port name %s" m.m_name name;
+        Hashtbl.replace seen name ()
+      | _ -> ())
+    m.blocks;
+  let all_stores = m.stores @ stores in
+  List.iter
+    (fun (name, ty, init) ->
+      if not (Value.member ty init) then
+        invalid "%s: data store %s initial value outside its type" m.m_name
+          name)
+    m.stores;
+  Array.iter
+    (fun b ->
+      match b.kind with
+      | Enabled { sub; _ } -> validate_rec all_stores sub
+      | If_else { then_sys; else_sys } ->
+        validate_rec all_stores then_sys;
+        validate_rec all_stores else_sys
+      | Case_switch { cases; default } ->
+        List.iter (fun (_, sub) -> validate_rec all_stores sub) cases;
+        (match default with
+         | Some sub -> validate_rec all_stores sub
+         | None -> ())
+      | Multiport_switch { labels } ->
+        let sorted = List.sort_uniq Int.compare labels in
+        if List.length sorted <> List.length labels then
+          invalid "%s: duplicate multiport labels in %s" m.m_name b.bname
+      | _ -> ())
+    m.blocks;
+  ignore (infer stores m)
+
+let validate m = validate_rec [] m
+
+let pp ppf m =
+  Fmt.pf ppf "@[<v>model %s (%d blocks, %d stores)@," m.m_name
+    (Array.length m.blocks) (List.length m.stores);
+  Array.iter
+    (fun b ->
+      Fmt.pf ppf "  #%d %s : %s@," b.id b.bname (kind_name b.kind))
+    m.blocks;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,99 @@
+(** SLIM block diagrams: the Simulink-like modeling layer.
+
+    A model is a set of wired blocks plus named data stores (global
+    variables).  Diagrams are hierarchical: conditionally-executed
+    subsystems ([Enabled], [If_else], [Case_switch]) contain nested
+    models, which is how Simulink models express state-dependent control
+    logic — and what produces the deep branch structure STCG targets.
+
+    Diagrams are validated ({!validate}) and compiled to {!Ir.program}
+    by {!Compile.to_program}. *)
+
+type sign = Plus | Minus
+
+type factor = Mul | Div
+
+type logic_op = L_and | L_or | L_xor | L_nand | L_nor
+
+type kind =
+  | Inport of string * Value.ty
+  | Outport of string
+  | Constant of Value.t
+  | Gain of float
+      (** integer-preserving when the gain is integral and input is int *)
+  | Sum of sign list
+  | Product of factor list
+  | Min_max of [ `Min | `Max ] * int
+  | Abs
+  | Not
+  | Saturation of { lower : float; upper : float }
+  | Relational of Ir.cmpop
+  | Logical of logic_op * int
+  | Compare_to_const of Ir.cmpop * float
+  | Switch of { cmp : Ir.cmpop; threshold : float }
+      (** 3 inputs: data1, control, data2; passes data1 when
+          [control cmp threshold] — one decision *)
+  | Multiport_switch of { labels : int list }
+      (** 2 + n inputs: selector, one data input per label, then the
+          default data input — one decision *)
+  | Unit_delay of Value.t
+  | Delay of { initial : Value.t; length : int }
+  | Discrete_integrator of { initial : float; gain : float; lower : float; upper : float }
+  | Counter of { initial : int; modulo : int }  (** free-running, 0 inputs *)
+  | Data_store_read of string
+  | Data_store_write of string
+  | Data_store_write_element of string  (** inputs: index, value *)
+  | Selector  (** inputs: vector, index *)
+  | Chart of Ir.fragment  (** a compiled Stateflow-like chart *)
+  | Enabled of { sub : t; held : bool }
+      (** first input is the enable signal; when disabled the outputs
+          hold their last value ([held]) or reset to defaults *)
+  | If_else of { then_sys : t; else_sys : t }
+      (** first input is the condition; both subsystems share the same
+          I/O signature *)
+  | Case_switch of { cases : (int * t) list; default : t option }
+      (** first input is the integer selector; all subsystems share the
+          same I/O signature *)
+
+and block = {
+  id : int;
+  bname : string;
+  kind : kind;
+  srcs : src option array;  (** source port wired to each input port *)
+}
+
+and src = { s_block : int; s_port : int }
+
+and t = {
+  m_name : string;
+  blocks : block array;  (** indexed by block id *)
+  stores : (string * Value.ty * Value.t) list;
+}
+
+exception Invalid_model of string
+
+val in_arity : kind -> int
+val out_arity : kind -> int
+val kind_name : kind -> string
+
+val io_signature : t -> (string * Value.ty) list * string list
+(** Inport names/types and outport names, in block order. *)
+
+val validate : t -> unit
+(** Checks wiring (every input port connected, sources exist), block
+    naming, data-store references, subsystem signatures, and infers and
+    checks all port types.  Raises {!Invalid_model}. *)
+
+val infer_port_types : t -> Value.ty array array
+(** Per-block array of output-port types.  Requires a valid model;
+    raises {!Invalid_model} on type errors. *)
+
+val infer_in_env : (string * Value.ty * Value.t) list -> t -> Value.ty array array
+(** Like {!infer_port_types} with an environment of data stores declared
+    by enclosing models (used when compiling nested subsystems). *)
+
+val block_count : t -> int
+(** Total number of blocks including those inside subsystems — the
+    paper's Table II "#Block" metric. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,1 @@
+lib/solver/csp.ml: Dom Fmt Hashtbl Hc4 List Map Random Slim String Term

@@ -1,0 +1,1 @@
+lib/solver/csp.mli: Fmt Map Random Slim Term

@@ -1,0 +1,1 @@
+lib/solver/dom.ml: Float Fmt List Slim

@@ -1,0 +1,1 @@
+lib/solver/dom.mli: Fmt Slim

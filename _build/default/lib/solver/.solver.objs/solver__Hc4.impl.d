@@ -1,0 +1,1 @@
+lib/solver/hc4.ml: Dom Float Hashtbl List Slim Term

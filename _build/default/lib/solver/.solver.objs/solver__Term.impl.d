@@ -1,0 +1,1 @@
+lib/solver/term.ml: Fmt List Set Slim String

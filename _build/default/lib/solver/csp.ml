@@ -1,0 +1,186 @@
+module Value = Slim.Value
+module Smap = Map.Make (String)
+
+type problem = {
+  p_vars : (string * Value.ty) list;
+  p_constraint : Term.t;
+}
+
+type result =
+  | Sat of Value.t Smap.t
+  | Unsat
+  | Unknown
+
+type stats = {
+  mutable nodes : int;
+  mutable propagation_rounds : int;
+  mutable samples_tried : int;
+  mutable term_size : int;
+}
+
+exception Out_of_budget
+
+(* internal search outcome *)
+type outcome =
+  | Found of Value.t Smap.t
+  | Exhausted  (** subtree fully refuted *)
+  | Gave_up  (** real-valued leaf could not be decided *)
+
+let assignment_of_store (store : Hc4.store) vars pick =
+  List.fold_left
+    (fun acc (x, _) ->
+      let d = Hc4.get store x in
+      Smap.add x (pick d) acc)
+    Smap.empty vars
+
+let pick_mid = function
+  | Dom.Dbool { can_true; _ } -> Value.Bool can_true
+  | Dom.Dint { lo; hi } -> Value.Int (lo + ((hi - lo) / 2))
+  | Dom.Dreal { lo; hi } -> Value.Real (lo +. ((hi -. lo) /. 2.0))
+
+let pick_lo = function
+  | Dom.Dbool { can_false; _ } -> Value.Bool (not can_false)
+  | Dom.Dint { lo; _ } -> Value.Int lo
+  | Dom.Dreal { lo; _ } -> Value.Real lo
+
+let pick_hi = function
+  | Dom.Dbool { can_true; _ } -> Value.Bool can_true
+  | Dom.Dint { hi; _ } -> Value.Int hi
+  | Dom.Dreal { hi; _ } -> Value.Real hi
+
+let pick_zero d =
+  let z =
+    match d with
+    | Dom.Dbool _ -> Value.Bool false
+    | Dom.Dint _ -> Value.Int 0
+    | Dom.Dreal _ -> Value.Real 0.0
+  in
+  if Dom.member d z then z else pick_mid d
+
+let pick_random rng = function
+  | Dom.Dbool { can_true; can_false } ->
+    if can_true && can_false then Value.Bool (Random.State.bool rng)
+    else Value.Bool can_true
+  | Dom.Dint { lo; hi } -> Value.Int (lo + Random.State.int rng (hi - lo + 1))
+  | Dom.Dreal { lo; hi } ->
+    Value.Real (if hi > lo then lo +. Random.State.float rng (hi -. lo) else lo)
+
+let satisfied constraint_ assignment =
+  match Term.eval (fun x -> Smap.find x assignment) constraint_ with
+  | Value.Bool b -> b
+  | _ -> false
+  | exception (Value.Type_error _ | Not_found) -> false
+
+let default_budget = 20_000
+
+let solve ?(node_budget = default_budget) ?rng problem =
+  let rng =
+    match rng with Some r -> r | None -> Random.State.make [| 0x57C6 |]
+  in
+  let stats =
+    { nodes = 0; propagation_rounds = 0; samples_tried = 0;
+      term_size = Term.size problem.p_constraint }
+  in
+  let vars = problem.p_vars in
+  let constraint_ = problem.p_constraint in
+  (* trivial cases *)
+  match Term.is_const constraint_ with
+  | Some (Value.Bool false) -> (Unsat, stats)
+  | Some (Value.Bool true) ->
+    let assignment =
+      List.fold_left
+        (fun acc (x, ty) -> Smap.add x (Value.default_of_ty ty) acc)
+        Smap.empty vars
+    in
+    (Sat assignment, stats)
+  | Some _ -> (Unsat, stats)
+  | None ->
+    let try_samples store =
+      let attempts =
+        [ pick_mid; pick_lo; pick_hi; pick_zero ]
+        @ List.init 4 (fun _ -> pick_random rng)
+      in
+      let rec go = function
+        | [] -> None
+        | pick :: rest ->
+          stats.samples_tried <- stats.samples_tried + 1;
+          let a = assignment_of_store store vars pick in
+          if satisfied constraint_ a then Some a else go rest
+      in
+      go attempts
+    in
+    let choose_split store =
+      (* widest unresolved domain first; booleans count as width 1 *)
+      let best = ref None in
+      List.iter
+        (fun (x, _) ->
+          let d = Hc4.get store x in
+          let w = Dom.width d in
+          if w > 0.0 then
+            match !best with
+            | Some (_, _, bw) when bw >= w -> ()
+            | _ -> (
+              match Dom.split d with
+              | Some (l, r) -> best := Some (x, (l, r), w)
+              | None -> ()))
+        vars;
+      !best
+    in
+    let copy_store (store : Hc4.store) =
+      { store with Hc4.doms = Hashtbl.copy store.Hc4.doms }
+    in
+    let rec dfs store =
+      stats.nodes <- stats.nodes + 1;
+      if stats.nodes > node_budget then raise Out_of_budget;
+      match Hc4.propagate store constraint_ with
+      | `Unsat -> Exhausted
+      | `Ok -> (
+        stats.propagation_rounds <- stats.propagation_rounds + 1;
+        match try_samples store with
+        | Some a -> Found a
+        | None -> (
+          match choose_split store with
+          | None ->
+            (* all domains are points (or below the real width floor)
+               and sampling failed: cannot decide this leaf *)
+            let all_exact =
+              List.for_all
+                (fun (x, _) ->
+                  match Hc4.get store x with
+                  | Dom.Dreal _ -> false
+                  | _ -> true)
+                vars
+            in
+            if all_exact then Exhausted else Gave_up
+          | Some (x, (l, r), _) -> (
+            let sl = copy_store store in
+            Hashtbl.replace sl.Hc4.doms x l;
+            match dfs sl with
+            | Found a -> Found a
+            | left_out -> (
+              let sr = copy_store store in
+              Hashtbl.replace sr.Hc4.doms x r;
+              match dfs sr with
+              | Found a -> Found a
+              | Exhausted ->
+                if left_out = Gave_up then Gave_up else Exhausted
+              | Gave_up -> Gave_up))))
+    in
+    let store =
+      Hc4.create_store (List.map (fun (x, ty) -> (x, Dom.of_ty ty)) vars)
+    in
+    (match dfs store with
+     | Found a -> (Sat a, stats)
+     | Exhausted -> (Unsat, stats)
+     | Gave_up -> (Unknown, stats)
+     | exception Out_of_budget -> (Unknown, stats)
+     | exception Dom.Empty -> (Unsat, stats))
+
+let pp_result ppf = function
+  | Sat a ->
+    Fmt.pf ppf "sat {%a}"
+      Fmt.(
+        list ~sep:comma (fun ppf (k, v) -> Fmt.pf ppf "%s=%a" k Value.pp v))
+      (Smap.bindings a)
+  | Unsat -> Fmt.string ppf "unsat"
+  | Unknown -> Fmt.string ppf "unknown"

@@ -1,0 +1,36 @@
+(** The solving front-end: propagation + branch-and-prune search with
+    concrete verification of every reported solution.
+
+    The solver is budgeted: it reports [Unknown] when the node budget
+    runs out, mirroring SLDV-style solver timeouts in the paper.  A
+    [Sat] answer always carries an assignment that has been checked by
+    concrete evaluation of the constraint, so false positives are
+    impossible; [Unsat] is sound because propagation and splitting only
+    discard values that cannot satisfy the constraint (real-valued
+    leaves that cannot be decided degrade the answer to [Unknown]). *)
+
+module Smap : Map.S with type key = string
+
+type problem = {
+  p_vars : (string * Slim.Value.ty) list;  (** decision variables *)
+  p_constraint : Term.t;  (** must evaluate to true *)
+}
+
+type result =
+  | Sat of Slim.Value.t Smap.t
+  | Unsat
+  | Unknown  (** budget exhausted or real-valued indecision *)
+
+type stats = {
+  mutable nodes : int;  (** search nodes visited *)
+  mutable propagation_rounds : int;
+  mutable samples_tried : int;
+  mutable term_size : int;
+}
+
+val solve :
+  ?node_budget:int -> ?rng:Random.State.t -> problem -> result * stats
+(** Default budget: 20_000 nodes.  The RNG only drives sampling
+    heuristics; pass a seeded state for reproducible runs. *)
+
+val pp_result : result Fmt.t

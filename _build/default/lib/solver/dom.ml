@@ -1,0 +1,132 @@
+module Value = Slim.Value
+
+type t =
+  | Dbool of { can_true : bool; can_false : bool }
+  | Dint of { lo : int; hi : int }
+  | Dreal of { lo : float; hi : float }
+
+exception Empty
+
+let of_ty = function
+  | Value.Tbool -> Dbool { can_true = true; can_false = true }
+  | Value.Tint { lo; hi } -> Dint { lo; hi }
+  | Value.Treal { lo; hi } -> Dreal { lo; hi }
+  | Value.Tvec _ -> Value.type_error "Dom.of_ty: vector type"
+
+let top_bool = Dbool { can_true = true; can_false = true }
+let booln b = Dbool { can_true = b; can_false = not b }
+
+let intn lo hi =
+  if lo > hi then raise Empty;
+  Dint { lo; hi }
+
+let realn lo hi =
+  if lo > hi then raise Empty;
+  Dreal { lo; hi }
+
+let is_singleton = function
+  | Dbool { can_true; can_false } -> can_true <> can_false
+  | Dint { lo; hi } -> lo = hi
+  | Dreal { lo; hi } -> lo = hi
+
+let singleton_value = function
+  | Dbool { can_true = true; can_false = false } -> Some (Value.Bool true)
+  | Dbool { can_true = false; can_false = true } -> Some (Value.Bool false)
+  | Dint { lo; hi } when lo = hi -> Some (Value.Int lo)
+  | Dreal { lo; hi } when lo = hi -> Some (Value.Real lo)
+  | Dbool _ | Dint _ | Dreal _ -> None
+
+let member d v =
+  match d, v with
+  | Dbool { can_true; can_false }, Value.Bool b ->
+    if b then can_true else can_false
+  | Dint { lo; hi }, Value.Int i -> lo <= i && i <= hi
+  | Dreal { lo; hi }, Value.Real r -> lo <= r && r <= hi
+  | Dreal { lo; hi }, Value.Int i ->
+    lo <= float_of_int i && float_of_int i <= hi
+  | Dint { lo; hi }, Value.Real r ->
+    Float.is_integer r && float_of_int lo <= r && r <= float_of_int hi
+  | (Dbool _ | Dint _ | Dreal _), _ -> false
+
+let meet a b =
+  match a, b with
+  | Dbool x, Dbool y ->
+    let can_true = x.can_true && y.can_true in
+    let can_false = x.can_false && y.can_false in
+    if not (can_true || can_false) then raise Empty;
+    Dbool { can_true; can_false }
+  | Dint x, Dint y -> intn (max x.lo y.lo) (min x.hi y.hi)
+  | Dreal x, Dreal y -> realn (Float.max x.lo y.lo) (Float.min x.hi y.hi)
+  | Dint x, Dreal y | Dreal y, Dint x ->
+    intn
+      (max x.lo (int_of_float (Float.ceil y.lo)))
+      (min x.hi (int_of_float (Float.floor y.hi)))
+  | (Dbool _ | Dint _ | Dreal _), (Dbool _ | Dint _ | Dreal _) ->
+    Value.type_error "Dom.meet: incompatible domains"
+
+let hull a b =
+  match a, b with
+  | Dbool x, Dbool y ->
+    Dbool
+      { can_true = x.can_true || y.can_true;
+        can_false = x.can_false || y.can_false }
+  | Dint x, Dint y -> Dint { lo = min x.lo y.lo; hi = max x.hi y.hi }
+  | Dreal x, Dreal y ->
+    Dreal { lo = Float.min x.lo y.lo; hi = Float.max x.hi y.hi }
+  | Dint x, Dreal y | Dreal y, Dint x ->
+    Dreal
+      { lo = Float.min (float_of_int x.lo) y.lo;
+        hi = Float.max (float_of_int x.hi) y.hi }
+  | (Dbool _ | Dint _ | Dreal _), (Dbool _ | Dint _ | Dreal _) ->
+    Value.type_error "Dom.hull: incompatible domains"
+
+let width = function
+  | Dbool { can_true; can_false } -> if can_true && can_false then 1.0 else 0.0
+  | Dint { lo; hi } -> float_of_int (hi - lo)
+  | Dreal { lo; hi } -> hi -. lo
+
+let real_width_floor = 1e-6
+
+let split = function
+  | Dbool { can_true = true; can_false = true } ->
+    Some (booln true, booln false)
+  | Dbool _ -> None
+  | Dint { lo; hi } when lo < hi ->
+    let mid = lo + ((hi - lo) / 2) in
+    Some (Dint { lo; hi = mid }, Dint { lo = mid + 1; hi })
+  | Dint _ -> None
+  | Dreal { lo; hi } when hi -. lo > real_width_floor ->
+    let mid = lo +. ((hi -. lo) /. 2.0) in
+    Some (Dreal { lo; hi = mid }, Dreal { lo = mid; hi })
+  | Dreal _ -> None
+
+let sample = function
+  | Dbool { can_true; can_false } ->
+    (if can_true then [ Value.Bool true ] else [])
+    @ (if can_false then [ Value.Bool false ] else [])
+  | Dint { lo; hi } ->
+    let mid = lo + ((hi - lo) / 2) in
+    let candidates =
+      [ Value.Int lo; Value.Int hi; Value.Int mid ]
+      @ (if lo <= 0 && 0 <= hi then [ Value.Int 0 ] else [])
+      @ (if lo <= 1 && 1 <= hi then [ Value.Int 1 ] else [])
+    in
+    List.sort_uniq compare candidates
+  | Dreal { lo; hi } ->
+    let mid = lo +. ((hi -. lo) /. 2.0) in
+    let candidates =
+      [ Value.Real lo; Value.Real hi; Value.Real mid ]
+      @ (if lo <= 0.0 && 0.0 <= hi then [ Value.Real 0.0 ] else [])
+      @ (if lo <= 1.0 && 1.0 <= hi then [ Value.Real 1.0 ] else [])
+    in
+    List.sort_uniq compare candidates
+
+let pp ppf = function
+  | Dbool { can_true; can_false } ->
+    Fmt.pf ppf "bool{%s%s}"
+      (if can_true then "T" else "")
+      (if can_false then "F" else "")
+  | Dint { lo; hi } -> Fmt.pf ppf "[%d,%d]" lo hi
+  | Dreal { lo; hi } -> Fmt.pf ppf "[%g,%g]" lo hi
+
+let equal = ( = )

@@ -1,0 +1,43 @@
+(** Abstract domains for solver variables: boolean three-valued domains
+    and closed numeric intervals. *)
+
+type t =
+  | Dbool of { can_true : bool; can_false : bool }
+  | Dint of { lo : int; hi : int }  (** inclusive, [lo <= hi] *)
+  | Dreal of { lo : float; hi : float }  (** inclusive, [lo <= hi] *)
+
+exception Empty
+(** Raised by narrowing operations when a domain becomes empty. *)
+
+val of_ty : Slim.Value.ty -> t
+(** Scalar types only; raises {!Slim.Value.Type_error} on vectors. *)
+
+val top_bool : t
+val booln : bool -> t
+val intn : int -> int -> t
+val realn : float -> float -> t
+
+val is_singleton : t -> bool
+val singleton_value : t -> Slim.Value.t option
+val member : t -> Slim.Value.t -> bool
+
+val meet : t -> t -> t
+(** Intersection; raises {!Empty}. *)
+
+val hull : t -> t -> t
+(** Convex union. *)
+
+val width : t -> float
+(** 0 for singletons; used to pick split variables. *)
+
+val split : t -> (t * t) option
+(** Bisect a non-singleton domain; [None] for singletons.  Integer
+    domains split on the midpoint; boolean domains into the two
+    constants; real domains bisect (down to a width floor). *)
+
+val sample : t -> Slim.Value.t list
+(** Candidate concrete values to try, most promising first (bounds,
+    midpoint, zero when contained). *)
+
+val pp : t Fmt.t
+val equal : t -> t -> bool

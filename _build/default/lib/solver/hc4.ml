@@ -1,0 +1,462 @@
+(* HC4-style constraint propagation: forward interval evaluation and
+   backward projection over solver terms.  All rules are conservative
+   (over-approximating), so propagation never loses solutions; final
+   answers are confirmed by concrete evaluation in [Csp]. *)
+
+module Value = Slim.Value
+module Ir = Slim.Ir
+
+type store = {
+  doms : (string, Dom.t) Hashtbl.t;
+  mutable changed : bool;
+}
+
+let create_store bindings =
+  let doms = Hashtbl.create 16 in
+  List.iter (fun (x, d) -> Hashtbl.replace doms x d) bindings;
+  { doms; changed = false }
+
+let get store x =
+  match Hashtbl.find_opt store.doms x with
+  | Some d -> d
+  | None -> Value.type_error "unknown solver variable %s" x
+
+let narrow store x d =
+  let old = get store x in
+  let d' = Dom.meet old d in
+  if not (Dom.equal d' old) then begin
+    Hashtbl.replace store.doms x d';
+    store.changed <- true
+  end
+
+(* --- numeric intervals (uniform over int/real) ----------------------- *)
+
+type num = { nlo : float; nhi : float; nint : bool }
+
+let num_of_dom = function
+  | Dom.Dint { lo; hi } ->
+    { nlo = float_of_int lo; nhi = float_of_int hi; nint = true }
+  | Dom.Dreal { lo; hi } -> { nlo = lo; nhi = hi; nint = false }
+  | Dom.Dbool { can_true; can_false } ->
+    (* booleans coerce to 0/1 under To_real / To_int *)
+    {
+      nlo = (if can_false then 0.0 else 1.0);
+      nhi = (if can_true then 1.0 else 0.0);
+      nint = true;
+    }
+
+let dom_of_num { nlo; nhi; nint } =
+  if nint then
+    Dom.intn (int_of_float (Float.ceil nlo)) (int_of_float (Float.floor nhi))
+  else Dom.realn nlo nhi
+
+let ntop = { nlo = -1e18; nhi = 1e18; nint = false }
+
+let nmk nint nlo nhi =
+  if nlo > nhi then raise Dom.Empty;
+  { nlo; nhi; nint }
+
+let nadd a b = nmk (a.nint && b.nint) (a.nlo +. b.nlo) (a.nhi +. b.nhi)
+let nsub a b = nmk (a.nint && b.nint) (a.nlo -. b.nhi) (a.nhi -. b.nlo)
+
+let nmul a b =
+  let c = [ a.nlo *. b.nlo; a.nlo *. b.nhi; a.nhi *. b.nlo; a.nhi *. b.nhi ] in
+  nmk (a.nint && b.nint)
+    (List.fold_left Float.min infinity c)
+    (List.fold_left Float.max neg_infinity c)
+
+let ndiv a b =
+  if b.nlo <= 0.0 && b.nhi >= 0.0 then ntop
+  else begin
+    let c =
+      [ a.nlo /. b.nlo; a.nlo /. b.nhi; a.nhi /. b.nlo; a.nhi /. b.nhi ]
+    in
+    let lo = List.fold_left Float.min infinity c in
+    let hi = List.fold_left Float.max neg_infinity c in
+    (* integer division truncates: widen by one to stay conservative *)
+    if a.nint && b.nint then nmk true (Float.floor lo -. 1.0) (Float.ceil hi +. 1.0)
+    else nmk false lo hi
+  end
+
+let nmod a b =
+  ignore a;
+  (* result magnitude is below |divisor|; sign follows the divisor *)
+  let m = Float.max (Float.abs b.nlo) (Float.abs b.nhi) in
+  nmk (a.nint && b.nint) (-.m) m
+
+let nneg a = nmk a.nint (-.a.nhi) (-.a.nlo)
+
+let nabs a =
+  if a.nlo >= 0.0 then a
+  else if a.nhi <= 0.0 then nneg a
+  else nmk a.nint 0.0 (Float.max (-.a.nlo) a.nhi)
+
+let nmin a b = nmk (a.nint && b.nint) (Float.min a.nlo b.nlo) (Float.min a.nhi b.nhi)
+let nmax a b = nmk (a.nint && b.nint) (Float.max a.nlo b.nlo) (Float.max a.nhi b.nhi)
+let nfloor a = nmk a.nint (Float.floor a.nlo) (Float.floor a.nhi)
+let nceil a = nmk a.nint (Float.ceil a.nlo) (Float.ceil a.nhi)
+
+(* truncation toward zero *)
+let ntrunc a = nmk true (Float.trunc a.nlo) (Float.trunc a.nhi)
+
+let nmeet a b =
+  nmk (a.nint || b.nint) (Float.max a.nlo b.nlo) (Float.min a.nhi b.nhi)
+
+let num_of_value v =
+  let r = Value.to_real v in
+  let nint = match v with Value.Int _ | Value.Bool _ -> true | _ -> false in
+  { nlo = r; nhi = r; nint }
+
+(* --- boolean three-valued helpers ------------------------------------ *)
+
+type bool3 = { bt : bool; bf : bool }  (* can be true / can be false *)
+
+let b3_top = { bt = true; bf = true }
+let b3_true = { bt = true; bf = false }
+let b3_false = { bt = false; bf = true }
+let b3_of_dom = function
+  | Dom.Dbool { can_true; can_false } -> { bt = can_true; bf = can_false }
+  | Dom.Dint { lo; hi } ->
+    (* ints coerce to bool as (<> 0) *)
+    { bt = not (lo = 0 && hi = 0); bf = lo <= 0 && 0 <= hi }
+  | Dom.Dreal { lo; hi } -> { bt = not (lo = 0.0 && hi = 0.0); bf = lo <= 0.0 && 0.0 <= hi }
+
+let dom_of_b3 { bt; bf } =
+  if not (bt || bf) then raise Dom.Empty;
+  Dom.Dbool { can_true = bt; can_false = bf }
+
+let b3_and a b = { bt = a.bt && b.bt; bf = a.bf || b.bf }
+let b3_or a b = { bt = a.bt || b.bt; bf = a.bf && b.bf }
+let b3_not a = { bt = a.bf; bf = a.bt }
+let b3_meet a b =
+  let r = { bt = a.bt && b.bt; bf = a.bf && b.bf } in
+  if not (r.bt || r.bf) then raise Dom.Empty;
+  r
+
+(* --- forward evaluation ---------------------------------------------- *)
+
+(* Every term evaluates to a Dom. *)
+let rec fwd store (t : Term.t) : Dom.t =
+  match t with
+  | Term.Cst (Value.Bool b) -> Dom.booln b
+  | Term.Cst (Value.Int i) -> Dom.intn i i
+  | Term.Cst (Value.Real r) -> Dom.realn r r
+  | Term.Cst (Value.Vec _) ->
+    Value.type_error "solver: vector constant in scalar position"
+  | Term.Tvar x -> get store x
+  | Term.Tunop (op, e) ->
+    let d = fwd store e in
+    (match op with
+     | Ir.Not -> dom_of_b3 (b3_not (b3_of_dom d))
+     | Ir.Neg -> dom_of_num (nneg (num_of_dom d))
+     | Ir.Abs_op -> dom_of_num (nabs (num_of_dom d))
+     | Ir.To_real ->
+       let n = num_of_dom d in
+       Dom.realn n.nlo n.nhi
+     | Ir.To_int -> dom_of_num (ntrunc (num_of_dom d))
+     | Ir.Floor -> dom_of_num (nfloor (num_of_dom d))
+     | Ir.Ceil -> dom_of_num (nceil (num_of_dom d)))
+  | Term.Tbinop (op, a, b) ->
+    let na = num_of_dom (fwd store a) in
+    let nb = num_of_dom (fwd store b) in
+    let r =
+      match op with
+      | Ir.Add -> nadd na nb
+      | Ir.Sub -> nsub na nb
+      | Ir.Mul -> nmul na nb
+      | Ir.Div -> ndiv na nb
+      | Ir.Mod -> nmod na nb
+      | Ir.Min -> nmin na nb
+      | Ir.Max -> nmax na nb
+    in
+    dom_of_num r
+  | Term.Tcmp (op, a, b) ->
+    let da = fwd store a and db = fwd store b in
+    (match da, db with
+     | Dom.Dbool x, Dom.Dbool y ->
+       (* boolean equality/inequality *)
+       let both_sing = Dom.is_singleton da && Dom.is_singleton db in
+       let eq_forced = both_sing && x.can_true = y.can_true in
+       let b3 =
+         match op with
+         | Ir.Eq ->
+           if both_sing then if eq_forced then b3_true else b3_false
+           else b3_top
+         | Ir.Ne ->
+           if both_sing then if eq_forced then b3_false else b3_true
+           else b3_top
+         | Ir.Lt | Ir.Le | Ir.Gt | Ir.Ge ->
+           Value.type_error "solver: ordering on booleans"
+       in
+       dom_of_b3 b3
+     | _, _ ->
+       let na = num_of_dom da and nb = num_of_dom db in
+       let b3 =
+         match op with
+         | Ir.Lt ->
+           if na.nhi < nb.nlo then b3_true
+           else if na.nlo >= nb.nhi then b3_false
+           else b3_top
+         | Ir.Le ->
+           if na.nhi <= nb.nlo then b3_true
+           else if na.nlo > nb.nhi then b3_false
+           else b3_top
+         | Ir.Gt ->
+           if na.nlo > nb.nhi then b3_true
+           else if na.nhi <= nb.nlo then b3_false
+           else b3_top
+         | Ir.Ge ->
+           if na.nlo >= nb.nhi then b3_true
+           else if na.nhi < nb.nlo then b3_false
+           else b3_top
+         | Ir.Eq ->
+           if na.nlo = na.nhi && nb.nlo = nb.nhi && na.nlo = nb.nlo then
+             b3_true
+           else if na.nhi < nb.nlo || nb.nhi < na.nlo then b3_false
+           else b3_top
+         | Ir.Ne ->
+           if na.nhi < nb.nlo || nb.nhi < na.nlo then b3_true
+           else if na.nlo = na.nhi && nb.nlo = nb.nhi && na.nlo = nb.nlo then
+             b3_false
+           else b3_top
+       in
+       dom_of_b3 b3)
+  | Term.Tand (a, b) ->
+    dom_of_b3 (b3_and (b3_of_dom (fwd store a)) (b3_of_dom (fwd store b)))
+  | Term.Tor (a, b) ->
+    dom_of_b3 (b3_or (b3_of_dom (fwd store a)) (b3_of_dom (fwd store b)))
+  | Term.Tnot e -> dom_of_b3 (b3_not (b3_of_dom (fwd store e)))
+  | Term.Tite (c, a, b) ->
+    let bc = b3_of_dom (fwd store c) in
+    if not bc.bf then fwd store a
+    else if not bc.bt then fwd store b
+    else Dom.hull (fwd store a) (fwd store b)
+
+let can_meet a b =
+  match Dom.meet a b with _ -> true | exception Dom.Empty -> false
+
+(* --- backward projection ---------------------------------------------- *)
+
+let negate_cmp = function
+  | Ir.Eq -> Ir.Ne
+  | Ir.Ne -> Ir.Eq
+  | Ir.Lt -> Ir.Ge
+  | Ir.Le -> Ir.Gt
+  | Ir.Gt -> Ir.Le
+  | Ir.Ge -> Ir.Lt
+
+(* Narrow the variables under [t] so that its value may lie in [req]. *)
+let rec bwd store (t : Term.t) (req : Dom.t) : unit =
+  match t with
+  | Term.Cst v -> if not (can_meet req (fwd store t)) then raise Dom.Empty else ignore v
+  | Term.Tvar x -> narrow store x req
+  | Term.Tnot e -> bwd store e (dom_of_b3 (b3_not (b3_of_dom req)))
+  | Term.Tand (a, b) ->
+    let r = b3_of_dom req in
+    if not r.bf then begin
+      (* must be true: both conjuncts true *)
+      bwd store a (Dom.booln true);
+      bwd store b (Dom.booln true)
+    end
+    else if not r.bt then begin
+      (* must be false: if one side is forced true, the other is false *)
+      let ba = b3_of_dom (fwd store a) in
+      let bb = b3_of_dom (fwd store b) in
+      if not ba.bf then bwd store b (Dom.booln false)
+      else if not bb.bf then bwd store a (Dom.booln false)
+    end
+  | Term.Tor (a, b) ->
+    let r = b3_of_dom req in
+    if not r.bt then begin
+      bwd store a (Dom.booln false);
+      bwd store b (Dom.booln false)
+    end
+    else if not r.bf then begin
+      let ba = b3_of_dom (fwd store a) in
+      let bb = b3_of_dom (fwd store b) in
+      if not ba.bt then bwd store b (Dom.booln true)
+      else if not bb.bt then bwd store a (Dom.booln true)
+    end
+  | Term.Tcmp (op, a, b) ->
+    let r = b3_of_dom req in
+    if not r.bf then bwd_cmp store op a b
+    else if not r.bt then bwd_cmp store (negate_cmp op) a b
+  | Term.Tite (c, a, b) ->
+    let bc = b3_of_dom (fwd store c) in
+    if not bc.bf then bwd store a req
+    else if not bc.bt then bwd store b req
+    else begin
+      let fa = fwd store a and fb = fwd store b in
+      let a_ok = can_meet fa req and b_ok = can_meet fb req in
+      match a_ok, b_ok with
+      | false, false -> raise Dom.Empty
+      | false, true ->
+        bwd store c (Dom.booln false);
+        bwd store b req
+      | true, false ->
+        bwd store c (Dom.booln true);
+        bwd store a req
+      | true, true -> ()
+    end
+  | Term.Tunop (op, e) ->
+    (match op with
+     | Ir.Not -> bwd store e (dom_of_b3 (b3_not (b3_of_dom req)))
+     | Ir.Neg -> bwd_num store e (nneg (num_of_dom req))
+     | Ir.Abs_op ->
+       let r = num_of_dom req in
+       bwd_num store e (nmk r.nint (-.r.nhi) r.nhi)
+     | Ir.To_real ->
+       (match fwd store e with
+        | Dom.Dbool _ ->
+          let r = num_of_dom req in
+          let bt = r.nhi >= 1.0 && 1.0 >= r.nlo in
+          let bf = r.nlo <= 0.0 && 0.0 <= r.nhi in
+          bwd store e (dom_of_b3 (b3_meet (b3_of_dom (fwd store e)) { bt; bf }))
+        | _ ->
+          let r = num_of_dom req in
+          bwd_num store e { r with nint = false })
+     | Ir.To_int ->
+       (match fwd store e with
+        | Dom.Dbool _ ->
+          let r = num_of_dom req in
+          let bt = r.nhi >= 1.0 && 1.0 >= r.nlo in
+          let bf = r.nlo <= 0.0 && 0.0 <= r.nhi in
+          bwd store e (dom_of_b3 (b3_meet (b3_of_dom (fwd store e)) { bt; bf }))
+        | _ ->
+          let r = num_of_dom req in
+          (* e truncates into [lo,hi]: e in (lo-1, hi+1) *)
+          bwd_num store e (nmk false (r.nlo -. 1.0) (r.nhi +. 1.0)))
+     | Ir.Floor ->
+       let r = num_of_dom req in
+       bwd_num store e (nmk false r.nlo (r.nhi +. 1.0))
+     | Ir.Ceil ->
+       let r = num_of_dom req in
+       bwd_num store e (nmk false (r.nlo -. 1.0) r.nhi))
+  | Term.Tbinop (op, a, b) ->
+    let r = num_of_dom req in
+    let na = num_of_dom (fwd store a) in
+    let nb = num_of_dom (fwd store b) in
+    (match op with
+     | Ir.Add ->
+       bwd_num store a (nsub r nb);
+       bwd_num store b (nsub r na)
+     | Ir.Sub ->
+       bwd_num store a (nadd r nb);
+       bwd_num store b (nsub na r)
+     | Ir.Mul ->
+       if not (nb.nlo <= 0.0 && 0.0 <= nb.nhi) then
+         bwd_num store a (ndiv r nb);
+       if not (na.nlo <= 0.0 && 0.0 <= na.nhi) then
+         bwd_num store b (ndiv r na)
+     | Ir.Div ->
+       (* a / b = r  =>  a in r*b (real case; skip for ints: truncation) *)
+       if not (na.nint && nb.nint) then bwd_num store a (nmul r nb)
+     | Ir.Mod -> ()
+     | Ir.Min ->
+       (* min(a,b) >= lo(r): both >= lo(r); if one side's lo exceeds
+          hi(r), the other must be <= hi(r) *)
+       bwd_num store a { ntop with nlo = r.nlo; nint = na.nint };
+       bwd_num store b { ntop with nlo = r.nlo; nint = nb.nint };
+       if na.nlo > r.nhi then bwd_num store b { nb with nhi = Float.min nb.nhi r.nhi };
+       if nb.nlo > r.nhi then bwd_num store a { na with nhi = Float.min na.nhi r.nhi }
+     | Ir.Max ->
+       bwd_num store a { ntop with nhi = r.nhi; nint = na.nint };
+       bwd_num store b { ntop with nhi = r.nhi; nint = nb.nint };
+       if na.nhi < r.nlo then bwd_num store b { nb with nlo = Float.max nb.nlo r.nlo };
+       if nb.nhi < r.nlo then bwd_num store a { na with nlo = Float.max na.nlo r.nlo })
+
+and bwd_num store t n =
+  (* only push numeric requirements when they actually constrain *)
+  let d =
+    if n.nint then
+      Dom.Dint
+        {
+          lo = int_of_float (Float.max (-1e9) (Float.ceil n.nlo));
+          hi = int_of_float (Float.min 1e9 (Float.floor n.nhi));
+        }
+    else Dom.Dreal { lo = n.nlo; hi = n.nhi }
+  in
+  (match fwd store t with
+   | Dom.Dbool _ ->
+     (* a boolean in numeric position: constrain via 0/1 coercion *)
+     let bt = n.nhi >= 1.0 && 1.0 >= n.nlo in
+     let bf = n.nlo <= 0.0 && 0.0 <= n.nhi in
+     bwd store t (dom_of_b3 { bt; bf })
+   | _ -> bwd store t d)
+
+and bwd_cmp store op a b =
+  let da = fwd store a and db = fwd store b in
+  match da, db with
+  | Dom.Dbool x, Dom.Dbool y ->
+    (match op with
+     | Ir.Eq ->
+       if Dom.is_singleton da then bwd store b da;
+       if Dom.is_singleton db then bwd store a db
+     | Ir.Ne ->
+       if Dom.is_singleton da then
+         bwd store b (dom_of_b3 (b3_not { bt = x.can_true; bf = x.can_false }));
+       if Dom.is_singleton db then
+         bwd store a (dom_of_b3 (b3_not { bt = y.can_true; bf = y.can_false }))
+     | Ir.Lt | Ir.Le | Ir.Gt | Ir.Ge ->
+       Value.type_error "solver: ordering on booleans")
+  | _, _ ->
+    let na = num_of_dom da and nb = num_of_dom db in
+    let eps_lt hi = if na.nint && nb.nint then hi -. 1.0 else hi in
+    let eps_gt lo = if na.nint && nb.nint then lo +. 1.0 else lo in
+    (match op with
+     | Ir.Le ->
+       bwd_num store a { na with nhi = Float.min na.nhi nb.nhi };
+       bwd_num store b { nb with nlo = Float.max nb.nlo na.nlo }
+     | Ir.Lt ->
+       bwd_num store a { na with nhi = Float.min na.nhi (eps_lt nb.nhi) };
+       bwd_num store b { nb with nlo = Float.max nb.nlo (eps_gt na.nlo) }
+     | Ir.Ge ->
+       bwd_num store a { na with nlo = Float.max na.nlo nb.nlo };
+       bwd_num store b { nb with nhi = Float.min nb.nhi na.nhi }
+     | Ir.Gt ->
+       bwd_num store a { na with nlo = Float.max na.nlo (eps_gt nb.nlo) };
+       bwd_num store b { nb with nhi = Float.min nb.nhi (eps_lt na.nhi) }
+     | Ir.Eq ->
+       let m = nmeet na nb in
+       bwd_num store a { m with nint = na.nint };
+       bwd_num store b { m with nint = nb.nint }
+     | Ir.Ne ->
+       (* only prune when one side is an integer singleton at a boundary *)
+       let prune this other =
+         if other.nlo = other.nhi && this.nint && other.nint then begin
+           let k = other.nlo in
+           if this.nlo = k then Some { this with nlo = k +. 1.0 }
+           else if this.nhi = k then Some { this with nhi = k -. 1.0 }
+           else None
+         end
+         else None
+       in
+       (match prune na nb with
+        | Some na' -> bwd_num store a na'
+        | None -> ());
+       (match prune nb na with
+        | Some nb' -> bwd_num store b nb'
+        | None -> ()))
+
+(* --- fixpoint ---------------------------------------------------------- *)
+
+let default_max_rounds = 30
+
+(* Propagate [t] = true.  Returns [`Unsat] if the store becomes empty. *)
+let propagate ?(max_rounds = default_max_rounds) store (t : Term.t) =
+  try
+    let continue_ = ref true in
+    let rounds = ref 0 in
+    while !continue_ && !rounds < max_rounds do
+      store.changed <- false;
+      bwd store t (Dom.booln true);
+      (match fwd store t with
+       | d ->
+         let b = b3_of_dom d in
+         if not b.bt then raise Dom.Empty
+       | exception Dom.Empty -> raise Dom.Empty);
+      continue_ := store.changed;
+      incr rounds
+    done;
+    `Ok
+  with Dom.Empty -> `Unsat

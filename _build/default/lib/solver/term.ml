@@ -1,0 +1,166 @@
+module Value = Slim.Value
+module Ir = Slim.Ir
+
+type t =
+  | Cst of Value.t
+  | Tvar of string
+  | Tunop of Ir.unop * t
+  | Tbinop of Ir.binop * t * t
+  | Tcmp of Ir.cmpop * t * t
+  | Tand of t * t
+  | Tor of t * t
+  | Tnot of t
+  | Tite of t * t * t
+
+let cst v = Cst v
+let cbool b = Cst (Value.Bool b)
+let cint i = Cst (Value.Int i)
+let creal r = Cst (Value.Real r)
+let var name = Tvar name
+
+let is_const = function Cst v -> Some v | _ -> None
+
+let eval_unop (op : Ir.unop) v =
+  match op with
+  | Ir.Neg -> Value.neg v
+  | Ir.Not -> Value.Bool (not (Value.to_bool v))
+  | Ir.Abs_op -> Value.abs_v v
+  | Ir.To_real -> Value.Real (Value.to_real v)
+  | Ir.To_int -> Value.Int (Value.to_int v)
+  | Ir.Floor -> Value.floor_v v
+  | Ir.Ceil -> Value.ceil_v v
+
+let eval_binop (op : Ir.binop) a b =
+  match op with
+  | Ir.Add -> Value.add a b
+  | Ir.Sub -> Value.sub a b
+  | Ir.Mul -> Value.mul a b
+  | Ir.Div -> Value.div a b
+  | Ir.Mod -> Value.modulo a b
+  | Ir.Min -> Value.min_v a b
+  | Ir.Max -> Value.max_v a b
+
+let eval_cmp (op : Ir.cmpop) a b =
+  let c () = Value.compare_num a b in
+  match op with
+  | Ir.Eq -> Value.equal a b
+  | Ir.Ne -> not (Value.equal a b)
+  | Ir.Lt -> c () < 0
+  | Ir.Le -> c () <= 0
+  | Ir.Gt -> c () > 0
+  | Ir.Ge -> c () >= 0
+
+let unop op e =
+  match e with
+  | Cst v -> (try Cst (eval_unop op v) with Value.Type_error _ -> Tunop (op, e))
+  | _ -> Tunop (op, e)
+
+let binop op a b =
+  match a, b with
+  | Cst va, Cst vb ->
+    (try Cst (eval_binop op va vb) with Value.Type_error _ -> Tbinop (op, a, b))
+  | _ -> Tbinop (op, a, b)
+
+let cmp op a b =
+  match a, b with
+  | Cst va, Cst vb ->
+    (try Cst (Value.Bool (eval_cmp op va vb))
+     with Value.Type_error _ -> Tcmp (op, a, b))
+  | _ -> Tcmp (op, a, b)
+
+let and_ a b =
+  match a, b with
+  | Cst (Value.Bool true), x | x, Cst (Value.Bool true) -> x
+  | Cst (Value.Bool false), _ | _, Cst (Value.Bool false) -> cbool false
+  | _ -> Tand (a, b)
+
+let or_ a b =
+  match a, b with
+  | Cst (Value.Bool false), x | x, Cst (Value.Bool false) -> x
+  | Cst (Value.Bool true), _ | _, Cst (Value.Bool true) -> cbool true
+  | _ -> Tor (a, b)
+
+let not_ = function
+  | Cst (Value.Bool b) -> cbool (not b)
+  | Tnot e -> e
+  | e -> Tnot e
+
+let ite c t e =
+  match c with
+  | Cst (Value.Bool true) -> t
+  | Cst (Value.Bool false) -> e
+  | _ -> if t = e then t else Tite (c, t, e)
+
+let conj = function
+  | [] -> cbool true
+  | t :: ts -> List.fold_left and_ t ts
+
+let vars t =
+  let module S = Set.Make (String) in
+  let rec go acc = function
+    | Cst _ -> acc
+    | Tvar x -> S.add x acc
+    | Tunop (_, e) | Tnot e -> go acc e
+    | Tbinop (_, a, b) | Tcmp (_, a, b) | Tand (a, b) | Tor (a, b) ->
+      go (go acc a) b
+    | Tite (c, a, b) -> go (go (go acc c) a) b
+  in
+  S.elements (go S.empty t)
+
+let rec size = function
+  | Cst _ | Tvar _ -> 1
+  | Tunop (_, e) | Tnot e -> 1 + size e
+  | Tbinop (_, a, b) | Tcmp (_, a, b) | Tand (a, b) | Tor (a, b) ->
+    1 + size a + size b
+  | Tite (c, a, b) -> 1 + size c + size a + size b
+
+(* Terms built by multi-step state threading can be exponentially large
+   when walked as trees even though they are compact DAGs in memory;
+   [size_capped] stops counting at [cap] so callers can reject oversize
+   constraints in bounded time. *)
+let size_capped cap t =
+  let n = ref 0 in
+  let rec go t =
+    if !n < cap then begin
+      incr n;
+      match t with
+      | Cst _ | Tvar _ -> ()
+      | Tunop (_, e) | Tnot e -> go e
+      | Tbinop (_, a, b) | Tcmp (_, a, b) | Tand (a, b) | Tor (a, b) ->
+        go a;
+        go b
+      | Tite (c, a, b) ->
+        go c;
+        go a;
+        go b
+    end
+  in
+  go t;
+  !n
+
+let rec eval env = function
+  | Cst v -> v
+  | Tvar x -> env x
+  | Tunop (op, e) -> eval_unop op (eval env e)
+  | Tbinop (op, a, b) -> eval_binop op (eval env a) (eval env b)
+  | Tcmp (op, a, b) -> Value.Bool (eval_cmp op (eval env a) (eval env b))
+  | Tand (a, b) ->
+    Value.Bool (Value.to_bool (eval env a) && Value.to_bool (eval env b))
+  | Tor (a, b) ->
+    Value.Bool (Value.to_bool (eval env a) || Value.to_bool (eval env b))
+  | Tnot e -> Value.Bool (not (Value.to_bool (eval env e)))
+  | Tite (c, a, b) ->
+    if Value.to_bool (eval env c) then eval env a else eval env b
+
+let rec pp ppf = function
+  | Cst v -> Value.pp ppf v
+  | Tvar x -> Fmt.string ppf x
+  | Tunop (op, e) -> Fmt.pf ppf "%a(%a)" Ir.pp_unop op pp e
+  | Tbinop (op, a, b) -> Fmt.pf ppf "(%a %a %a)" pp a Ir.pp_binop op pp b
+  | Tcmp (op, a, b) -> Fmt.pf ppf "(%a %a %a)" pp a Ir.pp_cmpop op pp b
+  | Tand (a, b) -> Fmt.pf ppf "(%a && %a)" pp a pp b
+  | Tor (a, b) -> Fmt.pf ppf "(%a || %a)" pp a pp b
+  | Tnot e -> Fmt.pf ppf "!(%a)" pp e
+  | Tite (c, a, b) -> Fmt.pf ppf "(%a ? %a : %a)" pp c pp a pp b
+
+let equal = ( = )

@@ -1,0 +1,56 @@
+(** Solver terms: scalar constraints over named decision variables.
+
+    Terms mirror the SLIM IR expression language minus [Index]: the
+    symbolic executor eliminates array reads before constraints reach
+    the solver (constant arrays fold; symbolic indices over constant
+    arrays expand to [Tite] chains).  Smart constructors fold constants
+    aggressively — this folding is what makes state-aware solving cheap,
+    because state variables arrive as constants. *)
+
+type t =
+  | Cst of Slim.Value.t
+  | Tvar of string
+  | Tunop of Slim.Ir.unop * t
+  | Tbinop of Slim.Ir.binop * t * t
+  | Tcmp of Slim.Ir.cmpop * t * t
+  | Tand of t * t
+  | Tor of t * t
+  | Tnot of t
+  | Tite of t * t * t
+
+val cst : Slim.Value.t -> t
+val cbool : bool -> t
+val cint : int -> t
+val creal : float -> t
+val var : string -> t
+
+(** Folding constructors: constant subterms are evaluated away. *)
+
+val unop : Slim.Ir.unop -> t -> t
+val binop : Slim.Ir.binop -> t -> t -> t
+val cmp : Slim.Ir.cmpop -> t -> t -> t
+val and_ : t -> t -> t
+val or_ : t -> t -> t
+val not_ : t -> t
+val ite : t -> t -> t -> t
+
+val is_const : t -> Slim.Value.t option
+val conj : t list -> t
+
+val vars : t -> string list
+(** Free variables, sorted, without duplicates. *)
+
+val size : t -> int
+(** Node count — used for virtual-time cost accounting. *)
+
+val size_capped : int -> t -> int
+(** Node count, but stops at the cap: terms threaded through many
+    symbolic steps can be exponentially large as trees even when they
+    are compact DAGs, and this keeps measuring them cheap. *)
+
+val eval : (string -> Slim.Value.t) -> t -> Slim.Value.t
+(** Concrete evaluation under a full assignment.  Raises
+    {!Slim.Value.Type_error} on ill-typed terms. *)
+
+val pp : t Fmt.t
+val equal : t -> t -> bool

@@ -1,0 +1,1 @@
+lib/stateflow/chart.ml: Format List Slim String

@@ -1,0 +1,1 @@
+lib/stateflow/chart.mli: Slim

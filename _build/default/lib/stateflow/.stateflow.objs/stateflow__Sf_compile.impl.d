@@ -1,0 +1,1 @@
+lib/stateflow/sf_compile.ml: Chart List Slim

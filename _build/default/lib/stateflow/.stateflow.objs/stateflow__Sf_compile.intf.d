@@ -1,0 +1,1 @@
+lib/stateflow/sf_compile.mli: Chart Slim

@@ -1,0 +1,76 @@
+type transition = {
+  src : string;
+  dst : string;
+  guard : Slim.Ir.expr;
+  t_action : Slim.Ir.stmt list;
+}
+
+type state = {
+  st_name : string;
+  entry : Slim.Ir.stmt list;
+  during : Slim.Ir.stmt list;
+  exit : Slim.Ir.stmt list;
+  children : region option;
+}
+
+and region = {
+  states : state list;
+  initial : string;
+  transitions : transition list;
+}
+
+type t = {
+  ch_name : string;
+  inputs : Slim.Ir.var list;
+  outputs : Slim.Ir.var list;
+  data : (Slim.Ir.var * Slim.Value.t) list;
+  top : region;
+}
+
+exception Invalid_chart of string
+
+let invalid fmt = Format.kasprintf (fun s -> raise (Invalid_chart s)) fmt
+
+let state ?(entry = []) ?(during = []) ?(exit = []) ?children st_name =
+  { st_name; entry; during; exit; children }
+
+let trans ?(guard = Slim.Ir.cb true) ?(action = []) src dst =
+  { src; dst; guard; t_action = action }
+
+let region ~initial ?(transitions = []) states =
+  { states; initial; transitions }
+
+let chart ~name ?(inputs = []) ?(outputs = []) ?(data = []) top =
+  { ch_name = name; inputs; outputs; data; top }
+
+let state_index r name =
+  let rec go i = function
+    | [] -> invalid "unknown state %s" name
+    | s :: rest -> if s.st_name = name then i else go (i + 1) rest
+  in
+  go 0 r.states
+
+let validate (c : t) =
+  let rec check_region path (r : region) =
+    let names = List.map (fun s -> s.st_name) r.states in
+    if r.states = [] then invalid "%s: empty region" path;
+    let sorted = List.sort_uniq String.compare names in
+    if List.length sorted <> List.length names then
+      invalid "%s: duplicate state names" path;
+    if not (List.mem r.initial names) then
+      invalid "%s: initial state %s not found" path r.initial;
+    List.iter
+      (fun tr ->
+        if not (List.mem tr.src names) then
+          invalid "%s: transition from unknown state %s" path tr.src;
+        if not (List.mem tr.dst names) then
+          invalid "%s: transition to unknown state %s" path tr.dst)
+      r.transitions;
+    List.iter
+      (fun s ->
+        match s.children with
+        | Some child -> check_region (path ^ "/" ^ s.st_name) child
+        | None -> ())
+      r.states
+  in
+  check_region c.ch_name c.top

@@ -1,0 +1,88 @@
+(** Stateflow-like hierarchical state machines.
+
+    A chart has typed inputs and outputs, persistent local data, and one
+    top region of exclusive (OR) states.  Each state may carry entry /
+    during / exit actions and one child region.  Transitions connect
+    sibling states; their guards and actions are SLIM IR expressions and
+    statements over the chart's scope:
+
+    - inputs are read with [Ir.iv],
+    - persistent data with [Ir.sv] / written with [Ir.assign_state],
+    - outputs with [Ir.Var (Output, _)] / written with [Ir.assign_out].
+
+    Charts compile ({!Sf_compile.compile}) to an {!Slim.Ir.fragment}
+    whose state variables include one location variable per region, so a
+    chart's full configuration is part of the model state snapshot —
+    exactly the [M]/[ML] component of the paper's Definition 2.
+
+    Semantics per step (a simplification of Stateflow's):
+    transitions of the active state are tried in priority (list) order;
+    the first enabled one exits the source (children first), runs the
+    transition action, moves, and enters the destination (initial child
+    states recursively).  If none fires, the during action runs and the
+    child region, if any, takes a step.  Outputs hold their previous
+    value unless assigned. *)
+
+type transition = {
+  src : string;
+  dst : string;
+  guard : Slim.Ir.expr;
+  t_action : Slim.Ir.stmt list;
+}
+
+type state = {
+  st_name : string;
+  entry : Slim.Ir.stmt list;
+  during : Slim.Ir.stmt list;
+  exit : Slim.Ir.stmt list;
+  children : region option;
+}
+
+and region = {
+  states : state list;
+  initial : string;
+  transitions : transition list;
+}
+
+type t = {
+  ch_name : string;
+  inputs : Slim.Ir.var list;
+  outputs : Slim.Ir.var list;
+  data : (Slim.Ir.var * Slim.Value.t) list;
+  top : region;
+}
+
+exception Invalid_chart of string
+
+(** {1 Builders} *)
+
+val state :
+  ?entry:Slim.Ir.stmt list ->
+  ?during:Slim.Ir.stmt list ->
+  ?exit:Slim.Ir.stmt list ->
+  ?children:region ->
+  string ->
+  state
+
+val trans :
+  ?guard:Slim.Ir.expr -> ?action:Slim.Ir.stmt list -> string -> string ->
+  transition
+(** [trans src dst] — unguarded by default. *)
+
+val region :
+  initial:string -> ?transitions:transition list -> state list -> region
+
+val chart :
+  name:string ->
+  ?inputs:Slim.Ir.var list ->
+  ?outputs:Slim.Ir.var list ->
+  ?data:(Slim.Ir.var * Slim.Value.t) list ->
+  region ->
+  t
+
+val validate : t -> unit
+(** Checks that transition endpoints exist, initial states exist, state
+    names within a region are unique.  Raises {!Invalid_chart}. *)
+
+val state_index : region -> string -> int
+(** Index used to encode the state in the region's location variable. *)

@@ -1,0 +1,162 @@
+module Ir = Slim.Ir
+module Value = Slim.Value
+
+(* Compilation context: accumulated state variables (location variables,
+   output shadows) discovered while walking the chart. *)
+type ctx = { mutable states : (Ir.var * Value.t) list }
+
+let loc_var_name path = if path = "" then "loc" else "loc." ^ path
+
+let rec region_has_exit (r : Chart.region) =
+  List.exists
+    (fun (s : Chart.state) ->
+      s.exit <> []
+      || (match s.children with Some c -> region_has_exit c | None -> false))
+    r.states
+
+(* Entering a state resets and enters its child region (no history). *)
+let rec enter_state ctx path (s : Chart.state) : Ir.stmt list =
+  s.entry
+  @
+  match s.children with
+  | None -> []
+  | Some child ->
+    let child_path = (if path = "" then "" else path ^ ".") ^ s.st_name in
+    let loc = loc_var_name child_path in
+    let init_idx = Chart.state_index child child.initial in
+    let init_state =
+      List.find
+        (fun (st : Chart.state) -> st.st_name = child.initial)
+        child.states
+    in
+    Ir.assign_state loc (Ir.ci init_idx)
+    :: enter_state ctx child_path init_state
+
+(* Exiting a composite state exits whichever child is active first. *)
+let rec exit_state path (s : Chart.state) : Ir.stmt list =
+  let child_exits =
+    match s.children with
+    | Some child when region_has_exit child ->
+      let child_path = (if path = "" then "" else path ^ ".") ^ s.st_name in
+      let loc = loc_var_name child_path in
+      let n = List.length child.states in
+      let cases =
+        List.mapi
+          (fun i (st : Chart.state) -> (i, exit_state child_path st))
+          child.states
+      in
+      (* Last state doubles as the default so the dispatch is total. *)
+      let cases, default =
+        match List.rev cases with
+        | (_, last) :: rev_rest -> (List.rev rev_rest, last)
+        | [] -> ([], [])
+      in
+      if n = 1 then default
+      else [ Ir.switch (Ir.sv loc) cases default ]
+    | _ -> []
+  in
+  child_exits @ s.exit
+
+let is_const_true = function
+  | Ir.Const (Value.Bool true) -> true
+  | _ -> false
+
+let rec compile_region ctx path (r : Chart.region) : Ir.stmt list =
+  let loc = loc_var_name path in
+  let n = List.length r.states in
+  let init_idx = Chart.state_index r r.initial in
+  ctx.states <-
+    (Ir.var Ir.State loc (Value.tint_range 0 (n - 1)), Value.Int init_idx)
+    :: ctx.states;
+  let state_code (s : Chart.state) =
+    let stay =
+      s.during
+      @
+      match s.children with
+      | Some child ->
+        let child_path = (if path = "" then "" else path ^ ".") ^ s.st_name in
+        compile_region ctx child_path child
+      | None -> []
+    in
+    let fire (tr : Chart.transition) =
+      let dst_state =
+        List.find (fun (st : Chart.state) -> st.st_name = tr.dst) r.states
+      in
+      exit_state path s
+      @ tr.t_action
+      @ (Ir.assign_state loc (Ir.ci (Chart.state_index r tr.dst))
+         :: enter_state ctx path dst_state)
+    in
+    let rec chain = function
+      | [] -> stay
+      | tr :: rest ->
+        if is_const_true tr.Chart.guard then fire tr
+        else [ Ir.if_ tr.Chart.guard (fire tr) (chain rest) ]
+    in
+    let outgoing =
+      List.filter (fun (tr : Chart.transition) -> tr.src = s.st_name)
+        r.transitions
+    in
+    chain outgoing
+  in
+  if n = 1 then
+    match r.states with
+    | [ s ] -> state_code s
+    | _ -> assert false
+  else begin
+    let cases = List.mapi (fun i s -> (i, state_code s)) r.states in
+    let cases, default =
+      match List.rev cases with
+      | (_, last) :: rev_rest -> (List.rev rev_rest, last)
+      | [] -> ([], [])
+    in
+    [ Ir.switch (Ir.sv loc) cases default ]
+  end
+
+let compile (c : Chart.t) : Ir.fragment =
+  Chart.validate c;
+  let ctx = { states = [] } in
+  let body = compile_region ctx "" c.top in
+  (* Outputs persist across steps via shadow state variables. *)
+  let shadows =
+    List.map
+      (fun (v : Ir.var) ->
+        (Ir.var Ir.State ("out." ^ v.name) v.ty, Value.default_of_ty v.ty))
+      c.outputs
+  in
+  let load_outputs =
+    List.map
+      (fun (v : Ir.var) ->
+        Ir.Assign (Ir.Lvar (Ir.Output, v.name), Ir.sv ("out." ^ v.name)))
+      c.outputs
+  in
+  let save_outputs =
+    List.map
+      (fun (v : Ir.var) ->
+        Ir.assign_state ("out." ^ v.name) (Ir.Var (Ir.Output, v.name)))
+      c.outputs
+  in
+  {
+    Ir.f_name = c.ch_name;
+    f_inputs = c.inputs;
+    f_outputs = c.outputs;
+    f_states = c.data @ List.rev ctx.states @ shadows;
+    f_locals = [];
+    f_body = load_outputs @ body @ save_outputs;
+  }
+
+let to_program (c : Chart.t) : Ir.program =
+  let frag = compile c in
+  let prog =
+    {
+      Ir.name = c.ch_name;
+      inputs = frag.Ir.f_inputs;
+      outputs = frag.Ir.f_outputs;
+      states = frag.Ir.f_states;
+      locals = frag.Ir.f_locals;
+      body = frag.Ir.f_body;
+    }
+  in
+  let prog = Ir.renumber_decisions prog in
+  Ir.type_check prog;
+  prog

@@ -1,0 +1,16 @@
+(** Compilation of charts to SLIM IR.
+
+    Each region gets an integer location state variable; chart outputs
+    persist across steps through shadow state variables.  Transition
+    guards become [If] decisions (in priority order), so every
+    transition contributes a branch in the sense of the paper's
+    Definition 1; the region dispatch becomes a [Switch] whose last
+    state is the default case. *)
+
+val compile : Chart.t -> Slim.Ir.fragment
+(** Validates, then compiles.  Raises {!Chart.Invalid_chart}. *)
+
+val to_program : Chart.t -> Slim.Ir.program
+(** A standalone program whose I/O is exactly the chart's — convenient
+    for chart-only models.  Decisions are densely renumbered and the
+    result is type-checked. *)

@@ -1,0 +1,1 @@
+lib/symexec/explore.ml: Array Fmt List Option Random Slim Solver String Sym_value

@@ -1,0 +1,1 @@
+lib/symexec/explore.mli: Fmt Slim

@@ -1,0 +1,1 @@
+lib/symexec/sym_value.ml: Array Fmt Format List Map Option Slim Solver

@@ -1,0 +1,1 @@
+lib/symexec/sym_value.mli: Fmt Slim Solver

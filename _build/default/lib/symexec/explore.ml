@@ -1,0 +1,504 @@
+module Value = Slim.Value
+module Ir = Slim.Ir
+module Interp = Slim.Interp
+module Branch = Slim.Branch
+module Term = Solver.Term
+module Csp = Solver.Csp
+module SV = Sym_value
+
+type cost = {
+  mutable paths_explored : int;
+  mutable solver_nodes : int;
+  mutable solver_calls : int;
+  mutable term_nodes : int;
+}
+
+let zero_cost () =
+  { paths_explored = 0; solver_nodes = 0; solver_calls = 0; term_nodes = 0 }
+
+let add_cost acc c =
+  acc.paths_explored <- acc.paths_explored + c.paths_explored;
+  acc.solver_nodes <- acc.solver_nodes + c.solver_nodes;
+  acc.solver_calls <- acc.solver_calls + c.solver_calls;
+  acc.term_nodes <- acc.term_nodes + c.term_nodes
+
+type outcome =
+  | Sat of Interp.inputs list
+  | Unsat
+  | Unknown
+
+type config = { max_paths : int; node_budget : int; rng_seed : int }
+
+let default_config = { max_paths = 192; node_budget = 60_000; rng_seed = 1 }
+
+(* A coverage objective the solver can aim at.  Branch targets are the
+   paper's Algorithm 1; condition and vector targets extend the same
+   machinery to condition and MCDC requirements ("until all the
+   coverage requirements are satisfied", Section III). *)
+type target =
+  | Branch_target of Branch.key
+  | Condition_target of { decision : int; atom : int; value : bool }
+  | Vector_target of { decision : int; vector : bool array }
+
+let target_decision_of = function
+  | Branch_target (d, _) -> d
+  | Condition_target { decision; _ } -> decision
+  | Vector_target { decision; _ } -> decision
+
+let pp_target ppf = function
+  | Branch_target key -> Fmt.pf ppf "branch:%a" Branch.pp_key key
+  | Condition_target { decision; atom; value } ->
+    Fmt.pf ppf "cond:%d/%d=%b" decision atom value
+  | Vector_target { decision; vector } ->
+    Fmt.pf ppf "vec:%d/%s" decision
+      (String.init (Array.length vector) (fun i ->
+           if vector.(i) then 'T' else 'F'))
+
+(* Ancestor requirements: decision id -> outcome that must be taken to
+   stay on the path to the target.  For a branch target the chain
+   includes the target decision's own outcome; for condition / vector
+   targets it stops at the decision's parent (any outcome of the target
+   decision satisfies the objective once its guard is evaluated). *)
+let requirements prog (target : target) =
+  let branches = Branch.of_program prog in
+  let by_key =
+    List.fold_left
+      (fun m (b : Branch.t) -> Branch.Key_map.add b.key b m)
+      Branch.Key_map.empty branches
+  in
+  let find key =
+    match Branch.Key_map.find_opt key by_key with
+    | Some b -> b
+    | None ->
+      Value.type_error "solve_target: unknown branch %a" Branch.pp_key key
+  in
+  let rec collect acc key =
+    let b = find key in
+    let acc = (b.decision, b.outcome) :: acc in
+    match b.parent with Some p -> collect acc p | None -> acc
+  in
+  match target with
+  | Branch_target key -> collect [] key
+  | Condition_target { decision; _ } | Vector_target { decision; _ } -> (
+    let b = find (decision, Branch.Then) in
+    match b.parent with Some p -> collect [] p | None -> [])
+
+exception Found of Value.t Csp.Smap.t
+exception Path_budget
+
+(* Constraint for taking [outcome] of a decision whose guard/scrutinee
+   symbolically evaluates to [t]. *)
+let outcome_constraint (outcome : Branch.outcome) (t : Term.t) ~case_labels =
+  let term =
+    match outcome with
+    | Branch.Then -> t
+    | Branch.Else -> Term.not_ t
+    | Branch.Case k -> Term.cmp Ir.Eq (Term.unop Ir.To_int t) (Term.cint k)
+    | Branch.Default ->
+      Term.conj
+        (List.map
+           (fun k ->
+             Term.not_ (Term.cmp Ir.Eq (Term.unop Ir.To_int t) (Term.cint k)))
+           case_labels)
+  in
+  match Term.is_const term with
+  | Some (Value.Bool true) -> `Taken
+  | Some _ -> `Not_taken
+  | None -> `Constraint term
+
+type ctx = {
+  cost : cost;
+  vars : (string * Value.ty) list ref;
+  required : (int * Branch.outcome) list;
+      (** empty in multi-step mode: every decision forks *)
+  preferred : (int * Branch.outcome) list;
+      (** soft guidance for multi-step search: the target's ancestor
+          chain, explored first at each fork *)
+  target : target;
+  target_decision : int;
+  rng : Random.State.t;
+  mutable remaining_nodes : int;
+  mutable paths_left : int;
+  mutable saw_unknown : bool;
+}
+
+let required_outcome ctx id = List.assoc_opt id ctx.required
+
+(* Constraints bigger than this would time out in any real solver; the
+   size check itself is capped so oversize (exponentially-deep) terms
+   from multi-step state threading are rejected in bounded time. *)
+let max_term_size = 60_000
+
+let try_solve ctx pc =
+  let constraint_ = Term.conj (List.rev pc) in
+  ctx.cost.solver_calls <- ctx.cost.solver_calls + 1;
+  let size = Term.size_capped max_term_size constraint_ in
+  ctx.cost.term_nodes <- ctx.cost.term_nodes + size;
+  if size >= max_term_size then begin
+    ctx.saw_unknown <- true;
+    None
+  end
+  else if ctx.remaining_nodes <= 0 then begin
+    ctx.saw_unknown <- true;
+    None
+  end
+  else begin
+    (* every search node re-evaluates the constraint, so scale the node
+       budget down for big constraints to bound the work per query *)
+    let node_budget =
+      min ctx.remaining_nodes (max 50 (4_000_000 / max 1 size))
+    in
+    let result, stats =
+      Csp.solve ~node_budget ~rng:ctx.rng
+        { Csp.p_vars = !(ctx.vars); p_constraint = constraint_ }
+    in
+    ctx.remaining_nodes <- ctx.remaining_nodes - stats.Csp.nodes;
+    ctx.cost.solver_nodes <- ctx.cost.solver_nodes + stats.Csp.nodes;
+    match result with
+    | Csp.Sat a -> Some a
+    | Csp.Unsat -> None
+    | Csp.Unknown ->
+      ctx.saw_unknown <- true;
+      None
+  end
+
+let hit_target ctx pc =
+  match try_solve ctx pc with
+  | Some a -> raise (Found a)
+  | None -> ()
+
+let spend_path ctx =
+  if ctx.paths_left <= 0 then begin
+    ctx.saw_unknown <- true;
+    raise Path_budget
+  end;
+  ctx.paths_left <- ctx.paths_left - 1;
+  ctx.cost.paths_explored <- ctx.cost.paths_explored + 1
+
+let infeasible pc =
+  List.exists (fun t -> Term.is_const t = Some (Value.Bool false)) pc
+
+(* Cheap interval-propagation feasibility check for a fork arm: prunes
+   arms whose path condition is already contradictory (e.g. [bank = 0]
+   from an earlier decision against [bank = 2] here), which keeps walks
+   over ladders of decisions on the same inputs linear instead of
+   exponential. *)
+let quick_feasible ctx pc =
+  match pc with
+  | [] -> true
+  | [ t ] -> Term.is_const t <> Some (Value.Bool false)
+  | _ ->
+    infeasible pc = false
+    &&
+    (* Bound the check to the most recent constraints: refuting a subset
+       refutes the whole, and ladder contradictions live between nearby
+       conjuncts, so a small window keeps the per-fork cost constant on
+       deep (multi-step) paths. *)
+    let window =
+      let rec take k = function
+        | t :: rest when k > 0 -> t :: take (k - 1) rest
+        | _ -> []
+      in
+      take 10 pc
+    in
+    (* deep multi-step terms make even propagation expensive: treat
+       oversize windows as feasible rather than walk them *)
+    if
+      List.exists (fun t -> Term.size_capped 2_000 t >= 2_000) window
+    then true
+    else begin
+      let store =
+        Solver.Hc4.create_store
+          (List.map (fun (x, ty) -> (x, Solver.Dom.of_ty ty)) !(ctx.vars))
+      in
+      match Solver.Hc4.propagate ~max_rounds:3 store (Term.conj window) with
+      | `Ok -> true
+      | `Unsat -> false
+    end
+
+(* Walk a statement list in CPS.  [k] receives (env, pc) at the end of
+   the list.  Entering the target branch solves the accumulated path
+   condition immediately; success raises [Found]. *)
+let rec walk ctx (stmts : Ir.stmt list) env pc k =
+  match stmts with
+  | [] -> k env pc
+  | stmt :: rest -> (
+    let continue_ env pc = walk ctx rest env pc k in
+    match stmt with
+    | Ir.Assign (lhs, e) ->
+      let v = SV.eval env e in
+      continue_ (SV.write_lvalue env lhs v) pc
+    | Ir.If { id; cond; then_; else_ } -> (
+      (* condition / vector objectives fire as soon as the guard of the
+         target decision is about to be evaluated *)
+      let atoms_spec =
+        if id = ctx.target_decision then
+          match ctx.target with
+          | Condition_target { atom; value; _ } -> Some (`Cond (atom, value))
+          | Vector_target { vector; _ } -> Some (`Vec vector)
+          | Branch_target _ -> None
+        else None
+      in
+      match atoms_spec with
+      | Some spec -> (
+        let atoms = Ir.atoms_of_condition cond in
+        let terms = List.map (fun a -> SV.scalar (SV.eval env a)) atoms in
+        let c =
+          match spec with
+          | `Cond (i, v) -> (
+            match List.nth_opt terms i with
+            | Some t -> if v then t else Term.not_ t
+            | None -> Term.cbool false)
+          | `Vec vec ->
+            if List.length terms <> Array.length vec then Term.cbool false
+            else
+              Term.conj
+                (List.mapi
+                   (fun i t -> if vec.(i) then t else Term.not_ t)
+                   terms)
+        in
+        match Term.is_const c with
+        | Some (Value.Bool true) -> hit_target ctx pc
+        | Some _ -> ()
+        | None -> hit_target ctx (c :: pc))
+      | None -> (
+        let t = SV.scalar (SV.eval env cond) in
+        let arm outcome =
+          let body = if outcome = Branch.Then then then_ else else_ in
+          match outcome_constraint outcome t ~case_labels:[] with
+          | `Taken -> Some (body, pc)
+          | `Not_taken -> None
+          | `Constraint c -> Some (body, c :: pc)
+        in
+        let enter outcome (body, pc) =
+          if ctx.target = Branch_target (id, outcome) then hit_target ctx pc
+          else walk ctx body env pc continue_
+        in
+        match required_outcome ctx id with
+        | Some req -> (
+          match arm req with
+          | Some ((_, pc') as a) ->
+            if quick_feasible ctx pc' then enter req a
+          | None -> ())
+        | None ->
+          (* explore the target-relevant arm first when at the target
+             decision, then the other arm *)
+          let order =
+            match ctx.target with
+            | Branch_target (d, o) when d = id ->
+              [ o; (if o = Branch.Then then Branch.Else else Branch.Then) ]
+            | Branch_target _ | Condition_target _ | Vector_target _ -> (
+              match List.assoc_opt id ctx.preferred with
+              | Some Branch.Then -> [ Branch.Then; Branch.Else ]
+              | Some Branch.Else -> [ Branch.Else; Branch.Then ]
+              | Some (Branch.Case _ | Branch.Default) | None ->
+                [ Branch.Then; Branch.Else ])
+          in
+          List.iter
+            (fun outcome ->
+              match arm outcome with
+              | None -> ()
+              | Some ((_, pc') as a) ->
+                if quick_feasible ctx pc' then begin
+                  spend_path ctx;
+                  enter outcome a
+                end)
+            order))
+    | Ir.Switch { id; scrut; cases; default } -> (
+      let t = SV.scalar (SV.eval env scrut) in
+      let labels = List.map fst cases in
+      let arm outcome =
+        let body =
+          match outcome with
+          | Branch.Case c ->
+            (match List.assoc_opt c cases with
+             | Some b -> b
+             | None -> default)
+          | Branch.Default -> default
+          | Branch.Then | Branch.Else -> default
+        in
+        match outcome_constraint outcome t ~case_labels:labels with
+        | `Taken -> Some (body, pc)
+        | `Not_taken -> None
+        | `Constraint c -> Some (body, c :: pc)
+      in
+      let enter outcome (body, pc) =
+        if ctx.target = Branch_target (id, outcome) then hit_target ctx pc
+        else walk ctx body env pc continue_
+      in
+      match required_outcome ctx id with
+      | Some req -> (
+        match arm req with
+        | Some ((_, pc') as a) ->
+          if quick_feasible ctx pc' then enter req a
+        | None -> ())
+      | None ->
+        let all = List.map (fun l -> Branch.Case l) labels @ [ Branch.Default ] in
+        let order =
+          match ctx.target with
+          | Branch_target (d, o) when d = id ->
+            o :: List.filter (fun x -> x <> o) all
+          | Branch_target _ | Condition_target _ | Vector_target _ -> (
+            match List.assoc_opt id ctx.preferred with
+            | Some o when List.mem o all -> o :: List.filter (fun x -> x <> o) all
+            | Some _ | None -> all)
+        in
+        List.iter
+          (fun outcome ->
+            match arm outcome with
+            | None -> ()
+            | Some ((_, pc') as a) ->
+              if quick_feasible ctx pc' then begin
+                spend_path ctx;
+                enter outcome a
+              end)
+          order))
+
+let make_ctx cfg prog target ~vars ~multi =
+  {
+    cost = zero_cost ();
+    vars;
+    required = (if multi then [] else requirements prog target);
+    preferred = requirements prog target;
+    target;
+    target_decision = target_decision_of target;
+    rng = Random.State.make [| cfg.rng_seed; target_decision_of target |];
+    remaining_nodes = cfg.node_budget;
+    paths_left = cfg.max_paths;
+    saw_unknown = false;
+  }
+
+(* Does the expression read only inputs and state (no locals/outputs)?
+   Such guards have the same value on every path, so the target's
+   outcome constraint can seed the path condition and prune every
+   incompatible fork from the start — goal-directed search. *)
+let rec input_state_only (e : Ir.expr) =
+  match e with
+  | Ir.Const _ -> true
+  | Ir.Var ((Ir.Input | Ir.State), _) -> true
+  | Ir.Var ((Ir.Local | Ir.Output), _) -> false
+  | Ir.Unop (_, a) -> input_state_only a
+  | Ir.Binop (_, a, b) | Ir.Cmp (_, a, b) | Ir.And (a, b) | Ir.Or (a, b) ->
+    input_state_only a && input_state_only b
+  | Ir.Ite (c, a, b) ->
+    input_state_only c && input_state_only a && input_state_only b
+  | Ir.Index (a, i) -> input_state_only a && input_state_only i
+
+let seed_constraint prog env (target : target) =
+  let decisions = Ir.decisions_of_program prog in
+  match List.assoc_opt (target_decision_of target) decisions with
+  | None -> None
+  | Some d -> (
+    match target, d with
+    | Branch_target (_, outcome), `If cond when input_state_only cond -> (
+      let t = SV.scalar (SV.eval env cond) in
+      match outcome_constraint outcome t ~case_labels:[] with
+      | `Constraint c -> Some c
+      | `Taken | `Not_taken -> None)
+    | Branch_target (_, outcome), `Switch (scrut, labels)
+      when input_state_only scrut -> (
+      let t = SV.scalar (SV.eval env scrut) in
+      match outcome_constraint outcome t ~case_labels:labels with
+      | `Constraint c -> Some c
+      | `Taken | `Not_taken -> None)
+    | Condition_target { atom; value; _ }, `If cond
+      when input_state_only cond -> (
+      let atoms = Ir.atoms_of_condition cond in
+      match List.nth_opt atoms atom with
+      | Some a ->
+        let t = SV.scalar (SV.eval env a) in
+        let c = if value then t else Term.not_ t in
+        (match Term.is_const c with Some _ -> None | None -> Some c)
+      | None -> None)
+    | _, _ -> None)
+
+let solve_target ?(config = default_config) ?(symbolic_state = false) prog
+    ~state ~target =
+  let env, vars =
+    SV.env_of_program ~symbolic_state prog ~state
+      ~input_var:(fun name _ty -> Term.var name)
+  in
+  let ctx = make_ctx config prog target ~vars:(ref vars) ~multi:false in
+  ctx.cost.paths_explored <- ctx.cost.paths_explored + 1;
+  let pc0 =
+    match seed_constraint prog env target with
+    | Some c -> [ c ]
+    | None -> []
+    | exception SV.Sym_error _ -> []
+  in
+  match walk ctx prog.Ir.body env pc0 (fun _ _ -> ()) with
+  | () -> ((if ctx.saw_unknown then Unknown else Unsat), ctx.cost)
+  | exception Found a -> (Sat [ SV.inputs_of_assignment prog a ], ctx.cost)
+  | exception Path_budget -> (Unknown, ctx.cost)
+  | exception SV.Sym_error _ -> (Unknown, ctx.cost)
+
+let solve_branch ?config ?symbolic_state prog ~state ~target =
+  solve_target ?config ?symbolic_state prog ~state
+    ~target:(Branch_target target)
+
+(* Multi-step (SLDV-like): thread state symbolically across [horizon]
+   unrolled steps; the target may be reached in any step; every decision
+   forks, which is exactly the whole-trace path explosion the paper's
+   state-aware method avoids. *)
+let solve_branch_multi ?(config = default_config) prog ~horizon ~target =
+  let initial = Interp.initial_state prog in
+  let env0, vars0 =
+    SV.env_of_program ~prefix:"s0$" prog ~state:initial
+      ~input_var:(fun name _ty -> Term.var name)
+  in
+  let vars = ref vars0 in
+  let ctx =
+    make_ctx config prog (Branch_target target) ~vars ~multi:true
+  in
+  let depth_of_found = ref None in
+  let rebind_step env step =
+    let prefix = Fmt.str "s%d$" step in
+    let env = ref env in
+    List.iter
+      (fun (v : Ir.var) ->
+        let sv, vs =
+          SV.flatten_input (prefix ^ v.Ir.name) v.Ir.ty
+            ~input_var:(fun name _ty -> Term.var name)
+        in
+        env := SV.bind !env Ir.Input v.Ir.name sv;
+        List.iter
+          (fun binding ->
+            if not (List.mem binding !vars) then vars := binding :: !vars)
+          vs)
+      prog.Ir.inputs;
+    List.iter
+      (fun (v : Ir.var) ->
+        env :=
+          SV.bind !env Ir.Local v.Ir.name
+            (SV.sval_of_value (Value.default_of_ty v.Ir.ty)))
+      prog.Ir.locals;
+    List.iter
+      (fun (v : Ir.var) ->
+        env :=
+          SV.bind !env Ir.Output v.Ir.name
+            (SV.sval_of_value (Value.default_of_ty v.Ir.ty)))
+      prog.Ir.outputs;
+    !env
+  in
+  let rec run_step step env pc =
+    if step < horizon then begin
+      try
+        walk ctx prog.Ir.body env pc (fun env' pc' ->
+            run_step (step + 1) (rebind_step env' (step + 1)) pc')
+      with Found a ->
+        (* the innermost handler fires first and pins the hit step *)
+        if !depth_of_found = None then depth_of_found := Some step;
+        raise (Found a)
+    end
+  in
+  match run_step 0 env0 [] with
+  | () -> ((if ctx.saw_unknown then Unknown else Unsat), ctx.cost)
+  | exception Found a ->
+    let steps = Option.value ~default:0 !depth_of_found + 1 in
+    let inputs =
+      List.init steps (fun k ->
+          SV.inputs_of_assignment ~prefix:(Fmt.str "s%d$" k) prog a)
+    in
+    (Sat inputs, ctx.cost)
+  | exception Path_budget -> (Unknown, ctx.cost)
+  | exception SV.Sym_error _ -> (Unknown, ctx.cost)

@@ -1,0 +1,79 @@
+(** Path exploration for branch-targeted symbolic execution.
+
+    {!solve_branch} is the paper's state-aware solving primitive
+    (Algorithm 1, line 10): one iteration of the model, state fixed to
+    a snapshot's constants, inputs symbolic.  Because the IR is
+    loop-free, the target branch's ancestor chain is statically known;
+    only decisions off that chain fork paths.
+
+    {!solve_branch_multi} is the SLDV-style counterpart: [horizon]
+    steps are unrolled with the state threaded symbolically, so path
+    count and term size grow with depth — the cost structure that
+    motivates STCG. *)
+
+type cost = {
+  mutable paths_explored : int;
+  mutable solver_nodes : int;
+  mutable solver_calls : int;
+  mutable term_nodes : int;  (** total constraint size submitted *)
+}
+
+val zero_cost : unit -> cost
+val add_cost : cost -> cost -> unit
+
+type outcome =
+  | Sat of Slim.Interp.inputs list
+      (** input vector per step; singleton for one-step solving *)
+  | Unsat
+  | Unknown
+
+type config = {
+  max_paths : int;  (** fork budget per query *)
+  node_budget : int;  (** total solver node budget per query *)
+  rng_seed : int;
+}
+
+val default_config : config
+
+(** Coverage objectives the one-step solver can aim at. *)
+type target =
+  | Branch_target of Slim.Branch.key
+      (** reach this branch (decision coverage) *)
+  | Condition_target of { decision : int; atom : int; value : bool }
+      (** evaluate the decision's guard with atom [atom] = [value] *)
+  | Vector_target of { decision : int; vector : bool array }
+      (** evaluate the guard with this exact condition vector (used to
+          complete MCDC independence pairs) *)
+
+val pp_target : target Fmt.t
+
+val solve_target :
+  ?config:config ->
+  ?symbolic_state:bool ->
+  Slim.Ir.program ->
+  state:Slim.Interp.snapshot ->
+  target:target ->
+  outcome * cost
+(** One-step state-aware solving of any coverage objective. *)
+
+val solve_branch :
+  ?config:config ->
+  ?symbolic_state:bool ->
+  Slim.Ir.program ->
+  state:Slim.Interp.snapshot ->
+  target:Slim.Branch.key ->
+  outcome * cost
+(** One-step, state-aware.  [Sat [inputs]] drives the model from
+    [state] into the target branch.  With [symbolic_state:true] the
+    state is treated as a solver unknown instead of constants — the
+    ablation of the paper's key idea: answers may then be unrealizable
+    from the actual state. *)
+
+val solve_branch_multi :
+  ?config:config ->
+  Slim.Ir.program ->
+  horizon:int ->
+  target:Slim.Branch.key ->
+  outcome * cost
+(** Multi-step from the initial model state.  [Unsat] means "not
+    coverable within [horizon] steps". *)

@@ -1,0 +1,210 @@
+module Value = Slim.Value
+module Ir = Slim.Ir
+module Interp = Slim.Interp
+module Term = Solver.Term
+
+type sval =
+  | Scalar of Term.t
+  | Arr of sval array
+
+exception Sym_error of string
+
+let sym_error fmt = Format.kasprintf (fun s -> raise (Sym_error s)) fmt
+
+let rec sval_of_value = function
+  | (Value.Bool _ | Value.Int _ | Value.Real _) as v -> Scalar (Term.cst v)
+  | Value.Vec a -> Arr (Array.map sval_of_value a)
+
+let rec value_of_sval = function
+  | Scalar t -> Term.is_const t
+  | Arr a ->
+    let vals = Array.map value_of_sval a in
+    if Array.for_all Option.is_some vals then
+      Some (Value.Vec (Array.map Option.get vals))
+    else None
+
+let scalar = function
+  | Scalar t -> t
+  | Arr _ -> sym_error "expected scalar symbolic value, got array"
+
+module Env_map = Map.Make (struct
+  type t = Ir.scope * string
+
+  let compare = compare
+end)
+
+type env = sval Env_map.t
+
+let empty_env = Env_map.empty
+
+let bind env scope name v = Env_map.add (scope, name) v env
+
+let find env scope name =
+  match Env_map.find_opt (scope, name) env with
+  | Some v -> v
+  | None -> sym_error "unbound %s variable %s" (Ir.scope_name scope) name
+
+(* Read [arr] at a possibly-symbolic index: Ite chain over element
+   positions.  Out-of-range concrete indices raise, matching the
+   interpreter. *)
+let read_index arr idx =
+  match arr with
+  | Scalar _ -> sym_error "indexing a scalar"
+  | Arr a ->
+    let n = Array.length a in
+    (match Term.is_const idx with
+     | Some v ->
+       let k = Value.to_int v in
+       if k < 0 || k >= n then sym_error "index %d out of bounds [0,%d)" k n
+       else a.(k)
+     | None ->
+       if n = 0 then sym_error "indexing an empty array"
+       else begin
+         (* all elements must be scalars for the Ite chain *)
+         let elems = Array.map scalar a in
+         let rec chain k =
+           if k = n - 1 then elems.(k)
+           else
+             Term.ite
+               (Term.cmp Ir.Eq idx (Term.cint k))
+               elems.(k) (chain (k + 1))
+         in
+         Scalar (chain 0)
+       end)
+
+let write_index arr idx v =
+  match arr with
+  | Scalar _ -> sym_error "indexing a scalar"
+  | Arr a ->
+    let n = Array.length a in
+    (match Term.is_const idx with
+     | Some c ->
+       let k = Value.to_int c in
+       if k < 0 || k >= n then sym_error "index %d out of bounds [0,%d)" k n
+       else begin
+         let a' = Array.copy a in
+         a'.(k) <- v;
+         Arr a'
+       end
+     | None ->
+       let sv = scalar v in
+       let a' =
+         Array.mapi
+           (fun k e ->
+             Scalar
+               (Term.ite (Term.cmp Ir.Eq idx (Term.cint k)) sv (scalar e)))
+           a
+       in
+       Arr a')
+
+let rec eval env (e : Ir.expr) : sval =
+  match e with
+  | Ir.Const v -> sval_of_value v
+  | Ir.Var (scope, name) -> find env scope name
+  | Ir.Unop (op, e) -> Scalar (Term.unop op (scalar (eval env e)))
+  | Ir.Binop (op, a, b) ->
+    Scalar (Term.binop op (scalar (eval env a)) (scalar (eval env b)))
+  | Ir.Cmp (op, a, b) ->
+    Scalar (Term.cmp op (scalar (eval env a)) (scalar (eval env b)))
+  | Ir.And (a, b) ->
+    Scalar (Term.and_ (scalar (eval env a)) (scalar (eval env b)))
+  | Ir.Or (a, b) ->
+    Scalar (Term.or_ (scalar (eval env a)) (scalar (eval env b)))
+  | Ir.Ite (c, t, f) ->
+    let sc = scalar (eval env c) in
+    (match Term.is_const sc with
+     | Some v -> if Value.to_bool v then eval env t else eval env f
+     | None -> Scalar (Term.ite sc (scalar (eval env t)) (scalar (eval env f))))
+  | Ir.Index (v, i) -> read_index (eval env v) (scalar (eval env i))
+
+let rec write_lvalue env (lhs : Ir.lvalue) v =
+  match lhs with
+  | Ir.Lvar (scope, name) ->
+    (match scope with
+     | Ir.Input -> sym_error "assignment to input %s" name
+     | Ir.Output | Ir.State | Ir.Local -> bind env scope name v)
+  | Ir.Lindex (inner, idx_expr) ->
+    let container =
+      let rec resolve = function
+        | Ir.Lvar (scope, name) -> find env scope name
+        | Ir.Lindex (l, i) -> read_index (resolve l) (scalar (eval env i))
+      in
+      resolve inner
+    in
+    let idx = scalar (eval env idx_expr) in
+    let container' = write_index container idx v in
+    write_lvalue env inner container'
+
+(* Flatten a (possibly vector) input into scalar solver variables. *)
+let rec flatten_input name ty ~input_var =
+  match (ty : Value.ty) with
+  | Value.Tbool | Value.Tint _ | Value.Treal _ ->
+    (Scalar (input_var name ty), [ (name, ty) ])
+  | Value.Tvec (ety, n) ->
+    let parts =
+      List.init n (fun k ->
+          flatten_input (Fmt.str "%s.%d" name k) ety ~input_var)
+    in
+    ( Arr (Array.of_list (List.map fst parts)),
+      List.concat_map snd parts )
+
+let env_of_program ?(prefix = "") ?(symbolic_state = false)
+    (prog : Ir.program) ~state ~input_var =
+  let env = ref empty_env in
+  let vars = ref [] in
+  List.iter
+    (fun (v : Ir.var) ->
+      let sv, vs =
+        flatten_input (prefix ^ v.name) v.ty ~input_var
+      in
+      env := bind !env Ir.Input v.name sv;
+      vars := !vars @ vs)
+    prog.inputs;
+  List.iter
+    (fun ((v : Ir.var), init) ->
+      if symbolic_state then begin
+        (* ablation mode: the state is a solver unknown, as a whole-trace
+           solver without dynamic state feedback would treat it *)
+        let sv, vs = flatten_input ("st$" ^ v.name) v.ty ~input_var in
+        env := bind !env Ir.State v.name sv;
+        vars := !vars @ vs
+      end
+      else begin
+        let value =
+          match Interp.Smap.find_opt v.name state with
+          | Some x -> x
+          | None -> init
+        in
+        env := bind !env Ir.State v.name (sval_of_value value)
+      end)
+    prog.states;
+  List.iter
+    (fun (v : Ir.var) ->
+      env := bind !env Ir.Local v.name (sval_of_value (Value.default_of_ty v.ty)))
+    prog.locals;
+  List.iter
+    (fun (v : Ir.var) ->
+      env := bind !env Ir.Output v.name (sval_of_value (Value.default_of_ty v.ty)))
+    prog.outputs;
+  (!env, !vars)
+
+(* Rebuild interpreter inputs from flattened assignments. *)
+let inputs_of_assignment ?(prefix = "") (prog : Ir.program) assignment =
+  let module Csmap = Solver.Csp.Smap in
+  let rec rebuild name ty =
+    match (ty : Value.ty) with
+    | Value.Tbool | Value.Tint _ | Value.Treal _ ->
+      (match Csmap.find_opt name assignment with
+       | Some v -> v
+       | None -> Value.default_of_ty ty)
+    | Value.Tvec (ety, n) ->
+      Value.Vec (Array.init n (fun k -> rebuild (Fmt.str "%s.%d" name k) ety))
+  in
+  List.fold_left
+    (fun acc (v : Ir.var) ->
+      Interp.Smap.add v.name (rebuild (prefix ^ v.name) v.ty) acc)
+    Interp.Smap.empty prog.inputs
+
+let rec pp_sval ppf = function
+  | Scalar t -> Term.pp ppf t
+  | Arr a -> Fmt.pf ppf "[%a]" Fmt.(array ~sep:(any "; ") pp_sval) a

@@ -1,0 +1,72 @@
+(** Symbolic values and environments for one-step symbolic execution.
+
+    A symbolic value is a scalar solver term or a (possibly nested)
+    array of symbolic values.  Model state enters as constants — the
+    essence of the paper's state-aware solving — while inputs enter as
+    solver variables.  Array reads at symbolic indices expand to
+    [Tite] chains over the (statically known) element count; array
+    writes at symbolic indices blend every element with a guarded
+    [Tite].  Because state arrays are constants, those chains fold to
+    small terms. *)
+
+type sval =
+  | Scalar of Solver.Term.t
+  | Arr of sval array
+
+type env
+(** Persistent (functional) environment: forking a path is O(1). *)
+
+exception Sym_error of string
+
+val sval_of_value : Slim.Value.t -> sval
+(** Constant injection (deep). *)
+
+val value_of_sval : sval -> Slim.Value.t option
+(** [Some v] when the symbolic value is fully constant. *)
+
+val scalar : sval -> Solver.Term.t
+(** Raises {!Sym_error} on arrays. *)
+
+val empty_env : env
+
+val bind : env -> Slim.Ir.scope -> string -> sval -> env
+val find : env -> Slim.Ir.scope -> string -> sval
+(** Raises {!Sym_error} when unbound. *)
+
+val eval : env -> Slim.Ir.expr -> sval
+(** Symbolic evaluation; array reads/writes expand as described above.
+    Raises {!Sym_error} on unbound variables and {!Slim.Value.Type_error}
+    on type confusion. *)
+
+val write_lvalue : env -> Slim.Ir.lvalue -> sval -> env
+(** Assignment, copy-on-write through arrays.  A write at a symbolic
+    index turns every element [e_k] into [ite (idx = k) v e_k]. *)
+
+val flatten_input :
+  string ->
+  Slim.Value.ty ->
+  input_var:(string -> Slim.Value.ty -> Solver.Term.t) ->
+  sval * (string * Slim.Value.ty) list
+(** Expand one (possibly vector) input into scalar solver variables. *)
+
+val env_of_program :
+  ?prefix:string ->
+  ?symbolic_state:bool ->
+  Slim.Ir.program ->
+  state:Slim.Value.t Slim.Interp.Smap.t ->
+  input_var:(string -> Slim.Value.ty -> Solver.Term.t) ->
+  env * (string * Slim.Value.ty) list
+(** Build the starting environment for one step: state variables bound
+    to snapshot constants, locals and outputs to type defaults, and
+    each (flattened, scalar) input bound through [input_var].  Returns
+    the environment and the list of solver variables created for the
+    inputs (vector inports flatten to [name.k] scalars; [prefix]
+    distinguishes unrolled steps in multi-step solving). *)
+
+val inputs_of_assignment :
+  ?prefix:string -> Slim.Ir.program -> Slim.Value.t Solver.Csp.Smap.t ->
+  Slim.Interp.inputs
+(** Reassemble interpreter inputs from a solver assignment over
+    flattened input variables; unassigned inputs take type defaults. *)
+
+val pp_sval : sval Fmt.t

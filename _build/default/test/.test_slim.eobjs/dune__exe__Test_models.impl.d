@@ -1,0 +1,1 @@
+test/test_models.ml: Alcotest Array Coverage Fmt Fun List Models Random Slim

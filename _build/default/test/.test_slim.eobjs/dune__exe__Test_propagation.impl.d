@@ -1,0 +1,1 @@
+test/test_propagation.ml: Alcotest List QCheck QCheck_alcotest Slim Solver

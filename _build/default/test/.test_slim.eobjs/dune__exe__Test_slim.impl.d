@@ -1,0 +1,1 @@
+test/test_slim.ml: Alcotest Array List QCheck QCheck_alcotest Random Slim String

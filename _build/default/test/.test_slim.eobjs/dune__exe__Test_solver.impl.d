@@ -1,0 +1,1 @@
+test/test_solver.ml: Alcotest List QCheck QCheck_alcotest Slim Solver

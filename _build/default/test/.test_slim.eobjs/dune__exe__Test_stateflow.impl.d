@@ -1,0 +1,1 @@
+test/test_stateflow.ml: Alcotest Slim Stateflow

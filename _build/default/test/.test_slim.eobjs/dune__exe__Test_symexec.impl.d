@@ -1,0 +1,1 @@
+test/test_symexec.ml: Alcotest Array List QCheck QCheck_alcotest Slim Solver Symexec

@@ -1,0 +1,174 @@
+(* Tests for the SLDV-like and SimCoTest-like baselines. *)
+
+module V = Slim.Value
+module Ir = Slim.Ir
+module Interp = Slim.Interp
+module Tracker = Coverage.Tracker
+module RR = Stcg.Run_result
+
+let check = Alcotest.check
+
+(* A model with an easy surface and one state-matching branch: random
+   search should take the surface quickly and miss the matching branch;
+   bounded symbolic execution should reach the matching branch (it is
+   only two steps deep). *)
+let two_step_secret =
+  let open Ir in
+  renumber_decisions
+    {
+      name = "two_step";
+      inputs = [ input "x" (V.tint_range 0 5000); input "store" V.Tbool ];
+      outputs = [ output "hit" V.Tbool; output "parity" V.Tbool ];
+      states = [ state "mem" (V.tint_range 0 5000) (V.Int 0) ];
+      locals = [];
+      body =
+        [
+          assign_out "parity" (Binop (Mod, iv "x", ci 2) =: ci 0);
+          if_ (iv "store")
+            [ assign_state "mem" (iv "x") ]
+            [
+              (* the probe must be exactly 17 above the stored value:
+                 constant input signals can never satisfy it *)
+              if_ (iv "x" =: sv "mem" +: ci 17 &&: (sv "mem" >: ci 0))
+                [ assign_out "hit" (cb true) ]
+                [ assign_out "hit" (cb false) ];
+            ];
+        ];
+    }
+
+let test_sldv_finds_two_step_chain () =
+  let result =
+    Baselines.Sldv.run
+      ~config:
+        { Baselines.Sldv.default_config with Baselines.Sldv.budget = 600.0 }
+      ~model:"two_step" two_step_secret
+  in
+  check Alcotest.bool "full decision coverage via unrolling" true
+    (Tracker.fully_covered result.RR.tracker)
+
+let test_sldv_deterministic () =
+  let r1 = Baselines.Sldv.run ~model:"d" two_step_secret in
+  let r2 = Baselines.Sldv.run ~model:"d" two_step_secret in
+  check Alcotest.int "same test count"
+    (List.length r1.RR.testcases)
+    (List.length r2.RR.testcases);
+  check (Alcotest.float 1e-9) "same final time" r1.RR.final_time
+    r2.RR.final_time
+
+let test_sldv_testcases_replay () =
+  let result = Baselines.Sldv.run ~model:"r" two_step_secret in
+  let replay = Stcg.Testcase.replay_suite two_step_secret result.RR.testcases in
+  check Alcotest.int "replay reproduces decision coverage"
+    (Tracker.decision result.RR.tracker).Tracker.covered
+    (Tracker.decision replay).Tracker.covered
+
+let test_simcotest_covers_surface_misses_secret () =
+  let result =
+    Baselines.Simcotest.run
+      ~config:
+        {
+          Baselines.Simcotest.default_config with
+          Baselines.Simcotest.budget = 1200.0;
+          seed = 9;
+        }
+      ~model:"s" two_step_secret
+  in
+  let covered = Tracker.covered_branches result.RR.tracker in
+  (* the easy branches (store / parity / miss) are covered quickly *)
+  check Alcotest.bool "covers the surface" true
+    (Slim.Branch.Key_set.cardinal covered >= 3);
+  (* the x = mem (> 0) equality over [0,5000] is practically
+     unreachable for random search *)
+  check Alcotest.bool "misses the state-matching branch" false
+    (Tracker.is_branch_covered result.RR.tracker (1, Slim.Branch.Then))
+
+let test_simcotest_seed_reproducible () =
+  let run seed =
+    Baselines.Simcotest.run
+      ~config:
+        {
+          Baselines.Simcotest.default_config with
+          Baselines.Simcotest.budget = 300.0;
+          seed;
+        }
+      ~model:"s" two_step_secret
+  in
+  let a = run 4 and b = run 4 and c = run 5 in
+  check Alcotest.int "same seed, same tests" (List.length a.RR.testcases)
+    (List.length b.RR.testcases);
+  check (Alcotest.float 1e-9) "same seed, same clock" a.RR.final_time
+    b.RR.final_time;
+  (* different seeds explore differently (statistically near-certain) *)
+  ignore c
+
+let test_simcotest_respects_budget () =
+  let result =
+    Baselines.Simcotest.run
+      ~config:
+        {
+          Baselines.Simcotest.default_config with
+          Baselines.Simcotest.budget = 50.0;
+        }
+      ~model:"b" two_step_secret
+  in
+  check Alcotest.bool "stops at the virtual budget" true
+    (result.RR.final_time <= 50.0 +. 1e-9)
+
+let test_timelines_monotone () =
+  let results =
+    [
+      Baselines.Sldv.run ~model:"t" two_step_secret;
+      Baselines.Simcotest.run
+        ~config:
+          {
+            Baselines.Simcotest.default_config with
+            Baselines.Simcotest.budget = 300.0;
+          }
+        ~model:"t" two_step_secret;
+    ]
+  in
+  List.iter
+    (fun (r : RR.t) ->
+      let rec mono = function
+        | (t1, c1) :: ((t2, c2) :: _ as rest) ->
+          t1 <= t2 && c1 <= c2 && mono rest
+        | _ -> true
+      in
+      check Alcotest.bool (r.RR.tool ^ " timeline monotone") true
+        (mono r.RR.timeline))
+    results
+
+let test_stcg_beats_baselines_on_secret () =
+  (* the defining comparison, in miniature *)
+  let stcg =
+    Stcg.Engine.run
+      ~config:
+        { Stcg.Engine.default_config with Stcg.Engine.budget = 600.0; seed = 2 }
+      two_step_secret
+  in
+  check Alcotest.bool "STCG covers the matching branch" true
+    (Tracker.is_branch_covered stcg.Stcg.Engine.r_tracker
+       (1, Slim.Branch.Then))
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "sldv",
+        [
+          Alcotest.test_case "two-step chain" `Quick test_sldv_finds_two_step_chain;
+          Alcotest.test_case "deterministic" `Quick test_sldv_deterministic;
+          Alcotest.test_case "replayable" `Quick test_sldv_testcases_replay;
+        ] );
+      ( "simcotest",
+        [
+          Alcotest.test_case "surface vs secret" `Quick
+            test_simcotest_covers_surface_misses_secret;
+          Alcotest.test_case "reproducible" `Quick test_simcotest_seed_reproducible;
+          Alcotest.test_case "budget" `Quick test_simcotest_respects_budget;
+        ] );
+      ( "cross-tool",
+        [
+          Alcotest.test_case "timelines" `Quick test_timelines_monotone;
+          Alcotest.test_case "stcg wins" `Quick test_stcg_beats_baselines_on_secret;
+        ] );
+    ]

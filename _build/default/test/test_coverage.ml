@@ -1,0 +1,187 @@
+(* Tests for decision / condition / MCDC coverage tracking. *)
+
+module V = Slim.Value
+module Ir = Slim.Ir
+module Interp = Slim.Interp
+module Branch = Slim.Branch
+module Tracker = Coverage.Tracker
+module Criteria = Coverage.Criteria
+
+let check = Alcotest.check
+
+(* y := 1 when (a && b) else 0; plus a switch on s. *)
+let prog =
+  let open Ir in
+  renumber_decisions
+    {
+      name = "cov";
+      inputs =
+        [ input "a" V.Tbool; input "b" V.Tbool; input "s" (V.tint_range 0 3) ];
+      outputs = [ output "y" V.tint ];
+      states = [];
+      locals = [];
+      body =
+        [
+          if_ (iv "a" &&: iv "b")
+            [ assign_out "y" (ci 1) ]
+            [ assign_out "y" (ci 0) ];
+          switch (iv "s") [ (0, []); (1, []) ] [];
+        ];
+    }
+
+let run tracker a b s =
+  let ins =
+    Interp.inputs_of_list [ ("a", V.Bool a); ("b", V.Bool b); ("s", V.Int s) ]
+  in
+  ignore
+    (Interp.run_step ~on_event:(Tracker.observe tracker) prog
+       (Interp.initial_state prog) ins)
+
+let test_totals () =
+  let t = Tracker.create prog in
+  let c = Tracker.criteria t in
+  (* if: 2 branches; switch: 2 cases + default = 3 -> 5 decision points *)
+  check Alcotest.int "decision total" 5 c.Criteria.decision_total;
+  (* 2 atoms, both polarities *)
+  check Alcotest.int "condition total" 4 c.Criteria.condition_total;
+  check Alcotest.int "mcdc total" 2 c.Criteria.mcdc_total
+
+let test_decision_accumulates () =
+  let t = Tracker.create prog in
+  run t true true 0;
+  let d = Tracker.decision t in
+  check Alcotest.int "two branches after one step" 2 d.Tracker.covered;
+  run t false true 1;
+  run t true false 2;
+  let d = Tracker.decision t in
+  check Alcotest.int "all five covered" 5 d.Tracker.covered;
+  check Alcotest.bool "fully covered" true (Tracker.fully_covered t)
+
+let test_condition_coverage () =
+  let t = Tracker.create prog in
+  run t true true 0;
+  let c = Tracker.condition t in
+  check Alcotest.int "a=T b=T gives two outcomes" 2 c.Tracker.covered;
+  run t false false 0;
+  let c = Tracker.condition t in
+  check Alcotest.int "all four condition outcomes" 4 c.Tracker.covered
+
+let test_mcdc_and_gate () =
+  let t = Tracker.create prog in
+  (* TT vs FT isolates a; TT vs TF isolates b. *)
+  run t true true 0;
+  check Alcotest.int "no pair yet" 0 (Tracker.mcdc t).Tracker.covered;
+  run t false true 0;
+  check Alcotest.int "a isolated" 1 (Tracker.mcdc t).Tracker.covered;
+  run t true false 0;
+  check Alcotest.int "both isolated" 2 (Tracker.mcdc t).Tracker.covered
+
+let test_mcdc_ff_tt_not_independent () =
+  (* FF vs TT differ in both conditions and neither is masked: no MCDC. *)
+  let t = Tracker.create prog in
+  run t false false 0;
+  run t true true 0;
+  check Alcotest.int "FF/TT pair proves nothing for &&" 0
+    (Tracker.mcdc t).Tracker.covered
+
+let test_mcdc_masking_or_and () =
+  (* guard: a || (b && c).  Pair (F,T,T) vs (T,T,F): outcomes T/T - no.
+     Use (F,T,T)->T vs (F,T,F)->F isolates c;
+     (F,F,x): b masked?  Check masking pair for a: (F,F,F)->F vs (T,F,F)->T
+     is unique-cause anyway.  Masking case: (T,T,T)->T vs (F,F,T)->F:
+     differ in a and b; flipping b alone in (T,T,T) gives (T,F,T)->T (masked),
+     in (F,F,T) gives (F,T,T)->T -> NOT masked, so pair must not count. *)
+  let open Ir in
+  let p =
+    renumber_decisions
+      {
+        name = "mask";
+        inputs = [ input "a" V.Tbool; input "b" V.Tbool; input "c" V.Tbool ];
+        outputs = [ output "y" V.tint ];
+        states = [];
+        locals = [];
+        body =
+          [
+            if_ (iv "a" ||: (iv "b" &&: iv "c"))
+              [ assign_out "y" (ci 1) ]
+              [ assign_out "y" (ci 0) ];
+          ];
+      }
+  in
+  let t = Tracker.create p in
+  let run a b c =
+    let ins =
+      Interp.inputs_of_list
+        [ ("a", V.Bool a); ("b", V.Bool b); ("c", V.Bool c) ]
+    in
+    ignore
+      (Interp.run_step ~on_event:(Tracker.observe t) p
+         (Interp.initial_state p) ins)
+  in
+  run true true true;
+  run false false true;
+  (* Only the non-masked pair observed: nothing proven yet. *)
+  check Alcotest.int "unmasked pair rejected" 0 (Tracker.mcdc t).Tracker.covered;
+  run false true true;
+  (* (T,T,T) vs (F,T,T): unique cause for a. *)
+  check Alcotest.int "a proven" 1 (Tracker.mcdc t).Tracker.covered;
+  run false true false;
+  (* (F,T,T)=T vs (F,T,F)=F isolates c. *)
+  check Alcotest.int "c proven" 2 (Tracker.mcdc t).Tracker.covered
+
+let test_guard_fn () =
+  let open Ir in
+  let guard = (iv "a" &&: not_ (iv "b")) ||: iv "c" in
+  let f = Criteria.guard_fn guard in
+  check Alcotest.bool "TFT" true (f [| true; false; true |]);
+  check Alcotest.bool "TTF" false (f [| true; true; false |]);
+  check Alcotest.bool "FFF" false (f [| false; false; false |]);
+  check Alcotest.bool "FFT" true (f [| false; false; true |])
+
+let test_uncovered_branches () =
+  let t = Tracker.create prog in
+  run t true true 0;
+  let uncovered = Tracker.uncovered_branches t in
+  check Alcotest.int "three uncovered" 3 (List.length uncovered);
+  check Alcotest.bool "else uncovered" true
+    (List.exists
+       (fun (b : Branch.t) -> b.outcome = Branch.Else)
+       uncovered)
+
+let test_copy_independent () =
+  let t = Tracker.create prog in
+  run t true true 0;
+  let t2 = Tracker.copy t in
+  run t2 false false 1;
+  check Alcotest.int "copy advanced" 4 (Tracker.decision t2).Tracker.covered;
+  check Alcotest.int "original unchanged" 2 (Tracker.decision t).Tracker.covered
+
+let prop_pct_bounds =
+  QCheck.Test.make ~name:"pct in [0,100]" ~count:200
+    QCheck.(pair small_nat small_nat)
+    (fun (c, t) ->
+      let c = min c t in
+      let p = Tracker.pct { Tracker.covered = c; total = t } in
+      p >= 0.0 && p <= 100.0)
+
+let () =
+  Alcotest.run "coverage"
+    [
+      ( "tracking",
+        [
+          Alcotest.test_case "totals" `Quick test_totals;
+          Alcotest.test_case "decision" `Quick test_decision_accumulates;
+          Alcotest.test_case "condition" `Quick test_condition_coverage;
+          Alcotest.test_case "uncovered" `Quick test_uncovered_branches;
+          Alcotest.test_case "copy" `Quick test_copy_independent;
+        ] );
+      ( "mcdc",
+        [
+          Alcotest.test_case "and gate" `Quick test_mcdc_and_gate;
+          Alcotest.test_case "tt-ff rejected" `Quick test_mcdc_ff_tt_not_independent;
+          Alcotest.test_case "masking" `Quick test_mcdc_masking_or_and;
+          Alcotest.test_case "guard fn" `Quick test_guard_fn;
+        ] );
+      ( "props",
+        List.map QCheck_alcotest.to_alcotest [ prop_pct_bounds ] );
+    ]

@@ -1,0 +1,229 @@
+(* Property tests for the solver's abstract domains and the HC4
+   propagator: the propagator must never discard concrete solutions
+   (soundness of narrowing), and domain operations must satisfy the
+   usual lattice laws. *)
+
+module V = Slim.Value
+module Ir = Slim.Ir
+module T = Solver.Term
+module Dom = Solver.Dom
+module Hc4 = Solver.Hc4
+
+let check = Alcotest.check
+
+(* --- Dom lattice laws -------------------------------------------------- *)
+
+let gen_int_dom =
+  QCheck.Gen.(
+    map2
+      (fun lo span -> Dom.intn lo (lo + span))
+      (int_range (-50) 50) (int_range 0 60))
+
+let arb_int_dom = QCheck.make gen_int_dom
+
+let prop_meet_commutative =
+  QCheck.Test.make ~name:"meet commutative (int)" ~count:200
+    (QCheck.pair arb_int_dom arb_int_dom)
+    (fun (a, b) ->
+      match Dom.meet a b, Dom.meet b a with
+      | x, y -> Dom.equal x y
+      | exception Dom.Empty -> (
+        match Dom.meet b a with
+        | _ -> false
+        | exception Dom.Empty -> true))
+
+let prop_hull_contains_both =
+  QCheck.Test.make ~name:"hull is an upper bound" ~count:200
+    (QCheck.pair arb_int_dom arb_int_dom)
+    (fun (a, b) ->
+      let h = Dom.hull a b in
+      let contained d =
+        match Dom.meet d h with
+        | m -> Dom.equal m d
+        | exception Dom.Empty -> false
+      in
+      contained a && contained b)
+
+let prop_meet_lower_bound =
+  QCheck.Test.make ~name:"meet is a lower bound" ~count:200
+    (QCheck.pair arb_int_dom arb_int_dom)
+    (fun (a, b) ->
+      match Dom.meet a b with
+      | m ->
+        (* every member of the meet is a member of both *)
+        List.for_all
+          (fun v -> Dom.member a v && Dom.member b v)
+          (Dom.sample m)
+      | exception Dom.Empty -> true)
+
+let prop_split_partitions =
+  QCheck.Test.make ~name:"split halves cover the domain" ~count:200
+    arb_int_dom
+    (fun d ->
+      match Dom.split d with
+      | None -> Dom.is_singleton d
+      | Some (l, r) ->
+        let h = Dom.hull l r in
+        Dom.equal h d)
+
+(* --- HC4 soundness ------------------------------------------------------ *)
+
+(* random small constraint over x, y in [-6,6] *)
+let gen_constraint =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [ map T.cint (int_range (-6) 6); return (T.var "x"); return (T.var "y") ]
+  in
+  let num =
+    oneof
+      [
+        map2 (fun a b -> T.binop Ir.Add a b) leaf leaf;
+        map2 (fun a b -> T.binop Ir.Sub a b) leaf leaf;
+        map2 (fun a b -> T.binop Ir.Min a b) leaf leaf;
+        map2 (fun a b -> T.binop Ir.Max a b) leaf leaf;
+        map (fun a -> T.unop Ir.Abs_op a) leaf;
+        leaf;
+      ]
+  in
+  let atom =
+    map3
+      (fun op a b -> T.cmp op a b)
+      (oneofl [ Ir.Eq; Ir.Ne; Ir.Lt; Ir.Le; Ir.Gt; Ir.Ge ])
+      num num
+  in
+  oneof
+    [ atom; map2 T.and_ atom atom; map2 T.or_ atom atom; map T.not_ atom ]
+
+let sat_at c x y =
+  match
+    T.eval
+      (function
+        | "x" -> V.Int x
+        | "y" -> V.Int y
+        | _ -> raise Not_found)
+      c
+  with
+  | V.Bool b -> b
+  | _ -> false
+
+let prop_propagation_keeps_solutions =
+  QCheck.Test.make ~name:"HC4 never discards a concrete solution"
+    ~count:300
+    (QCheck.make gen_constraint)
+    (fun c ->
+      let dom = V.tint_range (-6) 6 in
+      let store =
+        Hc4.create_store [ ("x", Dom.of_ty dom); ("y", Dom.of_ty dom) ]
+      in
+      match Hc4.propagate store c with
+      | `Unsat ->
+        (* claim: no solution exists at all *)
+        let witness = ref false in
+        for x = -6 to 6 do
+          for y = -6 to 6 do
+            if sat_at c x y then witness := true
+          done
+        done;
+        not !witness
+      | `Ok ->
+        (* every concrete solution must survive in the narrowed store *)
+        let ok = ref true in
+        for x = -6 to 6 do
+          for y = -6 to 6 do
+            if sat_at c x y then begin
+              if not (Dom.member (Hc4.get store "x") (V.Int x)) then
+                ok := false;
+              if not (Dom.member (Hc4.get store "y") (V.Int y)) then
+                ok := false
+            end
+          done
+        done;
+        !ok)
+
+let prop_forward_eval_contains_value =
+  QCheck.Test.make ~name:"forward evaluation over-approximates" ~count:300
+    (QCheck.make
+       QCheck.Gen.(
+         pair gen_constraint (pair (int_range (-6) 6) (int_range (-6) 6))))
+    (fun (c, (x, y)) ->
+      (* evaluate the constraint's truth concretely; the abstract forward
+         value must consider that outcome possible *)
+      let store =
+        Hc4.create_store
+          [ ("x", Dom.intn x x); ("y", Dom.intn y y) ]
+      in
+      let concrete = sat_at c x y in
+      match Hc4.fwd store c with
+      | Dom.Dbool { can_true; can_false } ->
+        if concrete then can_true else can_false
+      | _ -> false)
+
+(* --- explicit regression cases ---------------------------------------- *)
+
+let test_propagate_equality_chain () =
+  let c =
+    T.and_
+      (T.cmp Ir.Eq (T.var "x") (T.binop Ir.Add (T.var "y") (T.cint 3)))
+      (T.cmp Ir.Eq (T.var "y") (T.cint 4))
+  in
+  let store =
+    Hc4.create_store
+      [ ("x", Dom.intn 0 100); ("y", Dom.intn 0 100) ]
+  in
+  (match Hc4.propagate store c with
+   | `Ok -> ()
+   | `Unsat -> Alcotest.fail "chain is satisfiable");
+  check Alcotest.bool "x pinned to 7" true
+    (Dom.singleton_value (Hc4.get store "x") = Some (V.Int 7))
+
+let test_propagate_refutes_disjoint () =
+  let c =
+    T.and_
+      (T.cmp Ir.Lt (T.var "x") (T.cint 10))
+      (T.cmp Ir.Gt (T.var "x") (T.cint 20))
+  in
+  let store = Hc4.create_store [ ("x", Dom.intn 0 100) ] in
+  match Hc4.propagate store c with
+  | `Unsat -> ()
+  | `Ok -> Alcotest.fail "expected refutation"
+
+let test_bool_coercion_to_real () =
+  (* To_real over a boolean domain, as switch controls compile.
+     Propagation alone only guarantees soundness (closed intervals
+     cannot express strict bounds), but the full solver must decide. *)
+  let c = T.cmp Ir.Gt (T.unop Ir.To_real (T.var "b")) (T.creal 0.0) in
+  let store = Hc4.create_store [ ("b", Dom.top_bool) ] in
+  (match Hc4.propagate store c with
+   | `Ok -> ()
+   | `Unsat -> Alcotest.fail "satisfiable constraint refuted");
+  check Alcotest.bool "true survives propagation" true
+    (Dom.member (Hc4.get store "b") (V.Bool true));
+  match
+    Solver.Csp.solve { Solver.Csp.p_vars = [ ("b", V.Tbool) ]; p_constraint = c }
+  with
+  | Solver.Csp.Sat a, _ ->
+    check Alcotest.bool "solver picks true" true
+      (V.to_bool (Solver.Csp.Smap.find "b" a))
+  | (Solver.Csp.Unsat | Solver.Csp.Unknown), _ ->
+    Alcotest.fail "solver must find b = true"
+
+let () =
+  Alcotest.run "propagation"
+    [
+      ( "dom-laws",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_meet_commutative; prop_hull_contains_both;
+            prop_meet_lower_bound; prop_split_partitions;
+          ] );
+      ( "hc4-soundness",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_propagation_keeps_solutions; prop_forward_eval_contains_value ] );
+      ( "regressions",
+        [
+          Alcotest.test_case "equality chain" `Quick test_propagate_equality_chain;
+          Alcotest.test_case "disjoint refuted" `Quick test_propagate_refutes_disjoint;
+          Alcotest.test_case "bool-to-real" `Quick test_bool_coercion_to_real;
+        ] );
+    ]

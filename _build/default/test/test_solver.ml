@@ -1,0 +1,277 @@
+(* Tests for the interval-propagation constraint solver. *)
+
+module V = Slim.Value
+module Ir = Slim.Ir
+module T = Solver.Term
+module Csp = Solver.Csp
+module Dom = Solver.Dom
+
+let check = Alcotest.check
+
+let solve ?budget vars c =
+  fst (Csp.solve ?node_budget:budget { Csp.p_vars = vars; p_constraint = c })
+
+let get_sat = function
+  | Csp.Sat a -> a
+  | Csp.Unsat -> Alcotest.fail "expected sat, got unsat"
+  | Csp.Unknown -> Alcotest.fail "expected sat, got unknown"
+
+let ivar x = T.var x
+let i_ty lo hi = V.tint_range lo hi
+let r_ty lo hi = V.treal_range lo hi
+
+let test_linear_int () =
+  (* x + 3 <= 5 over [0,100] *)
+  let c = T.cmp Ir.Le (T.binop Ir.Add (ivar "x") (T.cint 3)) (T.cint 5) in
+  let a = get_sat (solve [ ("x", i_ty 0 100) ] c) in
+  let x = V.to_int (Csp.Smap.find "x" a) in
+  check Alcotest.bool "x <= 2" true (x >= 0 && x <= 2)
+
+let test_equality () =
+  let c = T.cmp Ir.Eq (ivar "x") (T.cint 42) in
+  let a = get_sat (solve [ ("x", i_ty 0 1000) ] c) in
+  check Alcotest.int "x = 42" 42 (V.to_int (Csp.Smap.find "x" a))
+
+let test_unsat_conflict () =
+  let c =
+    T.and_
+      (T.cmp Ir.Gt (ivar "x") (T.cint 5))
+      (T.cmp Ir.Lt (ivar "x") (T.cint 3))
+  in
+  (match solve [ ("x", i_ty 0 100) ] c with
+   | Csp.Unsat -> ()
+   | Csp.Sat _ -> Alcotest.fail "expected unsat"
+   | Csp.Unknown -> Alcotest.fail "expected unsat, got unknown")
+
+let test_unsat_out_of_domain () =
+  let c = T.cmp Ir.Eq (ivar "x") (T.cint 500) in
+  (match solve [ ("x", i_ty 0 100) ] c with
+   | Csp.Unsat -> ()
+   | _ -> Alcotest.fail "expected unsat")
+
+let test_disjunction () =
+  let c =
+    T.or_
+      (T.cmp Ir.Eq (ivar "x") (T.cint 7))
+      (T.cmp Ir.Eq (ivar "x") (T.cint 93))
+  in
+  let a = get_sat (solve [ ("x", i_ty 0 100) ] c) in
+  let x = V.to_int (Csp.Smap.find "x" a) in
+  check Alcotest.bool "x in {7,93}" true (x = 7 || x = 93)
+
+let test_bool_vars () =
+  let c =
+    T.and_ (ivar "p") (T.not_ (ivar "q"))
+  in
+  let a = get_sat (solve [ ("p", V.Tbool); ("q", V.Tbool) ] c) in
+  check Alcotest.bool "p" true (V.to_bool (Csp.Smap.find "p" a));
+  check Alcotest.bool "q" false (V.to_bool (Csp.Smap.find "q" a))
+
+let test_two_vars_relation () =
+  (* x = y + 10 && x <= 12 -> y <= 2 *)
+  let c =
+    T.and_
+      (T.cmp Ir.Eq (ivar "x") (T.binop Ir.Add (ivar "y") (T.cint 10)))
+      (T.cmp Ir.Le (ivar "x") (T.cint 12))
+  in
+  let a = get_sat (solve [ ("x", i_ty 0 100); ("y", i_ty 0 100) ] c) in
+  let x = V.to_int (Csp.Smap.find "x" a) in
+  let y = V.to_int (Csp.Smap.find "y" a) in
+  check Alcotest.int "x = y + 10" x (y + 10);
+  check Alcotest.bool "x <= 12" true (x <= 12)
+
+let test_real_band () =
+  let c =
+    T.and_
+      (T.cmp Ir.Gt (ivar "x") (T.creal 0.5))
+      (T.cmp Ir.Lt (ivar "x") (T.creal 0.6))
+  in
+  let a = get_sat (solve [ ("x", r_ty 0.0 1000.0) ] c) in
+  let x = V.to_real (Csp.Smap.find "x" a) in
+  check Alcotest.bool "0.5 < x < 0.6" true (x > 0.5 && x < 0.6)
+
+let test_ite_term () =
+  (* (x > 0 ? 10 : 20) = 20 forces x <= 0 *)
+  let c =
+    T.cmp Ir.Eq
+      (T.ite (T.cmp Ir.Gt (ivar "x") (T.cint 0)) (T.cint 10) (T.cint 20))
+      (T.cint 20)
+  in
+  let a = get_sat (solve [ ("x", i_ty (-50) 50) ] c) in
+  check Alcotest.bool "x <= 0" true (V.to_int (Csp.Smap.find "x" a) <= 0)
+
+let test_abs_min_max () =
+  let c =
+    T.and_
+      (T.cmp Ir.Eq (T.unop Ir.Abs_op (ivar "x")) (T.cint 4))
+      (T.cmp Ir.Lt (ivar "x") (T.cint 0))
+  in
+  let a = get_sat (solve [ ("x", i_ty (-10) 10) ] c) in
+  check Alcotest.int "x = -4" (-4) (V.to_int (Csp.Smap.find "x" a));
+  let c2 =
+    T.cmp Ir.Ge (T.binop Ir.Min (ivar "y") (T.cint 5)) (T.cint 5)
+  in
+  let a2 = get_sat (solve [ ("y", i_ty 0 100) ] c2) in
+  check Alcotest.bool "min(y,5)>=5 -> y>=5" true
+    (V.to_int (Csp.Smap.find "y" a2) >= 5)
+
+let test_constant_fold () =
+  let c = T.cmp Ir.Lt (T.binop Ir.Add (T.cint 2) (T.cint 3)) (T.cint 10) in
+  check Alcotest.bool "folded to true" true (T.is_const c = Some (V.Bool true));
+  match solve [] c with
+  | Csp.Sat _ -> ()
+  | _ -> Alcotest.fail "trivially sat"
+
+let test_mod_via_sampling () =
+  let c =
+    T.cmp Ir.Eq (T.binop Ir.Mod (ivar "x") (T.cint 2)) (T.cint 0)
+  in
+  let a = get_sat (solve [ ("x", i_ty 0 100) ] c) in
+  check Alcotest.int "even" 0 (V.to_int (Csp.Smap.find "x" a) mod 2)
+
+let test_unknown_on_hard_real () =
+  (* x * x = 2 over reals: no float sampled by our heuristics satisfies it
+     exactly, and intervals cannot refute it -> Unknown, not Unsat. *)
+  let c =
+    T.cmp Ir.Eq (T.binop Ir.Mul (ivar "x") (ivar "x")) (T.creal 2.0)
+  in
+  match solve ~budget:500 [ ("x", r_ty 0.0 2.0) ] c with
+  | Csp.Unknown -> ()
+  | Csp.Sat a ->
+    (* accept a genuinely satisfying float if one is found *)
+    let x = V.to_real (Csp.Smap.find "x" a) in
+    check (Alcotest.float 1e-9) "exact" 2.0 (x *. x)
+  | Csp.Unsat -> Alcotest.fail "must not refute x*x=2 over reals"
+
+let test_budget_exhaustion_returns_unknown () =
+  (* An unsatisfiable Diophantine-flavoured constraint that propagation
+     cannot refute quickly: tiny budget must yield Unknown. *)
+  let xx = T.binop Ir.Mul (ivar "x") (ivar "x") in
+  let yy = T.binop Ir.Mul (ivar "y") (ivar "y") in
+  let c =
+    T.and_
+      (T.cmp Ir.Eq (T.binop Ir.Add xx yy) (T.cint 99991))
+      (T.cmp Ir.Gt (ivar "x") (ivar "y"))
+  in
+  match solve ~budget:5 [ ("x", i_ty 0 100000); ("y", i_ty 0 100000) ] c with
+  | Csp.Unknown -> ()
+  | Csp.Sat a ->
+    let x = V.to_int (Csp.Smap.find "x" a) in
+    let y = V.to_int (Csp.Smap.find "y" a) in
+    check Alcotest.int "verified" 99991 ((x * x) + (y * y))
+  | Csp.Unsat -> Alcotest.fail "budget 5 cannot prove unsat here"
+
+let test_array_fold_via_ite_chain () =
+  (* The shape produced by symbolic array reads: find i such that
+     queue[i] = 7 where queue is the constant [3; 7; 0]. *)
+  let read i =
+    T.ite
+      (T.cmp Ir.Eq i (T.cint 0))
+      (T.cint 3)
+      (T.ite (T.cmp Ir.Eq i (T.cint 1)) (T.cint 7) (T.cint 0))
+  in
+  let c = T.cmp Ir.Eq (read (ivar "i")) (T.cint 7) in
+  let a = get_sat (solve [ ("i", i_ty 0 2) ] c) in
+  check Alcotest.int "index found" 1 (V.to_int (Csp.Smap.find "i" a))
+
+(* Soundness property: on random small constraints over small domains,
+   Sat answers satisfy and Unsat answers have no brute-force witness. *)
+let random_term rng depth =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [ map (fun i -> T.cint i) (int_range (-5) 5);
+        return (ivar "x");
+        return (ivar "y") ]
+  in
+  let rec go depth st =
+    if depth = 0 then leaf st
+    else
+      let sub = go (depth - 1) in
+      (oneof
+         [ map2 (fun a b -> T.binop Ir.Add a b) sub sub;
+           map2 (fun a b -> T.binop Ir.Sub a b) sub sub;
+           map2 (fun a b -> T.binop Ir.Min a b) sub sub;
+           map2 (fun a b -> T.binop Ir.Max a b) sub sub;
+           leaf ])
+        st
+  in
+  let atom st =
+    let a = go depth st in
+    let b = go depth st in
+    let op =
+      (oneofl [ Ir.Eq; Ir.Ne; Ir.Lt; Ir.Le; Ir.Gt; Ir.Ge ]) st
+    in
+    T.cmp op a b
+  in
+  let c st =
+    (oneof
+       [ map2 T.and_ atom atom;
+         map2 T.or_ atom atom;
+         map T.not_ atom;
+         atom ])
+      st
+  in
+  c rng
+
+let prop_solver_sound =
+  QCheck.Test.make ~name:"solver sound on small int constraints" ~count:150
+    QCheck.(make (fun rng -> random_term rng 2))
+    (fun c ->
+      let dom = i_ty (-4) 4 in
+      let vars = [ ("x", dom); ("y", dom) ] in
+      let result = solve ~budget:50_000 vars c in
+      let sat_at x y =
+        match
+          T.eval
+            (function
+              | "x" -> V.Int x
+              | "y" -> V.Int y
+              | _ -> raise Not_found)
+            c
+        with
+        | V.Bool b -> b
+        | _ -> false
+      in
+      match result with
+      | Csp.Sat a ->
+        sat_at (V.to_int (Csp.Smap.find "x" a)) (V.to_int (Csp.Smap.find "y" a))
+      | Csp.Unsat ->
+        let witness = ref false in
+        for x = -4 to 4 do
+          for y = -4 to 4 do
+            if sat_at x y then witness := true
+          done
+        done;
+        not !witness
+      | Csp.Unknown -> true)
+
+let () =
+  Alcotest.run "solver"
+    [
+      ( "basic",
+        [
+          Alcotest.test_case "linear int" `Quick test_linear_int;
+          Alcotest.test_case "equality" `Quick test_equality;
+          Alcotest.test_case "unsat conflict" `Quick test_unsat_conflict;
+          Alcotest.test_case "unsat domain" `Quick test_unsat_out_of_domain;
+          Alcotest.test_case "disjunction" `Quick test_disjunction;
+          Alcotest.test_case "bool vars" `Quick test_bool_vars;
+          Alcotest.test_case "two-var relation" `Quick test_two_vars_relation;
+          Alcotest.test_case "real band" `Quick test_real_band;
+          Alcotest.test_case "constant fold" `Quick test_constant_fold;
+        ] );
+      ( "operators",
+        [
+          Alcotest.test_case "ite" `Quick test_ite_term;
+          Alcotest.test_case "abs/min/max" `Quick test_abs_min_max;
+          Alcotest.test_case "mod via sampling" `Quick test_mod_via_sampling;
+          Alcotest.test_case "array ite chain" `Quick test_array_fold_via_ite_chain;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "hard real unknown" `Quick test_unknown_on_hard_real;
+          Alcotest.test_case "budget unknown" `Quick test_budget_exhaustion_returns_unknown;
+        ] );
+      ("props", List.map QCheck_alcotest.to_alcotest [ prop_solver_sound ]);
+    ]

@@ -1,0 +1,350 @@
+(* Tests for one-step (state-aware) and multi-step symbolic execution.
+   The central property: a Sat answer's inputs, executed concretely from
+   the same state, drive the model into the target branch. *)
+
+module V = Slim.Value
+module Ir = Slim.Ir
+module Interp = Slim.Interp
+module Branch = Slim.Branch
+module SV = Symexec.Sym_value
+module Ex = Symexec.Explore
+module T = Solver.Term
+
+let check = Alcotest.check
+
+(* Execute [inputs] from [state] and report whether [target] was hit. *)
+let hits prog state inputs target =
+  let hit = ref false in
+  let on_event = function
+    | Interp.Branch_hit k when Branch.equal_key k target -> hit := true
+    | _ -> ()
+  in
+  let st = ref state in
+  List.iter
+    (fun ins ->
+      let _, st' = Interp.run_step ~on_event prog !st ins in
+      st := st')
+    inputs;
+  !hit
+
+let expect_sat_and_hit ?config prog state target =
+  match Ex.solve_branch ?config prog ~state ~target with
+  | Ex.Sat inputs, _ ->
+    check Alcotest.bool "solved inputs hit the target" true
+      (hits prog state inputs target)
+  | Ex.Unsat, _ -> Alcotest.fail "expected sat, got unsat"
+  | Ex.Unknown, _ -> Alcotest.fail "expected sat, got unknown"
+
+let simple_prog =
+  let open Ir in
+  renumber_decisions
+    {
+      name = "simple";
+      inputs = [ input "x" (V.tint_range (-100) 100) ];
+      outputs = [ output "y" V.tint ];
+      states = [];
+      locals = [];
+      body =
+        [
+          if_ (iv "x" >: ci 5)
+            [ assign_out "y" (ci 1) ]
+            [ assign_out "y" (ci 0) ];
+        ];
+    }
+
+let test_simple_then_else () =
+  let st = Interp.initial_state simple_prog in
+  expect_sat_and_hit simple_prog st (0, Branch.Then);
+  expect_sat_and_hit simple_prog st (0, Branch.Else)
+
+let state_dep_prog =
+  let open Ir in
+  renumber_decisions
+    {
+      name = "statedep";
+      inputs = [ input "x" (V.tint_range 0 1000) ];
+      outputs = [ output "hit" V.Tbool ];
+      states = [ state "secret" (V.tint_range 0 1000) (V.Int 0) ];
+      locals = [];
+      body =
+        [
+          if_ (iv "x" =: sv "secret")
+            [ assign_out "hit" (cb true) ]
+            [ assign_out "hit" (cb false) ];
+        ];
+    }
+
+let test_state_as_constant () =
+  (* with secret = 437 in the snapshot, the solver must find x = 437 *)
+  let st = Interp.Smap.add "secret" (V.Int 437) Interp.Smap.empty in
+  (match Ex.solve_branch state_dep_prog ~state:st ~target:(0, Branch.Then) with
+   | Ex.Sat [ ins ], _ ->
+     check Alcotest.int "x equals state constant" 437
+       (V.to_int (Interp.Smap.find "x" ins))
+   | _ -> Alcotest.fail "expected one-step sat")
+
+let nested_prog =
+  let open Ir in
+  renumber_decisions
+    {
+      name = "nested";
+      inputs =
+        [ input "a" (V.tint_range 0 100); input "b" (V.tint_range 0 100) ];
+      outputs = [ output "y" V.tint ];
+      states = [];
+      locals = [];
+      body =
+        [
+          if_ (iv "a" >: ci 10)
+            [
+              if_ (iv "b" =: iv "a" +: ci 5)
+                [ assign_out "y" (ci 2) ]
+                [ assign_out "y" (ci 1) ];
+            ]
+            [ assign_out "y" (ci 0) ];
+        ];
+    }
+
+let test_nested_target () =
+  let st = Interp.initial_state nested_prog in
+  (* deep branch: a > 10 && b = a + 5 *)
+  expect_sat_and_hit nested_prog st (1, Branch.Then);
+  (match Ex.solve_branch nested_prog ~state:st ~target:(1, Branch.Then) with
+   | Ex.Sat [ ins ], _ ->
+     let a = V.to_int (Interp.Smap.find "a" ins) in
+     let b = V.to_int (Interp.Smap.find "b" ins) in
+     check Alcotest.bool "constraints hold" true (a > 10 && b = a + 5)
+   | _ -> Alcotest.fail "expected sat")
+
+(* The CPUTask-style pattern: a queue in state, input ID must match a
+   stored element. *)
+let queue_prog =
+  let open Ir in
+  renumber_decisions
+    {
+      name = "queue";
+      inputs =
+        [ input "id" (V.tint_range 0 255); input "slot" (V.tint_range 0 3) ];
+      outputs = [ output "found" V.Tbool ];
+      states =
+        [ state "queue" (V.Tvec (V.tint_range 0 255, 4))
+            (V.Vec (Array.make 4 (V.Int 0))) ];
+      locals = [];
+      body =
+        [
+          if_ (index (sv "queue") (iv "slot") =: iv "id" &&: (iv "id" >: ci 0))
+            [ assign_out "found" (cb true) ]
+            [ assign_out "found" (cb false) ];
+        ];
+    }
+
+let test_queue_match () =
+  (* queue = [0; 77; 0; 13]: solver must pick slot/id matching an entry *)
+  let q = V.Vec [| V.Int 0; V.Int 77; V.Int 0; V.Int 13 |] in
+  let st = Interp.Smap.add "queue" q Interp.Smap.empty in
+  (match Ex.solve_branch queue_prog ~state:st ~target:(0, Branch.Then) with
+   | Ex.Sat [ ins ], _ ->
+     let id = V.to_int (Interp.Smap.find "id" ins) in
+     let slot = V.to_int (Interp.Smap.find "slot" ins) in
+     check Alcotest.bool "matches a stored task id" true
+       ((slot = 1 && id = 77) || (slot = 3 && id = 13));
+     check Alcotest.bool "executes into branch" true
+       (hits queue_prog st [ ins ] (0, Branch.Then))
+   | _ -> Alcotest.fail "expected sat on populated queue")
+
+let test_queue_unsat_when_empty () =
+  (* empty queue: id > 0 can never match a zero entry *)
+  let st = Interp.initial_state queue_prog in
+  match Ex.solve_branch queue_prog ~state:st ~target:(0, Branch.Then) with
+  | Ex.Unsat, _ -> ()
+  | Ex.Sat _, _ -> Alcotest.fail "must be unsat on empty queue"
+  | Ex.Unknown, _ -> Alcotest.fail "should be decided unsat"
+
+let test_state_only_guard_unsat () =
+  (* guard depends only on state; wrong state -> unsat in one step *)
+  let open Ir in
+  let prog =
+    renumber_decisions
+      {
+        name = "stateguard";
+        inputs = [ input "x" (V.tint_range 0 10) ];
+        outputs = [];
+        states = [ state "mode" (V.tint_range 0 5) (V.Int 0) ];
+        locals = [];
+        body = [ if_ (sv "mode" =: ci 3) [] [] ];
+      }
+  in
+  let st = Interp.initial_state prog in
+  (match Ex.solve_branch prog ~state:st ~target:(0, Branch.Then) with
+   | Ex.Unsat, _ -> ()
+   | _ -> Alcotest.fail "state-false guard must be unsat");
+  let st3 = Interp.Smap.add "mode" (V.Int 3) st in
+  match Ex.solve_branch prog ~state:st3 ~target:(0, Branch.Then) with
+  | Ex.Sat _, _ -> ()
+  | _ -> Alcotest.fail "state-true guard must be trivially sat"
+
+(* Accumulator needing multiple steps: acc increments by at most 1 per
+   step (input-gated); branch needs acc >= 2 -> unreachable in one step
+   from the initial state but reachable in three. *)
+let multi_prog =
+  let open Ir in
+  renumber_decisions
+    {
+      name = "multi";
+      inputs = [ input "tick" V.Tbool ];
+      outputs = [ output "deep" V.Tbool ];
+      states = [ state "acc" (V.tint_range 0 10) (V.Int 0) ];
+      locals = [];
+      body =
+        [
+          assign_out "deep" (cb false);
+          if_ (sv "acc" >=: ci 2)
+            [ assign_out "deep" (cb true) ]
+            [];
+          if_ (iv "tick" &&: (sv "acc" <: ci 10))
+            [ assign_state "acc" (sv "acc" +: ci 1) ]
+            [];
+        ];
+    }
+
+let test_multi_step_needed () =
+  let st = Interp.initial_state multi_prog in
+  (* one step from the initial state cannot reach acc >= 2 *)
+  (match Ex.solve_branch multi_prog ~state:st ~target:(0, Branch.Then) with
+   | Ex.Unsat, _ -> ()
+   | _ -> Alcotest.fail "one-step must be unsat from initial state");
+  (* multi-step with enough horizon finds it *)
+  match Ex.solve_branch_multi multi_prog ~horizon:4 ~target:(0, Branch.Then) with
+  | Ex.Sat inputs, _ ->
+    check Alcotest.bool "at least 3 steps" true (List.length inputs >= 3);
+    check Alcotest.bool "sequence hits target" true
+      (hits multi_prog st inputs (0, Branch.Then))
+  | Ex.Unsat, _ -> Alcotest.fail "multi-step should find it"
+  | Ex.Unknown, _ -> Alcotest.fail "multi-step should find it (unknown)"
+
+let test_multi_step_insufficient_horizon () =
+  match Ex.solve_branch_multi multi_prog ~horizon:2 ~target:(0, Branch.Then) with
+  | Ex.Unsat, _ -> ()
+  | Ex.Sat _, _ -> Alcotest.fail "horizon 2 cannot reach acc >= 2"
+  | Ex.Unknown, _ -> ()
+
+let test_one_step_after_state_advance () =
+  (* the STCG move: execute to advance the state, then one-step solve *)
+  let st = Interp.initial_state multi_prog in
+  let tick = Interp.inputs_of_list [ ("tick", V.Bool true) ] in
+  let _, st1 = Interp.run_step multi_prog st tick in
+  let _, st2 = Interp.run_step multi_prog st1 tick in
+  (* now acc = 2: the deep branch is trivially reachable in one step *)
+  match Ex.solve_branch multi_prog ~state:st2 ~target:(0, Branch.Then) with
+  | Ex.Sat inputs, _ ->
+    check Alcotest.bool "hits from advanced state" true
+      (hits multi_prog st2 inputs (0, Branch.Then))
+  | _ -> Alcotest.fail "state-aware solve must succeed at acc=2"
+
+let test_free_decision_before_target () =
+  (* an earlier non-ancestor decision changes a local feeding the target *)
+  let open Ir in
+  let prog =
+    renumber_decisions
+      {
+        name = "free";
+        inputs =
+          [ input "sel" V.Tbool; input "x" (V.tint_range 0 100) ];
+        outputs = [ output "y" V.tint ];
+        states = [];
+        locals = [ local "t" V.tint ];
+        body =
+          [
+            if_ (iv "sel")
+              [ assign "t" (iv "x" +: ci 100) ]
+              [ assign "t" (iv "x") ];
+            if_ (lv "t" >: ci 150)
+              [ assign_out "y" (ci 1) ]
+              [ assign_out "y" (ci 0) ];
+          ];
+      }
+  in
+  let st = Interp.initial_state prog in
+  (* t > 150 requires sel && x > 50 *)
+  match Ex.solve_branch prog ~state:st ~target:(1, Branch.Then) with
+  | Ex.Sat [ ins ], _ ->
+    check Alcotest.bool "sel chosen true" true
+      (V.to_bool (Interp.Smap.find "sel" ins));
+    check Alcotest.bool "x > 50" true (V.to_int (Interp.Smap.find "x" ins) > 50);
+    check Alcotest.bool "hits" true (hits prog st [ ins ] (1, Branch.Then))
+  | _ -> Alcotest.fail "expected sat through free decision"
+
+let test_switch_targets () =
+  let open Ir in
+  let prog =
+    renumber_decisions
+      {
+        name = "sw";
+        inputs = [ input "op" (V.tint_range 0 9) ];
+        outputs = [ output "y" V.tint ];
+        states = [];
+        locals = [];
+        body =
+          [
+            switch (iv "op")
+              [ (1, [ assign_out "y" (ci 10) ]); (2, [ assign_out "y" (ci 20) ]) ]
+              [ assign_out "y" (ci 0) ];
+          ];
+      }
+  in
+  let st = Interp.initial_state prog in
+  let solve_case target expect_pred =
+    match Ex.solve_branch prog ~state:st ~target with
+    | Ex.Sat [ ins ], _ ->
+      let op = V.to_int (Interp.Smap.find "op" ins) in
+      check Alcotest.bool "op selects the case" true (expect_pred op);
+      check Alcotest.bool "hits" true (hits prog st [ ins ] target)
+    | _ -> Alcotest.fail "expected sat"
+  in
+  solve_case (0, Branch.Case 1) (fun op -> op = 1);
+  solve_case (0, Branch.Case 2) (fun op -> op = 2);
+  solve_case (0, Branch.Default) (fun op -> op <> 1 && op <> 2)
+
+let prop_sat_implies_hit =
+  (* random secrets: state-aware solving must always produce a hitting
+     input for the state-equality program *)
+  QCheck.Test.make ~name:"sat answers hit their target" ~count:60
+    QCheck.(int_range 0 1000)
+    (fun secret ->
+      let st = Interp.Smap.add "secret" (V.Int secret) Interp.Smap.empty in
+      match
+        Ex.solve_branch state_dep_prog ~state:st ~target:(0, Branch.Then)
+      with
+      | Ex.Sat inputs, _ -> hits state_dep_prog st inputs (0, Branch.Then)
+      | _ -> false)
+
+let test_cost_accounting () =
+  let st = Interp.initial_state nested_prog in
+  let _, cost = Ex.solve_branch nested_prog ~state:st ~target:(1, Branch.Then) in
+  check Alcotest.bool "solver was consulted" true (cost.Ex.solver_calls >= 1);
+  check Alcotest.bool "terms were submitted" true (cost.Ex.term_nodes > 0)
+
+let () =
+  Alcotest.run "symexec"
+    [
+      ( "one-step",
+        [
+          Alcotest.test_case "simple then/else" `Quick test_simple_then_else;
+          Alcotest.test_case "state constant" `Quick test_state_as_constant;
+          Alcotest.test_case "nested target" `Quick test_nested_target;
+          Alcotest.test_case "queue match" `Quick test_queue_match;
+          Alcotest.test_case "queue empty unsat" `Quick test_queue_unsat_when_empty;
+          Alcotest.test_case "state-only guard" `Quick test_state_only_guard_unsat;
+          Alcotest.test_case "free decision" `Quick test_free_decision_before_target;
+          Alcotest.test_case "switch cases" `Quick test_switch_targets;
+          Alcotest.test_case "cost accounting" `Quick test_cost_accounting;
+        ] );
+      ( "multi-step",
+        [
+          Alcotest.test_case "needs depth" `Quick test_multi_step_needed;
+          Alcotest.test_case "horizon too short" `Quick test_multi_step_insufficient_horizon;
+          Alcotest.test_case "state-aware shortcut" `Quick test_one_step_after_state_advance;
+        ] );
+      ( "props",
+        List.map QCheck_alcotest.to_alcotest [ prop_sat_implies_hit ] );
+    ]
