@@ -5,16 +5,43 @@
 
    Environment knobs:
      STCG_BENCH_QUICK=1   smaller budgets / fewer seeds (smoke mode)
-     STCG_BENCH_SEEDS=n   number of seeds for randomized tools *)
+     STCG_BENCH_SEEDS=n   number of seeds for randomized tools
+     STCG_BENCH_SMOKE=1   minimal artifact pass (tiny budget, CPUTask+AFC
+                          only, fast micro quota) — used by the dune
+                          runtest smoke alias
+     STCG_BENCH_MICRO=1   skip paper artifacts, run micro-benchmarks only
+     STCG_BENCH_JSON=path write micro-benchmark results (ns/run per test)
+                          as JSON, for machine-readable perf tracking
+                          across PRs; `--json [path]` does the same
+                          (default BENCH_results.json) *)
 
-let quick = Sys.getenv_opt "STCG_BENCH_QUICK" = Some "1"
+let smoke = Sys.getenv_opt "STCG_BENCH_SMOKE" = Some "1"
+let quick = smoke || Sys.getenv_opt "STCG_BENCH_QUICK" = Some "1"
+let micro_only = Sys.getenv_opt "STCG_BENCH_MICRO" = Some "1"
+
+let json_path =
+  let from_env = Sys.getenv_opt "STCG_BENCH_JSON" in
+  let rec from_argv = function
+    | [] -> None
+    | "--json" :: next :: _ when String.length next > 0 && next.[0] <> '-' ->
+      Some next
+    | "--json" :: _ -> Some "BENCH_results.json"
+    | arg :: rest ->
+      (match String.index_opt arg '=' with
+       | Some i when String.sub arg 0 i = "--json" ->
+         Some (String.sub arg (i + 1) (String.length arg - i - 1))
+       | _ -> from_argv rest)
+  in
+  match from_argv (Array.to_list Sys.argv) with
+  | Some p -> Some p
+  | None -> from_env
 
 let n_seeds =
   match Sys.getenv_opt "STCG_BENCH_SEEDS" with
   | Some s -> (try int_of_string s with _ -> if quick then 2 else 5)
-  | None -> if quick then 2 else 5
+  | None -> if smoke then 1 else if quick then 2 else 5
 
-let budget = if quick then 600.0 else 3600.0
+let budget = if smoke then 120.0 else if quick then 600.0 else 3600.0
 let seeds = List.init n_seeds (fun i -> i + 1)
 
 let section title =
@@ -23,6 +50,8 @@ let section title =
 (* --- paper artifacts --------------------------------------------------- *)
 
 let paper_artifacts () =
+  (* smoke mode exercises every artifact builder on a model subset *)
+  let models = if smoke then Some [ "CPUTask"; "AFC" ] else None in
   section "Table II - benchmark models";
   print_string (Harness.Experiment.table2 ());
   Fmt.pr "@.";
@@ -34,32 +63,65 @@ let paper_artifacts () =
   print_string (Harness.Experiment.fig3 ());
 
   section "Table III - coverage comparison";
-  let _, table3 = Harness.Experiment.table3 ~budget ~seeds () in
+  let _, table3 = Harness.Experiment.table3 ~budget ~seeds ?models () in
   print_string table3;
   Fmt.pr "@.";
 
   section "Figure 4 - decision coverage vs time";
-  let panels, _csvs = Harness.Experiment.fig4 ~budget ~seed:1 () in
+  let panels, _csvs = Harness.Experiment.fig4 ~budget ~seed:1 ?models () in
   print_string panels;
 
   section "Ablations - STCG design choices";
   print_string
     (Harness.Experiment.ablations ~budget
+       ?models:(if smoke then Some [ "CPUTask" ] else None)
        ~seeds:(List.filteri (fun i _ -> i < 3) seeds)
        ())
 
 (* --- micro-benchmarks --------------------------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c when Char.code c < 32 -> Buffer.add_string buf (Fmt.str "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json path (results : (string * float) list) =
+  let oc = open_out path in
+  output_string oc "{\n";
+  output_string oc (Fmt.str "  \"quick\": %b,\n" quick);
+  output_string oc "  \"unit\": \"ns/run\",\n";
+  output_string oc "  \"results\": [\n";
+  List.iteri
+    (fun i (name, ns) ->
+      output_string oc
+        (Fmt.str "    { \"name\": \"%s\", \"ns_per_run\": %.1f }%s\n"
+           (json_escape name) ns
+           (if i = List.length results - 1 then "" else ",")))
+    results;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  Fmt.pr "@.wrote %d results to %s@." (List.length results) path
 
 let micro_benchmarks () =
   section "Bechamel micro-benchmarks (substrate primitives)";
   let open Bechamel in
   let open Toolkit in
   let cputask = (Option.get (Models.Registry.find "CPUTask")).program () in
+  let exec = Slim.Exec.handle cputask in
   let st0 = Slim.Interp.initial_state cputask in
   let rng = Random.State.make [| 11 |] in
   let inputs = Slim.Interp.random_inputs rng cputask in
+  let est0 = Slim.Exec.state_of_smap exec st0 in
+  let einputs = Slim.Exec.inputs_of_smap exec inputs in
   let branch =
-    List.nth (Slim.Branch.sort_by_depth (Slim.Branch.of_program cputask)) 10
+    List.nth (Slim.Branch.sort_by_depth (Slim.Exec.branches exec)) 10
   in
   let tracker = Coverage.Tracker.create cputask in
   let test_interp =
@@ -67,19 +129,36 @@ let micro_benchmarks () =
       (Staged.stage (fun () ->
            ignore (Slim.Interp.run_step cputask st0 inputs)))
   in
+  let test_interp_ref =
+    (* the seed's map/Hashtbl interpreter, kept as the differential-test
+       oracle: its ns/run is the baseline the slot-compiled core beats *)
+    Test.make ~name:"interp(reference): one CPUTask step"
+      (Staged.stage (fun () ->
+           ignore (Slim.Interp.run_step_reference cputask st0 inputs)))
+  in
+  let test_exec =
+    Test.make ~name:"exec: one CPUTask step (slots)"
+      (Staged.stage (fun () -> ignore (Slim.Exec.run_step exec est0 einputs)))
+  in
+  let test_exec_hash =
+    Test.make ~name:"exec: state hash + equal"
+      (Staged.stage (fun () ->
+           ignore (Slim.Exec.state_hash est0);
+           ignore (Slim.Exec.state_equal est0 est0)))
+  in
   let test_tracked =
     Test.make ~name:"interp: step + coverage tracking"
       (Staged.stage (fun () ->
            ignore
-             (Slim.Interp.run_step
+             (Slim.Exec.run_step
                 ~on_event:(Coverage.Tracker.observe tracker)
-                cputask st0 inputs)))
+                exec est0 einputs)))
   in
   let test_solve =
     Test.make ~name:"symexec: one-step branch solve"
       (Staged.stage (fun () ->
            ignore
-             (Symexec.Explore.solve_branch cputask ~state:st0
+             (Symexec.Explore.solve_branch cputask ~state:est0
                 ~target:branch.Slim.Branch.key)))
   in
   let csp_problem =
@@ -106,16 +185,32 @@ let micro_benchmarks () =
       (Staged.stage (fun () ->
            ignore (Slim.Compile.to_program (Models.Afc.model ()))))
   in
+  let test_slot_compile =
+    Test.make ~name:"exec: compile CPUTask handle"
+      (Staged.stage (fun () -> ignore (Slim.Exec.compile cputask)))
+  in
   let tests =
-    [ test_interp; test_tracked; test_solve; test_csp; test_compile ]
+    [
+      test_interp;
+      test_interp_ref;
+      test_exec;
+      test_exec_hash;
+      test_tracked;
+      test_solve;
+      test_csp;
+      test_compile;
+      test_slot_compile;
+    ]
   in
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
-    Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:(Some 500) ()
+    if smoke then Benchmark.cfg ~limit:50 ~quota:(Time.second 0.05) ()
+    else Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:(Some 500) ()
   in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
+  let collected = ref [] in
   List.iter
     (fun test ->
       let raw = Benchmark.all cfg instances test in
@@ -123,15 +218,21 @@ let micro_benchmarks () =
       Hashtbl.iter
         (fun name result ->
           match Analyze.OLS.estimates result with
-          | Some [ est ] -> Fmt.pr "%-40s %12.1f ns/run@." name est
+          | Some [ est ] ->
+            collected := (name, est) :: !collected;
+            Fmt.pr "%-40s %12.1f ns/run@." name est
           | Some _ | None -> Fmt.pr "%-40s (no estimate)@." name)
         results)
-    tests
+    tests;
+  List.rev !collected
 
 let () =
   Fmt.pr "STCG reproduction benchmark harness%s@."
-    (if quick then " (quick mode)" else "");
+    (if smoke then " (smoke mode)" else if quick then " (quick mode)" else "");
   Fmt.pr "budget=%.0f virtual seconds, %d seeds@." budget n_seeds;
-  paper_artifacts ();
-  micro_benchmarks ();
+  if not micro_only then paper_artifacts ();
+  let results = micro_benchmarks () in
+  (match json_path with
+   | Some path -> write_json path results
+   | None -> ());
   Fmt.pr "@.done.@."

@@ -1,1 +1,1 @@
-lib/baselines/simcotest.ml: Coverage Float List Random Slim Stcg
+lib/baselines/simcotest.ml: Array Coverage Float List Random Slim Stcg

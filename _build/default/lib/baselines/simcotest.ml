@@ -1,4 +1,4 @@
-module Interp = Slim.Interp
+module Exec = Slim.Exec
 module Value = Slim.Value
 module Ir = Slim.Ir
 module Branch = Slim.Branch
@@ -85,19 +85,21 @@ let value_at (ty : Value.ty) shape step =
     in
     pick (Value.default_of_ty ty) segs
 
-let candidate rng (prog : Ir.program) horizon =
-  let shapes =
-    List.map
-      (fun (v : Ir.var) -> (v.name, v.ty, sample_shape rng v.ty horizon))
-      prog.inputs
-  in
+let candidate rng ex horizon : Exec.inputs list =
+  let vars = Exec.input_vars ex in
+  let n = Array.length vars in
+  let shapes = Array.make n (Value.Tbool, Constant (Value.Bool false)) in
+  (* explicit ascending loop: shape sampling consumes the RNG in input
+     declaration order, keeping sequences reproducible per seed *)
+  for i = 0 to n - 1 do
+    let ty = vars.(i).Ir.ty in
+    shapes.(i) <- (ty, sample_shape rng ty horizon)
+  done;
   List.init horizon (fun step ->
-      List.fold_left
-        (fun acc (name, ty, shape) ->
-          Interp.Smap.add name (value_at ty shape step) acc)
-        Interp.Smap.empty shapes)
+      Array.map (fun (ty, shape) -> value_at ty shape step) shapes)
 
 let run ?(config = default_config) ~model (prog : Ir.program) =
+  let ex = Exec.handle prog in
   let tracker = Tracker.create prog in
   let clock = Vclock.create ~budget:config.budget in
   let rng = Random.State.make [| config.seed; 0x51C0 |] in
@@ -115,11 +117,11 @@ let run ?(config = default_config) ~model (prog : Ir.program) =
   in
   while (not (Vclock.expired clock)) && not (Tracker.fully_covered tracker) do
     Vclock.charge clock config.gen_overhead;
-    let inputs = candidate rng prog config.horizon in
+    let inputs = candidate rng ex config.horizon in
     let before = Tracker.covered_branches tracker in
     let _, _ =
-      Interp.run_sequence ~on_event:(Tracker.observe tracker) prog
-        (Interp.initial_state prog) inputs
+      Exec.run_sequence ~on_event:(Tracker.observe tracker) ex
+        (Exec.initial_state ex) inputs
     in
     Vclock.charge_steps clock (List.length inputs);
     let after = Tracker.covered_branches tracker in

@@ -1,1 +1,1 @@
-lib/core/testcase.ml: Buffer Coverage Fmt List Slim String
+lib/core/testcase.ml: Array Buffer Coverage Fmt List Slim String

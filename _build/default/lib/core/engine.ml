@@ -1,4 +1,4 @@
-module Interp = Slim.Interp
+module Exec = Slim.Exec
 module Branch = Slim.Branch
 module Ir = Slim.Ir
 module Tracker = Coverage.Tracker
@@ -68,6 +68,7 @@ type objective = {
 type state = {
   cfg : config;
   prog : Ir.program;
+  exec : Exec.t;  (** compiled handle: slot-addressed execution *)
   tracker : Tracker.t;
   tree : State_tree.t;
   clock : Vclock.t;
@@ -76,20 +77,20 @@ type state = {
   cursors : (string, int) Hashtbl.t;
       (** per-objective index of the next unattempted tree node; nodes
           are append-only, so attempted pairs are never rescanned *)
-  snap_keys : (int, string) Hashtbl.t;  (** node id -> serialized state *)
   misses : (string, int) Hashtbl.t;
       (** consecutive failed attempts per objective: objectives that
           keep failing are probed on progressively fewer states (the
           back-off the paper's Discussion calls for to stop "multiple
           solving for this type of branch" from eating the budget) *)
-  solve_cache : (string, unit) Hashtbl.t;
-      (** (state, objective) pairs that already failed to solve: two
-          nodes with equal snapshots give identical one-step answers, so
-          re-solving is skipped (the "duplicate solving" waste the
-          paper's Discussion flags) *)
+  solve_cache : (string * int, unit) Hashtbl.t;
+      (** (objective key, state uid) pairs that already failed to solve:
+          two nodes with equal snapshots give identical one-step answers,
+          so re-solving is skipped (the "duplicate solving" waste the
+          paper's Discussion flags).  State uids come from the tree's
+          intern table — no snapshot serialization. *)
   mutable mcdc_stamp : int;  (** tracker progress at last MCDC refresh *)
   mutable mcdc_cache : objective list;
-  mutable library : Interp.inputs list;  (** all solved inputs *)
+  mutable library : Exec.inputs list;  (** all solved inputs *)
   mutable events : event list;
   mutable testcases : Testcase.t list;
   mutable next_tc : int;
@@ -122,7 +123,7 @@ let emit_coverage st =
 let execute_raw st snapshot input =
   let before = Tracker.covered_branches st.tracker in
   let _, state' =
-    Interp.run_step ~on_event:(Tracker.observe st.tracker) st.prog snapshot
+    Exec.run_step ~on_event:(Tracker.observe st.tracker) st.exec snapshot
       input
   in
   Vclock.charge_steps st.clock 1;
@@ -226,15 +227,7 @@ let state_aware_solving st =
             try_nodes (id + 1)
           else begin
             let node = State_tree.node st.tree id in
-            let snap_key =
-              match Hashtbl.find_opt st.snap_keys id with
-              | Some k -> k
-              | None ->
-                let k = Fmt.str "%a" Interp.pp_snapshot node.State_tree.state in
-                Hashtbl.replace st.snap_keys id k;
-                k
-            in
-            let cache_key = obj.obj_key ^ "@" ^ snap_key in
+            let cache_key = (obj.obj_key, node.State_tree.state_uid) in
             if
               State_tree.is_solved node obj.obj_key
               || Hashtbl.mem st.solve_cache cache_key
@@ -310,7 +303,7 @@ let random_execution st =
     (Ev_random_exec { time = Vclock.now st.clock; node = node.id; len });
   let fresh_input () =
     match st.library with
-    | [] -> Interp.random_inputs st.rng st.prog
+    | [] -> Exec.random_inputs st.rng st.exec
     | lib ->
       (* bias toward recently solved inputs: they target the deep
          objectives currently being chased *)
@@ -361,7 +354,7 @@ let random_first_phase st =
       let rec steps snapshot node_opt executed fresh_acc k =
         if k = 0 then (executed, fresh_acc)
         else begin
-          let input = Interp.random_inputs st.rng st.prog in
+          let input = Exec.random_inputs st.rng st.exec in
           let state', fresh = execute_raw st snapshot input in
           let node_opt' =
             match node_opt with
@@ -392,11 +385,13 @@ let all_requirements_met tracker =
   && full (Tracker.mcdc tracker)
 
 let run ?(config = default_config) prog =
+  let exec = Exec.handle prog in
   let tracker = Tracker.create prog in
   let tree = State_tree.create prog in
   let clock = Vclock.create ~budget:config.budget in
   let branch_objectives =
-    let bs = Branch.of_program prog in
+    (* branch table comes precomputed from the handle *)
+    let bs = Exec.branches exec in
     let bs = if config.sort_branches then Branch.sort_by_depth bs else bs in
     List.map
       (fun (b : Branch.t) ->
@@ -417,7 +412,7 @@ let run ?(config = default_config) prog =
         (fun (b : Branch.t) ->
           if not (Hashtbl.mem tbl b.decision) then
             Hashtbl.replace tbl b.decision b.depth)
-        (Branch.of_program prog);
+        (Exec.branches exec);
       fun d -> Option.value ~default:0 (Hashtbl.find_opt tbl d)
     in
     let criteria = Tracker.criteria tracker in
@@ -445,13 +440,13 @@ let run ?(config = default_config) prog =
     {
       cfg = config;
       prog;
+      exec;
       tracker;
       tree;
       clock;
       rng = Random.State.make [| config.seed; 0xC7C6 |];
       objectives = branch_objectives @ condition_objectives;
       cursors = Hashtbl.create 256;
-      snap_keys = Hashtbl.create 1024;
       solve_cache = Hashtbl.create 4096;
       misses = Hashtbl.create 256;
       mcdc_stamp = -1;

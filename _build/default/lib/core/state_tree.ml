@@ -1,40 +1,79 @@
-module Interp = Slim.Interp
+module Exec = Slim.Exec
 module Sset = Set.Make (String)
 
 type node = {
   id : int;
   parent : int option;
-  state : Interp.snapshot;
-  input : Interp.inputs option;
+  state : Exec.state;
+  state_uid : int;
+  input : Exec.inputs option;
   depth : int;
   mutable solved : Sset.t;
 }
 
 type t = {
+  exec : Exec.t;
   mutable nodes_rev : node list;
   mutable count : int;
   children : (int, int list ref) Hashtbl.t;
   by_id : (int, node) Hashtbl.t;
+  intern : (int, (Exec.state * int) list ref) Hashtbl.t;
+      (* structural hash -> (state, uid) bucket; two states get the same
+         uid iff they are [Exec.state_equal] *)
+  mutable distinct : int;
 }
 
+(* Map a snapshot to a small integer uid, unique per distinct state.  Uids
+   make dedup (here) and solver caching (Engine) O(1) comparisons instead
+   of structural equality walks or serialized-string keys. *)
+let intern_state t state =
+  let h = Exec.state_hash state in
+  match Hashtbl.find_opt t.intern h with
+  | None ->
+    let uid = t.distinct in
+    t.distinct <- uid + 1;
+    Hashtbl.replace t.intern h (ref [ (state, uid) ]);
+    uid
+  | Some bucket ->
+    (match List.find_opt (fun (s, _) -> Exec.state_equal s state) !bucket with
+     | Some (_, uid) -> uid
+     | None ->
+       let uid = t.distinct in
+       t.distinct <- uid + 1;
+       bucket := (state, uid) :: !bucket;
+       uid)
+
 let create prog =
+  let exec = Exec.handle prog in
+  let t =
+    {
+      exec;
+      nodes_rev = [];
+      count = 0;
+      children = Hashtbl.create 64;
+      by_id = Hashtbl.create 64;
+      intern = Hashtbl.create 256;
+      distinct = 0;
+    }
+  in
+  let state = Exec.initial_state exec in
   let root =
     {
       id = 0;
       parent = None;
-      state = Interp.initial_state prog;
+      state;
+      state_uid = intern_state t state;
       input = None;
       depth = 0;
       solved = Sset.empty;
     }
   in
-  let t =
-    { nodes_rev = [ root ]; count = 1; children = Hashtbl.create 64;
-      by_id = Hashtbl.create 64 }
-  in
+  t.nodes_rev <- [ root ];
+  t.count <- 1;
   Hashtbl.replace t.by_id 0 root;
   t
 
+let exec t = t.exec
 let root t = Hashtbl.find t.by_id 0
 let node t id = Hashtbl.find t.by_id id
 let size t = t.count
@@ -46,11 +85,12 @@ let children_of t id =
   | None -> []
 
 let add_child t ~parent ~input state =
-  if Interp.snapshot_equal state parent.state then (parent, false)
+  let uid = intern_state t state in
+  if uid = parent.state_uid then (parent, false)
   else
     let existing =
       List.find_opt
-        (fun cid -> Interp.snapshot_equal (node t cid).state state)
+        (fun cid -> (node t cid).state_uid = uid)
         (children_of t parent.id)
     in
     match existing with
@@ -61,6 +101,7 @@ let add_child t ~parent ~input state =
           id = t.count;
           parent = Some parent.id;
           state;
+          state_uid = uid;
           input = Some input;
           depth = parent.depth + 1;
           solved = Sset.empty;
@@ -90,23 +131,14 @@ let random_node t rng =
 let mark_solved n key = n.solved <- Sset.add key n.solved
 let is_solved n key = Sset.mem key n.solved
 
-let distinct_states t =
-  let states = nodes t |> List.map (fun n -> n.state) in
-  let rec count_distinct seen = function
-    | [] -> List.length seen
-    | s :: rest ->
-      if List.exists (Interp.snapshot_equal s) seen then
-        count_distinct seen rest
-      else count_distinct (s :: seen) rest
-  in
-  count_distinct [] states
+let distinct_states t = t.distinct
 
 let pp ppf t =
   let rec render indent id =
     let n = node t id in
     Fmt.pf ppf "%sS%d" indent n.id;
     (match n.input with
-     | Some input -> Fmt.pf ppf "  <- %a" Interp.pp_inputs input
+     | Some input -> Fmt.pf ppf "  <- %a" (Exec.pp_inputs t.exec) input
      | None -> Fmt.pf ppf "  (initial state)");
     Fmt.pf ppf "@,";
     List.iter (render (indent ^ "  ")) (List.rev (children_of t id))

@@ -1,4 +1,4 @@
-module Interp = Slim.Interp
+module Exec = Slim.Exec
 module Value = Slim.Value
 module Ir = Slim.Ir
 
@@ -6,7 +6,7 @@ type origin = Solved | Random_exec
 
 type t = {
   tc_id : int;
-  steps : Interp.inputs list;
+  steps : Exec.inputs list;
   origin : origin;
   found_at : float;
   new_branches : Slim.Branch.key list;
@@ -20,8 +20,9 @@ let replay ?tracker prog tc =
     | Some tr -> Coverage.Tracker.observe tr
     | None -> fun _ -> ()
   in
+  let ex = Exec.handle prog in
   let _, final =
-    Interp.run_sequence ~on_event prog (Interp.initial_state prog) tc.steps
+    Exec.run_sequence ~on_event ex (Exec.initial_state ex) tc.steps
   in
   final
 
@@ -39,35 +40,42 @@ let origin_of_string = function
   | "random" -> Random_exec
   | s -> invalid_arg ("unknown test case origin " ^ s)
 
-let step_to_line (prog : Ir.program) inputs =
-  prog.inputs
-  |> List.map (fun (v : Ir.var) ->
+(* The on-disk format stays name-based ([name=value] per input, tab
+   separated) so exported suites survive input reordering and remain
+   human-auditable; the slot<->name mapping of the compiled handle does
+   the translation at this boundary only. *)
+let step_to_line (prog : Ir.program) (inputs : Exec.inputs) =
+  let ex = Exec.handle prog in
+  Exec.input_vars ex
+  |> Array.mapi (fun i (v : Ir.var) ->
          let value =
-           match Interp.Smap.find_opt v.name inputs with
-           | Some x -> x
-           | None -> Value.default_of_ty v.ty
+           if i < Array.length inputs then inputs.(i)
+           else Value.default_of_ty v.ty
          in
          Fmt.str "%s=%s" v.name (Value.to_string value))
+  |> Array.to_list
   |> String.concat "\t"
 
-let line_to_step (prog : Ir.program) line =
+let line_to_step (prog : Ir.program) line : Exec.inputs =
+  let ex = Exec.handle prog in
+  let vars = Exec.input_vars ex in
+  let step = Exec.default_inputs ex in
   let fields =
     String.split_on_char '\t' line
     |> List.filter (fun s -> String.trim s <> "")
   in
-  List.fold_left
-    (fun acc field ->
+  List.iter
+    (fun field ->
       match String.index_opt field '=' with
-      | None -> acc
+      | None -> ()
       | Some i ->
         let name = String.sub field 0 i in
         let text = String.sub field (i + 1) (String.length field - i - 1) in
-        (match
-           List.find_opt (fun (v : Ir.var) -> v.name = name) prog.inputs
-         with
-         | Some v -> Interp.Smap.add name (Value.of_string v.ty text) acc
-         | None -> acc))
-    Interp.Smap.empty fields
+        (match Exec.input_slot ex name with
+         | Some slot -> step.(slot) <- Value.of_string vars.(slot).Ir.ty text
+         | None -> ()))
+    fields;
+  step
 
 let to_text prog tcs =
   let buf = Buffer.create 1024 in

@@ -48,7 +48,10 @@ let guard_fn (cond : Ir.expr) : bool array -> bool =
   build cond
 
 let of_program prog =
-  let branches = Branch.of_program prog in
+  (* Branch table and decision metadata come precomputed from the compiled
+     execution handle; no per-tracker IR traversal. *)
+  let ex = Slim.Exec.handle prog in
+  let branches = Slim.Exec.branches ex in
   let decisions =
     List.map
       (fun (id, d) ->
@@ -62,7 +65,7 @@ let of_program prog =
           }
         | `Switch (_, _) ->
           { d_id = id; d_kind = `Switch; d_atom_count = 0; d_fn = (fun _ -> false) })
-      (Ir.decisions_of_program prog)
+      (Slim.Exec.decisions ex)
   in
   let atoms =
     List.fold_left (fun n d -> n + d.d_atom_count) 0 decisions

@@ -1,4 +1,4 @@
-module Interp = Slim.Interp
+module Exec = Slim.Exec
 module Branch = Slim.Branch
 
 (* Observed condition vectors are interned per decision as strings of
@@ -38,12 +38,12 @@ let create prog =
 let criteria t = t.criteria
 
 let observe t = function
-  | Interp.Branch_hit key ->
+  | Exec.Branch_hit key ->
     if not (Branch.Key_set.mem key t.branches) then begin
       t.branches <- Branch.Key_set.add key t.branches;
       t.progress <- t.progress + 1
     end
-  | Interp.Cond_vector { id; vector; outcome } ->
+  | Exec.Cond_vector { id; vector; outcome } ->
     Array.iteri
       (fun i b ->
         if not (Hashtbl.mem t.cond_seen (id, i, b)) then begin

@@ -1,15 +1,16 @@
 (** Runtime coverage accumulation.
 
-    A tracker consumes {!Slim.Interp.event}s (feed {!observe} as the
-    [on_event] callback of {!Slim.Interp.run_step}) and accumulates the
-    three criteria of {!Criteria}. *)
+    A tracker consumes {!Slim.Exec.event}s (feed {!observe} as the
+    [on_event] callback of {!Slim.Exec.run_step} or
+    {!Slim.Interp.run_step}) and accumulates the three criteria of
+    {!Criteria}. *)
 
 type t
 
 val create : Slim.Ir.program -> t
 val criteria : t -> Criteria.t
 
-val observe : t -> Slim.Interp.event -> unit
+val observe : t -> Slim.Exec.event -> unit
 
 val progress : t -> int
 (** Monotone stamp, bumped only when an observation adds genuinely new

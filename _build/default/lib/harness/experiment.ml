@@ -154,13 +154,18 @@ let table2 () =
 
 let pct_str x = Fmt.str "%.0f%%" x
 
-let table3 ?budget ?(seeds = [ 1; 2; 3; 4; 5 ]) () =
+let table3 ?budget ?(seeds = [ 1; 2; 3; 4; 5 ]) ?models () =
+  let entries =
+    match models with
+    | None -> Registry.entries
+    | Some names -> List.filter_map Registry.find names
+  in
   let tools = [ SLDV; SimCoTest; STCG ] in
   let rows =
     List.concat_map
       (fun entry ->
         List.map (fun tool -> average ?budget ~seeds tool entry) tools)
-      Registry.entries
+      entries
   in
   let paper_of tool (e : Registry.entry) =
     match tool with
@@ -190,7 +195,7 @@ let table3 ?budget ?(seeds = [ 1; 2; 3; 4; 5 ]) () =
               pct_str pm;
             ])
           tools)
-      Registry.entries
+      entries
   in
   (* average improvements of STCG over the baselines, paper-style *)
   let improvement base =
@@ -204,7 +209,7 @@ let table3 ?budget ?(seeds = [ 1; 2; 3; 4; 5 ]) () =
           in
           let b = metric (get base) and s = metric (get STCG) in
           if b > 0.0 then Some (100.0 *. (s -. b) /. b) else None)
-        Registry.entries
+        entries
     in
     let mean l =
       if l = [] then 0.0 else List.fold_left ( +. ) 0.0 l /. float (List.length l)
@@ -347,7 +352,7 @@ let fig4 ?(budget = 3600.0) ?(seed = 1) ?models () =
 
 (* --- Ablations --------------------------------------------------------- *)
 
-let ablations ?(budget = 3600.0) ?(seeds = [ 1; 2; 3 ]) () =
+let ablations ?(budget = 3600.0) ?(seeds = [ 1; 2; 3 ]) ?models () =
   let variants =
     [
       ("STCG (full)", fun c -> c);
@@ -360,7 +365,9 @@ let ablations ?(budget = 3600.0) ?(seeds = [ 1; 2; 3 ]) () =
       ("random-first hybrid", fun c -> { c with Engine.random_first = true });
     ]
   in
-  let models = [ "CPUTask"; "TCP" ] in
+  let models =
+    match models with Some ms -> ms | None -> [ "CPUTask"; "TCP" ]
+  in
   let rows =
     List.concat_map
       (fun mname ->

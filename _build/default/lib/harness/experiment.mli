@@ -35,7 +35,9 @@ val table2 : unit -> string
 (** Benchmark description: our branch/block counts next to the paper's
     (paper Table II). *)
 
-val table3 : ?budget:float -> ?seeds:int list -> unit -> averaged list * string
+val table3 :
+  ?budget:float -> ?seeds:int list -> ?models:string list -> unit ->
+  averaged list * string
 (** Coverage comparison of the three tools over all models with average
     improvements (paper Table III).  Returns the raw rows and the
     rendered table. *)
@@ -51,7 +53,8 @@ val fig4 :
     Figure 4).  Returns the rendered panels and, per model, a CSV dump
     of the series ((model, csv) pairs). *)
 
-val ablations : ?budget:float -> ?seeds:int list -> unit -> string
+val ablations :
+  ?budget:float -> ?seeds:int list -> ?models:string list -> unit -> string
 (** Ablation study over STCG's design choices: depth-sorted targets,
     state-aware (constant) solving, the random-sequence fallback, and
     the random-first hybrid from the paper's Discussion. *)

@@ -1,0 +1,1 @@
+lib/slim/exec.ml: Array Branch Fmt Format Hashtbl Int64 Ir List Map String Value

@@ -1,0 +1,1 @@
+lib/slim/exec.mli: Branch Fmt Ir Map Random Value

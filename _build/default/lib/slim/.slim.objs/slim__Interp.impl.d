@@ -1,1 +1,1 @@
-lib/slim/interp.ml: Array Branch Fmt Format Hashtbl Ir List Map String Value
+lib/slim/interp.ml: Array Branch Exec Fmt Format Hashtbl Ir List Value

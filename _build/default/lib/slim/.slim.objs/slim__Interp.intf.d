@@ -1,1 +1,1 @@
-lib/slim/interp.mli: Branch Fmt Ir Map Random Value
+lib/slim/interp.mli: Branch Exec Fmt Ir Random Value

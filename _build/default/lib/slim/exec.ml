@@ -1,0 +1,598 @@
+(* Slot-compiled execution core.
+
+   [compile] runs once per program: every variable reference is resolved to
+   an integer slot into one of four flat [Value.t array]s (inputs / outputs /
+   states / locals), the statement body is lowered to closures over those
+   slots, Switch dispatch becomes a precomputed table, and the branch table,
+   requirement chains and per-decision condition metadata are all computed up
+   front.  [run_step] then executes one model iteration with zero string
+   hashing and zero per-step environment construction.
+
+   Slot [i] of a state/input/output array always corresponds to the [i]-th
+   entry of [prog.states] / [prog.inputs] / [prog.outputs]; that positional
+   contract is shared with Symexec.Sym_value and Stcg.Testcase. *)
+
+module Smap = Map.Make (String)
+
+type state = Value.t array
+type inputs = Value.t array
+type outputs = Value.t array
+
+type event =
+  | Branch_hit of Branch.key
+  | Cond_vector of { id : int; vector : bool array; outcome : bool }
+
+exception Eval_error of string
+
+let eval_error fmt = Format.kasprintf (fun s -> raise (Eval_error s)) fmt
+
+(* Mutable per-step register file.  A fresh frame is built for every step, so
+   a handle is freely shareable across engines and (later) worker shards. *)
+type frame = {
+  f_inp : Value.t array;
+  f_out : Value.t array;
+  f_st : Value.t array;
+  f_loc : Value.t array;
+  f_emit : event -> unit;
+}
+
+type decision_shape = [ `If of Ir.expr | `Switch of Ir.expr * int list ]
+
+type t = {
+  prog : Ir.program;
+  input_vars : Ir.var array;
+  output_vars : Ir.var array;
+  state_vars : Ir.var array;
+  state_init : Value.t array;
+  input_defaults : Value.t array;
+  output_defaults : Value.t array;
+  local_defaults : Value.t array;
+  input_index : (string, int) Hashtbl.t;
+  output_index : (string, int) Hashtbl.t;
+  state_index : (string, int) Hashtbl.t;
+  body : frame -> unit;
+  branches : Branch.t list;
+  branch_by_key : Branch.t Branch.Key_map.t;
+  req_chains : (int * Branch.outcome) list Branch.Key_map.t;
+  decisions : (int * decision_shape) list;
+  decision_index : (int, decision_shape) Hashtbl.t;
+}
+
+(* --- compilation ------------------------------------------------------- *)
+
+type cctx = {
+  c_inp : (string, int) Hashtbl.t;
+  c_out : (string, int) Hashtbl.t;
+  c_st : (string, int) Hashtbl.t;
+  c_loc : (string, int) Hashtbl.t;
+}
+
+let index_of_vars (vars : Ir.var list) =
+  let tbl = Hashtbl.create (List.length vars * 2) in
+  (* [replace]: on duplicate names the last declaration wins, matching the
+     reference interpreter's bind order. *)
+  List.iteri (fun i (v : Ir.var) -> Hashtbl.replace tbl v.name i) vars;
+  tbl
+
+let compile_read ctx scope name : frame -> Value.t =
+  let tbl =
+    match (scope : Ir.scope) with
+    | Ir.Input -> ctx.c_inp
+    | Ir.Output -> ctx.c_out
+    | Ir.State -> ctx.c_st
+    | Ir.Local -> ctx.c_loc
+  in
+  match Hashtbl.find_opt tbl name with
+  | Some i ->
+    (match scope with
+     | Ir.Input -> fun fr -> fr.f_inp.(i)
+     | Ir.Output -> fun fr -> fr.f_out.(i)
+     | Ir.State -> fun fr -> fr.f_st.(i)
+     | Ir.Local -> fun fr -> fr.f_loc.(i))
+  | None ->
+    (* The error is raised at execution time, like the reference path. *)
+    fun _ -> eval_error "unbound %s variable %s" (Ir.scope_name scope) name
+
+let rec compile_expr ctx (e : Ir.expr) : frame -> Value.t =
+  match e with
+  | Const v -> fun _ -> v
+  | Var (scope, name) -> compile_read ctx scope name
+  | Unop (op, e) ->
+    let f = compile_expr ctx e in
+    (match op with
+     | Neg -> fun fr -> Value.neg (f fr)
+     | Not -> fun fr -> Value.Bool (not (Value.to_bool (f fr)))
+     | Abs_op -> fun fr -> Value.abs_v (f fr)
+     | To_real -> fun fr -> Value.Real (Value.to_real (f fr))
+     | To_int -> fun fr -> Value.Int (Value.to_int (f fr))
+     | Floor -> fun fr -> Value.floor_v (f fr)
+     | Ceil -> fun fr -> Value.ceil_v (f fr))
+  | Binop (op, a, b) ->
+    let fa = compile_expr ctx a in
+    let fb = compile_expr ctx b in
+    let g =
+      match op with
+      | Ir.Add -> Value.add
+      | Ir.Sub -> Value.sub
+      | Ir.Mul -> Value.mul
+      | Ir.Div -> Value.div
+      | Ir.Mod -> Value.modulo
+      | Ir.Min -> Value.min_v
+      | Ir.Max -> Value.max_v
+    in
+    fun fr ->
+      let va = fa fr in
+      let vb = fb fr in
+      g va vb
+  | Cmp (op, a, b) ->
+    let fa = compile_expr ctx a in
+    let fb = compile_expr ctx b in
+    (match op with
+     | Ir.Eq ->
+       fun fr ->
+         let va = fa fr in
+         let vb = fb fr in
+         Value.Bool (Value.equal va vb)
+     | Ir.Ne ->
+       fun fr ->
+         let va = fa fr in
+         let vb = fb fr in
+         Value.Bool (not (Value.equal va vb))
+     | Ir.Lt ->
+       fun fr ->
+         let va = fa fr in
+         let vb = fb fr in
+         Value.Bool (Value.compare_num va vb < 0)
+     | Ir.Le ->
+       fun fr ->
+         let va = fa fr in
+         let vb = fb fr in
+         Value.Bool (Value.compare_num va vb <= 0)
+     | Ir.Gt ->
+       fun fr ->
+         let va = fa fr in
+         let vb = fb fr in
+         Value.Bool (Value.compare_num va vb > 0)
+     | Ir.Ge ->
+       fun fr ->
+         let va = fa fr in
+         let vb = fb fr in
+         Value.Bool (Value.compare_num va vb >= 0))
+  | And (a, b) ->
+    (* Full (non-short-circuit) evaluation, like Simulink logic blocks. *)
+    let fa = compile_expr ctx a in
+    let fb = compile_expr ctx b in
+    fun fr ->
+      let va = Value.to_bool (fa fr) in
+      let vb = Value.to_bool (fb fr) in
+      Value.Bool (va && vb)
+  | Or (a, b) ->
+    let fa = compile_expr ctx a in
+    let fb = compile_expr ctx b in
+    fun fr ->
+      let va = Value.to_bool (fa fr) in
+      let vb = Value.to_bool (fb fr) in
+      Value.Bool (va || vb)
+  | Ite (c, t, e) ->
+    let fc = compile_expr ctx c in
+    let ft = compile_expr ctx t in
+    let fe = compile_expr ctx e in
+    fun fr -> if Value.to_bool (fc fr) then ft fr else fe fr
+  | Index (v, i) ->
+    let fv = compile_expr ctx v in
+    let fi = compile_expr ctx i in
+    fun fr ->
+      let a = Value.to_vec (fv fr) in
+      let k = Value.to_int (fi fr) in
+      if k < 0 || k >= Array.length a then
+        eval_error "index %d out of bounds [0,%d)" k (Array.length a)
+      else a.(k)
+
+let rec compile_lvalue_resolve ctx (l : Ir.lvalue) : frame -> Value.t =
+  match l with
+  | Lvar (scope, name) -> compile_read ctx scope name
+  | Lindex (inner, idx) ->
+    let fl = compile_lvalue_resolve ctx inner in
+    let fi = compile_expr ctx idx in
+    fun fr ->
+      let a = Value.to_vec (fl fr) in
+      let k = Value.to_int (fi fr) in
+      if k < 0 || k >= Array.length a then
+        eval_error "lvalue index %d out of bounds" k
+      else a.(k)
+
+let compile_write ctx (lhs : Ir.lvalue) : frame -> Value.t -> unit =
+  match lhs with
+  | Lvar (scope, name) ->
+    (match scope with
+     | Ir.Input -> fun _ _ -> eval_error "assignment to input %s" name
+     | Ir.Output | Ir.State | Ir.Local ->
+       let tbl =
+         match scope with
+         | Ir.Output -> ctx.c_out
+         | Ir.State -> ctx.c_st
+         | Ir.Local -> ctx.c_loc
+         | Ir.Input -> assert false
+       in
+       (match Hashtbl.find_opt tbl name with
+        | Some i ->
+          (match scope with
+           | Ir.Output -> fun fr v -> fr.f_out.(i) <- v
+           | Ir.State -> fun fr v -> fr.f_st.(i) <- v
+           | Ir.Local -> fun fr v -> fr.f_loc.(i) <- v
+           | Ir.Input -> assert false)
+        | None ->
+          fun _ _ ->
+            eval_error "unbound %s variable %s" (Ir.scope_name scope) name))
+  | Lindex (inner, idx) ->
+    let fl = compile_lvalue_resolve ctx inner in
+    let fi = compile_expr ctx idx in
+    fun fr v ->
+      let a = Value.to_vec (fl fr) in
+      let k = Value.to_int (fi fr) in
+      if k < 0 || k >= Array.length a then
+        eval_error "lvalue index %d out of bounds [0,%d)" k (Array.length a)
+      else a.(k) <- v
+
+(* Guard of an [If]: atoms are evaluated left to right into a fresh vector
+   (every atom value is observable for condition/MCDC coverage), then the
+   whole condition, then one Cond_vector event is emitted. *)
+let compile_guard ctx id cond : frame -> bool =
+  let atom_fns =
+    Array.of_list (List.map (compile_expr ctx) (Ir.atoms_of_condition cond))
+  in
+  let n = Array.length atom_fns in
+  let cond_fn = compile_expr ctx cond in
+  fun fr ->
+    let vector = Array.make n false in
+    for i = 0 to n - 1 do
+      vector.(i) <- Value.to_bool (atom_fns.(i) fr)
+    done;
+    let outcome = Value.to_bool (cond_fn fr) in
+    fr.f_emit (Cond_vector { id; vector; outcome });
+    outcome
+
+(* Switch label -> arm index.  Dense labels get a direct table; sparse ones
+   fall back to a Hashtbl.  Either way dispatch is O(1), replacing the
+   reference interpreter's List.assoc_opt scan. *)
+let compile_dispatch (labels : int list) : int -> int =
+  match labels with
+  | [] -> fun _ -> -1
+  | l0 :: rest ->
+    let lo = List.fold_left min l0 rest in
+    let hi = List.fold_left max l0 rest in
+    let span = hi - lo + 1 in
+    if span <= (4 * (List.length labels + 4)) then begin
+      let table = Array.make span (-1) in
+      List.iteri (fun i k -> table.(k - lo) <- i) labels;
+      fun k -> if k < lo || k > hi then -1 else table.(k - lo)
+    end
+    else begin
+      let tbl = Hashtbl.create (2 * List.length labels) in
+      List.iteri (fun i k -> Hashtbl.replace tbl k i) labels;
+      fun k -> (match Hashtbl.find_opt tbl k with Some i -> i | None -> -1)
+    end
+
+let rec compile_stmts ctx (ss : Ir.stmt list) : frame -> unit =
+  match List.map (compile_stmt ctx) ss with
+  | [] -> fun _ -> ()
+  | [ f ] -> f
+  | fs ->
+    let arr = Array.of_list fs in
+    fun fr -> Array.iter (fun f -> f fr) arr
+
+and compile_stmt ctx : Ir.stmt -> frame -> unit = function
+  | Ir.Assign (lhs, e) ->
+    let fe = compile_expr ctx e in
+    let fw = compile_write ctx lhs in
+    fun fr ->
+      let v = fe fr in
+      fw fr v
+  | Ir.If { id; cond; then_; else_ } ->
+    let guard = compile_guard ctx id cond in
+    let ft = compile_stmts ctx then_ in
+    let fe = compile_stmts ctx else_ in
+    let hit_then = Branch_hit (id, Branch.Then) in
+    let hit_else = Branch_hit (id, Branch.Else) in
+    fun fr ->
+      if guard fr then begin
+        fr.f_emit hit_then;
+        ft fr
+      end
+      else begin
+        fr.f_emit hit_else;
+        fe fr
+      end
+  | Ir.Switch { id; scrut; cases; default } ->
+    let fs = compile_expr ctx scrut in
+    let arms =
+      Array.of_list
+        (List.map
+           (fun (k, ss) -> (Branch_hit (id, Branch.Case k), compile_stmts ctx ss))
+           cases)
+    in
+    let fdef = compile_stmts ctx default in
+    let hit_default = Branch_hit (id, Branch.Default) in
+    let dispatch = compile_dispatch (List.map fst cases) in
+    fun fr ->
+      let k = Value.to_int (fs fr) in
+      (match dispatch k with
+       | -1 ->
+         fr.f_emit hit_default;
+         fdef fr
+       | i ->
+         let hit, body = arms.(i) in
+         fr.f_emit hit;
+         body fr)
+
+let compile (prog : Ir.program) : t =
+  let input_vars = Array.of_list prog.inputs in
+  let output_vars = Array.of_list prog.outputs in
+  let state_vars = Array.of_list (List.map fst prog.states) in
+  let state_init = Array.of_list (List.map snd prog.states) in
+  let defaults vars =
+    Array.map (fun (v : Ir.var) -> Value.default_of_ty v.ty) vars
+  in
+  let local_vars = Array.of_list prog.locals in
+  let ctx =
+    {
+      c_inp = index_of_vars prog.inputs;
+      c_out = index_of_vars prog.outputs;
+      c_st = index_of_vars (List.map fst prog.states);
+      c_loc = index_of_vars prog.locals;
+    }
+  in
+  let body = compile_stmts ctx prog.body in
+  let branches = Branch.of_program prog in
+  let branch_by_key =
+    List.fold_left
+      (fun m (b : Branch.t) -> Branch.Key_map.add b.key b m)
+      Branch.Key_map.empty branches
+  in
+  let req_chains =
+    (* Requirement chain of a branch: decisions that must take a specific
+       outcome for control to reach it, root-first, including itself. *)
+    List.fold_left
+      (fun m (b : Branch.t) ->
+        let rec chain acc (b : Branch.t) =
+          let acc = (b.Branch.decision, b.Branch.outcome) :: acc in
+          match b.Branch.parent with
+          | None -> acc
+          | Some p -> chain acc (Branch.Key_map.find p branch_by_key)
+        in
+        Branch.Key_map.add b.Branch.key (chain [] b) m)
+      Branch.Key_map.empty branches
+  in
+  let decisions = (Ir.decisions_of_program prog :> (int * decision_shape) list) in
+  let decision_index = Hashtbl.create (2 * List.length decisions + 1) in
+  List.iter (fun (id, shape) -> Hashtbl.replace decision_index id shape) decisions;
+  {
+    prog;
+    input_vars;
+    output_vars;
+    state_vars;
+    state_init;
+    input_defaults = defaults input_vars;
+    output_defaults = defaults output_vars;
+    local_defaults = defaults local_vars;
+    input_index = ctx.c_inp;
+    output_index = ctx.c_out;
+    state_index = ctx.c_st;
+    body;
+    branches;
+    branch_by_key;
+    req_chains;
+    decisions;
+    decision_index;
+  }
+
+(* --- per-program handle memo ------------------------------------------- *)
+
+(* Keyed by physical equality: programs are built once (model constructors,
+   registry entries) and then reused, so [==] is both correct and free.  The
+   move-to-front list keeps the common "one or two live programs" case O(1)
+   and bounds memory for long registry sweeps. *)
+let memo_capacity = 32
+let memo : (Ir.program * t) list ref = ref []
+
+let handle (prog : Ir.program) : t =
+  let rec find acc = function
+    | [] -> None
+    | ((p, h) as entry) :: rest ->
+      if p == prog then begin
+        memo := entry :: List.rev_append acc rest;
+        Some h
+      end
+      else find (entry :: acc) rest
+  in
+  match find [] !memo with
+  | Some h -> h
+  | None ->
+    let h = compile prog in
+    let kept =
+      if List.length !memo >= memo_capacity then
+        List.filteri (fun i _ -> i < memo_capacity - 1) !memo
+      else !memo
+    in
+    memo := (prog, h) :: kept;
+    h
+
+(* --- accessors --------------------------------------------------------- *)
+
+let program t = t.prog
+let input_vars t = t.input_vars
+let output_vars t = t.output_vars
+let state_vars t = t.state_vars
+let n_inputs t = Array.length t.input_vars
+let n_states t = Array.length t.state_vars
+let input_slot t name = Hashtbl.find_opt t.input_index name
+let output_slot t name = Hashtbl.find_opt t.output_index name
+let state_slot t name = Hashtbl.find_opt t.state_index name
+
+let find_in index arr kind name =
+  match Hashtbl.find_opt index name with
+  | Some i -> arr.(i)
+  | None -> eval_error "unknown %s variable %s" kind name
+
+let find_input t (a : inputs) name = find_in t.input_index a "input" name
+let find_output t (a : outputs) name = find_in t.output_index a "output" name
+let find_state t (a : state) name = find_in t.state_index a "state" name
+
+(* --- branch / decision metadata (memoized, satellite of the refactor) -- *)
+
+let branches t = t.branches
+let find_branch t key = Branch.Key_map.find_opt key t.branch_by_key
+
+let branch_chain t key =
+  match Branch.Key_map.find_opt key t.req_chains with
+  | Some c -> c
+  | None -> Value.type_error "solve_target: unknown branch %a" Branch.pp_key key
+
+let decision_chain t decision =
+  (* Ancestor requirements of the decision itself: the parent chain of its
+     Then branch (both outcomes share the same enclosing context). *)
+  match Branch.Key_map.find_opt (decision, Branch.Then) t.branch_by_key with
+  | None ->
+    Value.type_error "solve_target: unknown branch %a" Branch.pp_key
+      (decision, Branch.Then)
+  | Some b ->
+    (match b.Branch.parent with
+     | Some p -> branch_chain t p
+     | None -> [])
+
+let decisions t = t.decisions
+let find_decision t id = Hashtbl.find_opt t.decision_index id
+
+(* --- state / input construction ---------------------------------------- *)
+
+let initial_state t : state = Array.map Value.copy t.state_init
+let default_inputs t : inputs = Array.map Value.copy t.input_defaults
+
+let random_inputs rng t : inputs =
+  let n = Array.length t.input_vars in
+  let a = Array.make n (Value.Bool false) in
+  (* Explicit ascending loop: RNG draws must follow declaration order so
+     random sequences are reproducible against the reference path. *)
+  for i = 0 to n - 1 do
+    a.(i) <- Value.random rng t.input_vars.(i).Ir.ty
+  done;
+  a
+
+let of_list index defaults l =
+  let a = Array.map Value.copy defaults in
+  List.iter
+    (fun (name, v) ->
+      match Hashtbl.find_opt index name with
+      | Some i -> a.(i) <- v
+      | None -> ())
+    l;
+  a
+
+let inputs_of_list t l : inputs = of_list t.input_index t.input_defaults l
+let state_of_list t l : state = of_list t.state_index t.state_init l
+
+(* --- Smap bridge (legacy Interp API, test-case text format) ------------ *)
+
+let state_of_smap t (m : Value.t Smap.t) : state =
+  Array.mapi
+    (fun i (v : Ir.var) ->
+      match Smap.find_opt v.name m with
+      | Some x -> x
+      | None -> t.state_init.(i))
+    t.state_vars
+
+let inputs_of_smap t (m : Value.t Smap.t) : inputs =
+  Array.mapi
+    (fun i (v : Ir.var) ->
+      match Smap.find_opt v.name m with
+      | Some x -> x
+      | None -> t.input_defaults.(i))
+    t.input_vars
+
+let smap_of_arr vars (a : Value.t array) =
+  let m = ref Smap.empty in
+  Array.iteri (fun i (v : Ir.var) -> m := Smap.add v.name a.(i) !m) vars;
+  !m
+
+let smap_of_state t a = smap_of_arr t.state_vars a
+let smap_of_inputs t a = smap_of_arr t.input_vars a
+let smap_of_outputs t a = smap_of_arr t.output_vars a
+
+(* --- equality / hashing for state dedup -------------------------------- *)
+
+let values_equal (a : Value.t array) (b : Value.t array) =
+  a == b
+  || (Array.length a = Array.length b
+      &&
+      let rec go i = i < 0 || (Value.equal a.(i) b.(i) && go (i - 1)) in
+      go (Array.length a - 1))
+
+(* Structural hash consistent with [Value.equal]: [equal] identifies
+   [Int n] with [Real (float n)] (and [-0.] with [0.]), so both hash via
+   the IEEE bits of the normalized float.  NaN payloads other than the
+   canonical quiet NaN would collide-or-split, but no Value operation
+   produces them. *)
+let float_hash_bits r =
+  let b = Int64.bits_of_float (r +. 0.0) in
+  Int64.to_int (Int64.logxor b (Int64.shift_right_logical b 32))
+
+let mix h k = (((h lsl 5) + h) lxor k) land max_int
+
+let rec hash_value h (v : Value.t) =
+  match v with
+  | Value.Bool false -> mix h 0x2e5b
+  | Value.Bool true -> mix h 0x9d37
+  | Value.Int n -> mix h (float_hash_bits (float_of_int n))
+  | Value.Real r -> mix h (float_hash_bits r)
+  | Value.Vec a ->
+    Array.fold_left hash_value (mix h (0x56ec + Array.length a)) a
+
+let values_hash (a : Value.t array) = Array.fold_left hash_value 0x811c9dc5 a
+let state_equal = values_equal
+let state_hash = values_hash
+
+(* --- execution --------------------------------------------------------- *)
+
+let run_step ?(on_event = fun (_ : event) -> ()) t (st : state) (inp : inputs)
+    : outputs * state =
+  if Array.length st <> Array.length t.state_init then
+    invalid_arg "Exec.run_step: state array length mismatch";
+  if Array.length inp <> Array.length t.input_defaults then
+    invalid_arg "Exec.run_step: inputs array length mismatch";
+  let fr =
+    {
+      f_inp = Array.map Value.copy inp;
+      f_out = Array.map Value.copy t.output_defaults;
+      f_st = Array.map Value.copy st;
+      f_loc = Array.map Value.copy t.local_defaults;
+      f_emit = on_event;
+    }
+  in
+  t.body fr;
+  (* Copy-out, like the reference path: returned arrays never alias program
+     constants or the caller's arrays, so snapshots are immutable-in-fact. *)
+  (Array.map Value.copy fr.f_out, Array.map Value.copy fr.f_st)
+
+let run_sequence ?on_event t st inputs_list =
+  let outs, final =
+    List.fold_left
+      (fun (acc, st) inp ->
+        let out, st' = run_step ?on_event t st inp in
+        (out :: acc, st'))
+      ([], st) inputs_list
+  in
+  (List.rev outs, final)
+
+(* --- printing ----------------------------------------------------------- *)
+
+let pp_binding ppf (name, v) = Fmt.pf ppf "%s=%a" name Value.pp v
+
+let pp_with_vars (vars : Ir.var array) ppf (a : Value.t array) =
+  let items =
+    Array.to_list (Array.mapi (fun i (v : Ir.var) -> (v.Ir.name, a.(i))) vars)
+  in
+  Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ", ") pp_binding) items
+
+let pp_state t = pp_with_vars t.state_vars
+let pp_inputs t = pp_with_vars t.input_vars
+let pp_outputs t = pp_with_vars t.output_vars

@@ -1,0 +1,129 @@
+(** Slot-compiled execution core.
+
+    [compile] (or the memoizing [handle]) performs a one-time pass over an
+    {!Ir.program}: every variable reference is resolved to an integer slot,
+    the body is lowered to slot-addressed closures with O(1) [Switch]
+    dispatch, and the branch table / requirement chains / per-decision
+    condition metadata are precomputed.  Steps then execute against flat
+    [Value.t array]s — no string hashing, no per-step environment — which is
+    what lets the engine spend its virtual-clock budget on exploration
+    instead of interpretation overhead.
+
+    Positional contract: slot [i] of a state / input / output array is the
+    [i]-th entry of [prog.states] / [prog.inputs] / [prog.outputs].  The
+    external test-case format stays name-based; use the slot<->name bridges
+    below at the boundary. *)
+
+module Smap : Map.S with type key = string
+
+type state = Value.t array
+(** One model state (Definition 2): slot [i] holds the [i]-th declared state
+    variable.  Returned arrays are fresh copies and never aliased. *)
+
+type inputs = Value.t array
+type outputs = Value.t array
+
+type event =
+  | Branch_hit of Branch.key  (** a decision outcome was executed *)
+  | Cond_vector of { id : int; vector : bool array; outcome : bool }
+      (** an [If] guard was evaluated: per-atom truth values (in
+          {!Ir.atoms_of_condition} order) and the guard's value *)
+
+exception Eval_error of string
+
+type t
+(** A compiled program handle.  Immutable once built; freely shareable. *)
+
+val compile : Ir.program -> t
+
+val handle : Ir.program -> t
+(** Memoizing [compile], keyed on physical equality of the program value
+    (bounded move-to-front cache).  Callers that hold one program value and
+    call repeatedly — the normal pattern — pay compilation once. *)
+
+(** {1 Accessors} *)
+
+val program : t -> Ir.program
+val input_vars : t -> Ir.var array
+val output_vars : t -> Ir.var array
+val state_vars : t -> Ir.var array
+val n_inputs : t -> int
+val n_states : t -> int
+val input_slot : t -> string -> int option
+val output_slot : t -> string -> int option
+val state_slot : t -> string -> int option
+
+val find_input : t -> inputs -> string -> Value.t
+(** Name-based lookup; raises {!Eval_error} on unknown names.  For tests and
+    boundary code — hot paths index by slot. *)
+
+val find_output : t -> outputs -> string -> Value.t
+val find_state : t -> state -> string -> Value.t
+
+(** {1 Branch and decision metadata (precomputed)} *)
+
+val branches : t -> Branch.t list
+val find_branch : t -> Branch.key -> Branch.t option
+
+val branch_chain : t -> Branch.key -> (int * Branch.outcome) list
+(** Decisions (with required outcomes) that must hold for control to reach
+    the branch, root-first, including the branch itself.  Raises
+    [Value.Type_error] on an unknown key, like the symbolic explorer. *)
+
+val decision_chain : t -> int -> (int * Branch.outcome) list
+(** Ancestor requirements of a decision (excluding the decision itself). *)
+
+val decisions : t -> (int * [ `If of Ir.expr | `Switch of Ir.expr * int list ]) list
+val find_decision : t -> int -> [ `If of Ir.expr | `Switch of Ir.expr * int list ] option
+
+(** {1 State and input construction} *)
+
+val initial_state : t -> state
+val default_inputs : t -> inputs
+
+val random_inputs : Random.State.t -> t -> inputs
+(** Draws per-variable random values in declaration order (stable RNG
+    consumption). *)
+
+val inputs_of_list : t -> (string * Value.t) list -> inputs
+(** Defaults plus the given bindings; unknown names are ignored, matching
+    the reference interpreter's treatment of extraneous map entries. *)
+
+val state_of_list : t -> (string * Value.t) list -> state
+(** Initial state plus the given bindings; unknown names are ignored. *)
+
+(** {1 Name-keyed map bridge} *)
+
+val state_of_smap : t -> Value.t Smap.t -> state
+val inputs_of_smap : t -> Value.t Smap.t -> inputs
+val smap_of_state : t -> state -> Value.t Smap.t
+val smap_of_inputs : t -> inputs -> Value.t Smap.t
+val smap_of_outputs : t -> outputs -> Value.t Smap.t
+
+(** {1 Equality and hashing for state dedup} *)
+
+val values_equal : Value.t array -> Value.t array -> bool
+val values_hash : Value.t array -> int
+(** Structural hash consistent with [values_equal] (which lifts
+    {!Value.equal}, so [Int n] and [Real (float n)] hash alike, as do
+    [0.] and [-0.]). *)
+
+val state_equal : state -> state -> bool
+val state_hash : state -> int
+
+(** {1 Execution} *)
+
+val run_step : ?on_event:(event -> unit) -> t -> state -> inputs -> outputs * state
+(** Execute one iteration.  The given state and inputs are copied on entry
+    and never mutated; returned arrays are fresh.  Event order and error
+    messages are bit-identical to the reference interpreter
+    ({!Interp.run_step_reference}). *)
+
+val run_sequence :
+  ?on_event:(event -> unit) -> t -> state -> inputs list -> outputs list * state
+
+(** {1 Printing} *)
+
+val pp_state : t -> state Fmt.t
+val pp_inputs : t -> inputs Fmt.t
+val pp_outputs : t -> outputs Fmt.t

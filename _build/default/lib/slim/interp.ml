@@ -1,14 +1,23 @@
-module Smap = Map.Make (String)
+(* Name-keyed facade over the slot-compiled execution core (Exec).
+
+   [run_step] compiles the program once (memoized per program value) and
+   executes through Exec's flat-array path, converting at the boundary.
+   The original map/Hashtbl interpreter is kept verbatim below as
+   [run_step_reference]: it is the oracle for the differential test
+   (test/test_exec.ml) and deliberately still uses List.assoc_opt Switch
+   dispatch so the two paths stay independent. *)
+
+module Smap = Exec.Smap
 
 type snapshot = Value.t Smap.t
 type inputs = Value.t Smap.t
 type outputs = Value.t Smap.t
 
-type event =
+type event = Exec.event =
   | Branch_hit of Branch.key
   | Cond_vector of { id : int; vector : bool array; outcome : bool }
 
-exception Eval_error of string
+exception Eval_error = Exec.Eval_error
 
 let eval_error fmt = Format.kasprintf (fun s -> raise (Eval_error s)) fmt
 
@@ -16,6 +25,8 @@ let initial_state (prog : Ir.program) =
   List.fold_left
     (fun acc ((v : Ir.var), init) -> Smap.add v.name (Value.copy init) acc)
     Smap.empty prog.states
+
+(* --- reference interpreter (differential-test oracle) ------------------- *)
 
 type env = {
   e_inputs : (string, Value.t) Hashtbl.t;
@@ -156,7 +167,8 @@ and exec_stmt env = function
        env.on_event (Branch_hit (id, Branch.Default));
        exec_stmts env default)
 
-let run_step ?(on_event = fun _ -> ()) (prog : Ir.program) snapshot inputs =
+let run_step_reference ?(on_event = fun _ -> ()) (prog : Ir.program) snapshot
+    inputs =
   let env =
     {
       e_inputs = Hashtbl.create 16;
@@ -206,6 +218,17 @@ let run_step ?(on_event = fun _ -> ()) (prog : Ir.program) snapshot inputs =
       Smap.empty prog.states
   in
   (outputs, snapshot')
+
+(* --- production path: slot-compiled ------------------------------------- *)
+
+let run_step ?on_event (prog : Ir.program) snapshot inputs =
+  let ex = Exec.handle prog in
+  let out, st' =
+    Exec.run_step ?on_event ex
+      (Exec.state_of_smap ex snapshot)
+      (Exec.inputs_of_smap ex inputs)
+  in
+  (Exec.smap_of_outputs ex out, Exec.smap_of_state ex st')
 
 let run_sequence ?on_event prog snapshot inputs_list =
   let outs, final =

@@ -1,6 +1,6 @@
 module Value = Slim.Value
 module Ir = Slim.Ir
-module Interp = Slim.Interp
+module Exec = Slim.Exec
 module Branch = Slim.Branch
 module Term = Solver.Term
 module Csp = Solver.Csp
@@ -23,7 +23,7 @@ let add_cost acc c =
   acc.term_nodes <- acc.term_nodes + c.term_nodes
 
 type outcome =
-  | Sat of Interp.inputs list
+  | Sat of Exec.inputs list
   | Unsat
   | Unknown
 
@@ -58,30 +58,14 @@ let pp_target ppf = function
    stay on the path to the target.  For a branch target the chain
    includes the target decision's own outcome; for condition / vector
    targets it stops at the decision's parent (any outcome of the target
-   decision satisfies the objective once its guard is evaluated). *)
-let requirements prog (target : target) =
-  let branches = Branch.of_program prog in
-  let by_key =
-    List.fold_left
-      (fun m (b : Branch.t) -> Branch.Key_map.add b.key b m)
-      Branch.Key_map.empty branches
-  in
-  let find key =
-    match Branch.Key_map.find_opt key by_key with
-    | Some b -> b
-    | None ->
-      Value.type_error "solve_target: unknown branch %a" Branch.pp_key key
-  in
-  let rec collect acc key =
-    let b = find key in
-    let acc = (b.decision, b.outcome) :: acc in
-    match b.parent with Some p -> collect acc p | None -> acc
-  in
+   decision satisfies the objective once its guard is evaluated).
+   The chains come precomputed from the compiled handle, so repeated
+   solves against the same program no longer rebuild the branch table. *)
+let requirements ex (target : target) =
   match target with
-  | Branch_target key -> collect [] key
-  | Condition_target { decision; _ } | Vector_target { decision; _ } -> (
-    let b = find (decision, Branch.Then) in
-    match b.parent with Some p -> collect [] p | None -> [])
+  | Branch_target key -> Exec.branch_chain ex key
+  | Condition_target { decision; _ } | Vector_target { decision; _ } ->
+    Exec.decision_chain ex decision
 
 exception Found of Value.t Csp.Smap.t
 exception Path_budget
@@ -354,12 +338,13 @@ let rec walk ctx (stmts : Ir.stmt list) env pc k =
               end)
           order))
 
-let make_ctx cfg prog target ~vars ~multi =
+let make_ctx cfg ex target ~vars ~multi =
+  let reqs = requirements ex target in
   {
     cost = zero_cost ();
     vars;
-    required = (if multi then [] else requirements prog target);
-    preferred = requirements prog target;
+    required = (if multi then [] else reqs);
+    preferred = reqs;
     target;
     target_decision = target_decision_of target;
     rng = Random.State.make [| cfg.rng_seed; target_decision_of target |];
@@ -384,9 +369,8 @@ let rec input_state_only (e : Ir.expr) =
     input_state_only c && input_state_only a && input_state_only b
   | Ir.Index (a, i) -> input_state_only a && input_state_only i
 
-let seed_constraint prog env (target : target) =
-  let decisions = Ir.decisions_of_program prog in
-  match List.assoc_opt (target_decision_of target) decisions with
+let seed_constraint ex env (target : target) =
+  match Exec.find_decision ex (target_decision_of target) with
   | None -> None
   | Some d -> (
     match target, d with
@@ -414,14 +398,15 @@ let seed_constraint prog env (target : target) =
 
 let solve_target ?(config = default_config) ?(symbolic_state = false) prog
     ~state ~target =
+  let ex = Exec.handle prog in
   let env, vars =
     SV.env_of_program ~symbolic_state prog ~state
       ~input_var:(fun name _ty -> Term.var name)
   in
-  let ctx = make_ctx config prog target ~vars:(ref vars) ~multi:false in
+  let ctx = make_ctx config ex target ~vars:(ref vars) ~multi:false in
   ctx.cost.paths_explored <- ctx.cost.paths_explored + 1;
   let pc0 =
-    match seed_constraint prog env target with
+    match seed_constraint ex env target with
     | Some c -> [ c ]
     | None -> []
     | exception SV.Sym_error _ -> []
@@ -441,14 +426,15 @@ let solve_branch ?config ?symbolic_state prog ~state ~target =
    forks, which is exactly the whole-trace path explosion the paper's
    state-aware method avoids. *)
 let solve_branch_multi ?(config = default_config) prog ~horizon ~target =
-  let initial = Interp.initial_state prog in
+  let ex = Exec.handle prog in
+  let initial = Exec.initial_state ex in
   let env0, vars0 =
     SV.env_of_program ~prefix:"s0$" prog ~state:initial
       ~input_var:(fun name _ty -> Term.var name)
   in
   let vars = ref vars0 in
   let ctx =
-    make_ctx config prog (Branch_target target) ~vars ~multi:true
+    make_ctx config ex (Branch_target target) ~vars ~multi:true
   in
   let depth_of_found = ref None in
   let rebind_step env step =

@@ -22,8 +22,9 @@ val zero_cost : unit -> cost
 val add_cost : cost -> cost -> unit
 
 type outcome =
-  | Sat of Slim.Interp.inputs list
-      (** input vector per step; singleton for one-step solving *)
+  | Sat of Slim.Exec.inputs list
+      (** slot-addressed input vector per step ({!Slim.Exec} positional
+          contract); singleton for one-step solving *)
   | Unsat
   | Unknown
 
@@ -51,16 +52,18 @@ val solve_target :
   ?config:config ->
   ?symbolic_state:bool ->
   Slim.Ir.program ->
-  state:Slim.Interp.snapshot ->
+  state:Slim.Exec.state ->
   target:target ->
   outcome * cost
-(** One-step state-aware solving of any coverage objective. *)
+(** One-step state-aware solving of any coverage objective.  The branch
+    table and requirement chains come from the program's compiled handle
+    ({!Slim.Exec.handle}), so repeated solves pay no per-call setup. *)
 
 val solve_branch :
   ?config:config ->
   ?symbolic_state:bool ->
   Slim.Ir.program ->
-  state:Slim.Interp.snapshot ->
+  state:Slim.Exec.state ->
   target:Slim.Branch.key ->
   outcome * cost
 (** One-step, state-aware.  [Sat [inputs]] drives the model from

@@ -1,6 +1,5 @@
 module Value = Slim.Value
 module Ir = Slim.Ir
-module Interp = Slim.Interp
 module Term = Solver.Term
 
 type sval =
@@ -160,8 +159,8 @@ let env_of_program ?(prefix = "") ?(symbolic_state = false)
       env := bind !env Ir.Input v.name sv;
       vars := !vars @ vs)
     prog.inputs;
-  List.iter
-    (fun ((v : Ir.var), init) ->
+  List.iteri
+    (fun i ((v : Ir.var), init) ->
       if symbolic_state then begin
         (* ablation mode: the state is a solver unknown, as a whole-trace
            solver without dynamic state feedback would treat it *)
@@ -170,11 +169,9 @@ let env_of_program ?(prefix = "") ?(symbolic_state = false)
         vars := !vars @ vs
       end
       else begin
-        let value =
-          match Interp.Smap.find_opt v.name state with
-          | Some x -> x
-          | None -> init
-        in
+        (* positional slot contract with Slim.Exec: state slot [i] is the
+           [i]-th declared state variable *)
+        let value = if i < Array.length state then state.(i) else init in
         env := bind !env Ir.State v.name (sval_of_value value)
       end)
     prog.states;
@@ -188,7 +185,7 @@ let env_of_program ?(prefix = "") ?(symbolic_state = false)
     prog.outputs;
   (!env, !vars)
 
-(* Rebuild interpreter inputs from flattened assignments. *)
+(* Rebuild slot-addressed interpreter inputs from flattened assignments. *)
 let inputs_of_assignment ?(prefix = "") (prog : Ir.program) assignment =
   let module Csmap = Solver.Csp.Smap in
   let rec rebuild name ty =
@@ -200,10 +197,12 @@ let inputs_of_assignment ?(prefix = "") (prog : Ir.program) assignment =
     | Value.Tvec (ety, n) ->
       Value.Vec (Array.init n (fun k -> rebuild (Fmt.str "%s.%d" name k) ety))
   in
-  List.fold_left
-    (fun acc (v : Ir.var) ->
-      Interp.Smap.add v.name (rebuild (prefix ^ v.name) v.ty) acc)
-    Interp.Smap.empty prog.inputs
+  let n = List.length prog.inputs in
+  let arr = Array.make n (Value.Bool false) in
+  List.iteri
+    (fun i (v : Ir.var) -> arr.(i) <- rebuild (prefix ^ v.name) v.ty)
+    prog.inputs;
+  arr
 
 let rec pp_sval ppf = function
   | Scalar t -> Term.pp ppf t

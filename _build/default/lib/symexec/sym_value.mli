@@ -53,20 +53,23 @@ val env_of_program :
   ?prefix:string ->
   ?symbolic_state:bool ->
   Slim.Ir.program ->
-  state:Slim.Value.t Slim.Interp.Smap.t ->
+  state:Slim.Exec.state ->
   input_var:(string -> Slim.Value.ty -> Solver.Term.t) ->
   env * (string * Slim.Value.ty) list
 (** Build the starting environment for one step: state variables bound
-    to snapshot constants, locals and outputs to type defaults, and
-    each (flattened, scalar) input bound through [input_var].  Returns
-    the environment and the list of solver variables created for the
-    inputs (vector inports flatten to [name.k] scalars; [prefix]
-    distinguishes unrolled steps in multi-step solving). *)
+    to snapshot constants (slot [i] of [state] is the [i]-th declared
+    state variable, the {!Slim.Exec} positional contract; short arrays
+    fall back to declared initial values), locals and outputs to type
+    defaults, and each (flattened, scalar) input bound through
+    [input_var].  Returns the environment and the list of solver
+    variables created for the inputs (vector inports flatten to
+    [name.k] scalars; [prefix] distinguishes unrolled steps in
+    multi-step solving). *)
 
 val inputs_of_assignment :
   ?prefix:string -> Slim.Ir.program -> Slim.Value.t Solver.Csp.Smap.t ->
-  Slim.Interp.inputs
-(** Reassemble interpreter inputs from a solver assignment over
+  Slim.Exec.inputs
+(** Reassemble slot-addressed inputs from a solver assignment over
     flattened input variables; unassigned inputs take type defaults. *)
 
 val pp_sval : sval Fmt.t

@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Array Fmt List Models Option Random Slim String

@@ -196,7 +196,7 @@ let test_export_roundtrip () =
       List.iter2
         (fun sa sb ->
           check Alcotest.bool "same step inputs" true
-            (Interp.Smap.equal V.equal sa sb))
+            (Slim.Exec.values_equal sa sb))
         a.Testcase.steps b.Testcase.steps)
     run.Engine.r_testcases back;
   (* replaying the re-imported suite gives identical coverage *)
@@ -210,16 +210,17 @@ let test_export_roundtrip () =
 
 let test_state_tree_dedup () =
   let tree = State_tree.create multi_prog in
+  let ex = State_tree.exec tree in
   let root = State_tree.root tree in
-  let noop = Interp.inputs_of_list [ ("tick", V.Bool false) ] in
-  let tick = Interp.inputs_of_list [ ("tick", V.Bool true) ] in
+  let noop = Slim.Exec.inputs_of_list ex [ ("tick", V.Bool false) ] in
+  let tick = Slim.Exec.inputs_of_list ex [ ("tick", V.Bool true) ] in
   (* no-op input: state unchanged -> no new node *)
-  let _, st_same = Interp.run_step multi_prog root.State_tree.state noop in
+  let _, st_same = Slim.Exec.run_step ex root.State_tree.state noop in
   let n1, fresh1 = State_tree.add_child tree ~parent:root ~input:noop st_same in
   check Alcotest.bool "self transition dedup" false fresh1;
   check Alcotest.int "still root" 0 n1.State_tree.id;
   (* tick changes state -> new node *)
-  let _, st2 = Interp.run_step multi_prog root.State_tree.state tick in
+  let _, st2 = Slim.Exec.run_step ex root.State_tree.state tick in
   let n2, fresh2 = State_tree.add_child tree ~parent:root ~input:tick st2 in
   check Alcotest.bool "new state adds node" true fresh2;
   (* adding the same state again under the same parent reuses it *)
@@ -230,11 +231,12 @@ let test_state_tree_dedup () =
 
 let test_state_tree_path () =
   let tree = State_tree.create multi_prog in
+  let ex = State_tree.exec tree in
   let root = State_tree.root tree in
-  let tick = Interp.inputs_of_list [ ("tick", V.Bool true) ] in
-  let _, st1 = Interp.run_step multi_prog root.State_tree.state tick in
+  let tick = Slim.Exec.inputs_of_list ex [ ("tick", V.Bool true) ] in
+  let _, st1 = Slim.Exec.run_step ex root.State_tree.state tick in
   let n1, _ = State_tree.add_child tree ~parent:root ~input:tick st1 in
-  let _, st2 = Interp.run_step multi_prog st1 tick in
+  let _, st2 = Slim.Exec.run_step ex st1 tick in
   let n2, _ = State_tree.add_child tree ~parent:n1 ~input:tick st2 in
   let path = State_tree.path_inputs tree n2 in
   check Alcotest.int "path length = depth" 2 (List.length path);

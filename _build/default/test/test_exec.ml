@@ -1,0 +1,132 @@
+(* Differential test for the slot-compiled execution core.
+
+   The seed's map-based interpreter is kept verbatim as
+   [Interp.run_step_reference]; this test drives it and the compiled
+   [Slim.Exec] path in lockstep over every registry model for hundreds
+   of random steps and demands bit-identical outputs, next-state
+   snapshots, and coverage event streams.  It is the proof that the
+   slot compilation is a pure representation change. *)
+
+module V = Slim.Value
+module Interp = Slim.Interp
+module Exec = Slim.Exec
+module Branch = Slim.Branch
+
+let check = Alcotest.check
+
+let steps_per_model = 220
+
+let event_equal (a : Exec.event) (b : Exec.event) =
+  match a, b with
+  | Exec.Branch_hit ka, Exec.Branch_hit kb -> Branch.equal_key ka kb
+  | ( Exec.Cond_vector { id = ia; vector = va; outcome = oa },
+      Exec.Cond_vector { id = ib; vector = vb; outcome = ob } ) ->
+    ia = ib && va = vb && oa = ob
+  | _ -> false
+
+let pp_event ppf = function
+  | Exec.Branch_hit k -> Fmt.pf ppf "Branch_hit %a" Branch.pp_key k
+  | Exec.Cond_vector { id; vector; outcome } ->
+    Fmt.pf ppf "Cond_vector {id=%d; vector=[%a]; outcome=%b}" id
+      Fmt.(array ~sep:(any ";") bool)
+      vector outcome
+
+let events_equal name step la lb =
+  if
+    List.length la <> List.length lb
+    || not (List.for_all2 event_equal la lb)
+  then
+    Alcotest.failf "%s step %d: event streams differ@.reference: %a@.exec: %a"
+      name step
+      Fmt.(list ~sep:(any "; ") pp_event)
+      la
+      Fmt.(list ~sep:(any "; ") pp_event)
+      lb
+
+let collect f =
+  let events = ref [] in
+  let out = f (fun e -> events := e :: !events) in
+  (out, List.rev !events)
+
+(* One model: run the reference interpreter and the compiled handle in
+   lockstep from the initial state. *)
+let differential (entry : Models.Registry.entry) () =
+  let prog = entry.Models.Registry.program () in
+  let name = entry.Models.Registry.name in
+  let ex = Exec.handle prog in
+  let rng = Random.State.make [| 0xD1FF; String.length name |] in
+  let st_ref = ref (Interp.initial_state prog) in
+  let st_new = ref (Exec.initial_state ex) in
+  check Alcotest.bool (name ^ ": initial snapshots agree") true
+    (Interp.snapshot_equal !st_ref (Exec.smap_of_state ex !st_new));
+  for step = 1 to steps_per_model do
+    let einputs = Exec.random_inputs rng ex in
+    let minputs = Exec.smap_of_inputs ex einputs in
+    let (out_ref, st_ref'), ev_ref =
+      collect (fun on_event ->
+          Interp.run_step_reference ~on_event prog !st_ref minputs)
+    in
+    let (out_new, st_new'), ev_new =
+      collect (fun on_event -> Exec.run_step ~on_event ex !st_new einputs)
+    in
+    events_equal name step ev_ref ev_new;
+    if not (Interp.Smap.equal V.equal out_ref (Exec.smap_of_outputs ex out_new))
+    then Alcotest.failf "%s step %d: outputs differ" name step;
+    if not (Interp.snapshot_equal st_ref' (Exec.smap_of_state ex st_new'))
+    then Alcotest.failf "%s step %d: next-state snapshots differ" name step;
+    (* interned-state invariant: equal states must hash equal *)
+    let round = Exec.state_of_smap ex (Exec.smap_of_state ex st_new') in
+    check Alcotest.bool (name ^ ": smap round-trip equal") true
+      (Exec.state_equal st_new' round);
+    check Alcotest.bool (name ^ ": equal states hash equal") true
+      (Exec.state_hash st_new' = Exec.state_hash round);
+    st_ref := st_ref';
+    st_new := st_new'
+  done
+
+let test_hash_numeric_coherence () =
+  (* Value.equal equates Int n and Real (float n), and 0. and -0.; the
+     structural hash must follow or interning would split equal states *)
+  let pairs =
+    [
+      ([| V.Int 42 |], [| V.Real 42.0 |]);
+      ([| V.Real 0.0 |], [| V.Real (-0.0) |]);
+      ( [| V.Vec [| V.Int 3; V.Bool true |] |],
+        [| V.Vec [| V.Real 3.0; V.Bool true |] |] );
+    ]
+  in
+  List.iter
+    (fun (a, b) ->
+      check Alcotest.bool "values equal" true (Exec.values_equal a b);
+      check Alcotest.bool "hashes equal" true
+        (Exec.values_hash a = Exec.values_hash b))
+    pairs
+
+let test_run_step_does_not_mutate () =
+  let prog = (Option.get (Models.Registry.find "CPUTask")).program () in
+  let ex = Exec.handle prog in
+  let st = Exec.initial_state ex in
+  let st_copy = Array.copy st in
+  let rng = Random.State.make [| 7 |] in
+  let ins = Exec.random_inputs rng ex in
+  let ins_copy = Array.copy ins in
+  let _ = Exec.run_step ex st ins in
+  check Alcotest.bool "state untouched" true (Exec.values_equal st st_copy);
+  check Alcotest.bool "inputs untouched" true (Exec.values_equal ins ins_copy)
+
+let () =
+  Alcotest.run "exec"
+    [
+      ( "differential vs reference interpreter",
+        List.map
+          (fun (e : Models.Registry.entry) ->
+            Alcotest.test_case e.Models.Registry.name `Quick (differential e))
+          Models.Registry.entries );
+      ( "representation",
+        [
+          Alcotest.test_case "hash/equal numeric coherence" `Quick
+            test_hash_numeric_coherence;
+          Alcotest.test_case "run_step purity" `Quick
+            test_run_step_does_not_mutate;
+        ] );
+    ]

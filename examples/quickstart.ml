@@ -73,13 +73,16 @@ let () =
     (Stcg.State_tree.size run.Stcg.Engine.r_tree)
     (Stcg.Vclock.now run.Stcg.Engine.r_clock);
 
-  (* show the generated test cases *)
+  (* show the generated test cases (steps are slot arrays; the compiled
+     handle maps slots back to input names for printing) *)
   Fmt.pr "@.Test cases (inputs per step):@.";
+  let exec = Slim.Exec.handle counter_model in
   List.iter
     (fun (tc : Stcg.Testcase.t) ->
       Fmt.pr "  %a@." Stcg.Testcase.pp tc;
       List.iteri
-        (fun i step -> Fmt.pr "    step %d: %a@." i Slim.Interp.pp_inputs step)
+        (fun i step ->
+          Fmt.pr "    step %d: %a@." i (Slim.Exec.pp_inputs exec) step)
         tc.Stcg.Testcase.steps)
     run.Stcg.Engine.r_testcases;
 

@@ -1,4 +1,4 @@
-module Interp = Slim.Interp
+module Exec = Slim.Exec
 module Branch = Slim.Branch
 module Tracker = Coverage.Tracker
 module Explore = Symexec.Explore
@@ -20,9 +20,10 @@ let default_config =
   }
 
 let run ?(config = default_config) ~model (prog : Slim.Ir.program) =
+  let ex = Exec.handle prog in
   let tracker = Tracker.create prog in
   let clock = Vclock.create ~budget:config.budget in
-  let branches = Branch.sort_by_depth (Branch.of_program prog) in
+  let branches = Branch.sort_by_depth (Exec.branches ex) in
   let testcases = ref [] in
   let timeline = ref [] in
   let next_tc = ref 0 in
@@ -38,8 +39,8 @@ let run ?(config = default_config) ~model (prog : Slim.Ir.program) =
   let execute_testcase inputs fresh_target =
     let before = Tracker.covered_branches tracker in
     let _, _ =
-      Interp.run_sequence ~on_event:(Tracker.observe tracker) prog
-        (Interp.initial_state prog) inputs
+      Exec.run_sequence ~on_event:(Tracker.observe tracker) ex
+        (Exec.initial_state ex) inputs
     in
     Vclock.charge_steps clock (List.length inputs);
     let after = Tracker.covered_branches tracker in

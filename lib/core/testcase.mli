@@ -12,7 +12,9 @@ type origin =
 
 type t = {
   tc_id : int;
-  steps : Slim.Interp.inputs list;  (** inputs per iteration, in order *)
+  steps : Slim.Exec.inputs list;
+      (** slot-addressed inputs per iteration, in order
+          ({!Slim.Exec} positional contract) *)
   origin : origin;
   found_at : float;  (** virtual timestamp *)
   new_branches : Slim.Branch.key list;
@@ -23,7 +25,7 @@ val length : t -> int
 
 val replay :
   ?tracker:Coverage.Tracker.t -> Slim.Ir.program -> t ->
-  Slim.Interp.snapshot
+  Slim.Exec.state
 (** Run the test case from the initial state, feeding events to the
     optional tracker; returns the final state. *)
 
@@ -35,7 +37,12 @@ val replay_suite : Slim.Ir.program -> t list -> Coverage.Tracker.t
 
     One line per step; each line is [name=value] pairs separated by
     tabs; test cases are separated by [# testcase <id> <origin>]
-    headers — a plain-text stand-in for Signal Builder files. *)
+    headers — a plain-text stand-in for Signal Builder files.
+
+    The format is deliberately name-based even though in-memory steps
+    are slot-addressed: exported suites stay human-auditable and
+    survive input reordering across model versions.  The compiled
+    handle's slot<->name mapping translates at this boundary. *)
 
 val to_text : Slim.Ir.program -> t list -> string
 val of_text : Slim.Ir.program -> string -> t list

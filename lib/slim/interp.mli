@@ -5,7 +5,7 @@
     the full internal state (Definition 2), and reports the decision and
     condition outcomes needed by the coverage trackers. *)
 
-module Smap : Map.S with type key = string
+module Smap = Exec.Smap
 
 type snapshot = Value.t Smap.t
 (** Immutable map from state-variable name to (deep-copied) value: the
@@ -15,7 +15,7 @@ type snapshot = Value.t Smap.t
 type inputs = Value.t Smap.t
 type outputs = Value.t Smap.t
 
-type event =
+type event = Exec.event =
   | Branch_hit of Branch.key
       (** a decision outcome was executed *)
   | Cond_vector of { id : int; vector : bool array; outcome : bool }
@@ -23,6 +23,8 @@ type event =
           {!Ir.atoms_of_condition} order) and the guard's value *)
 
 exception Eval_error of string
+(** Alias of {!Exec.Eval_error}: both execution paths raise the same
+    exception. *)
 
 val initial_state : Ir.program -> snapshot
 (** The default state (root node of the state tree). *)
@@ -35,7 +37,20 @@ val run_step :
   outputs * snapshot
 (** Execute one iteration from [snapshot] with the given inputs.  Missing
     inputs default to their type's default value.  The input snapshot is
-    not mutated; a fresh one is returned. *)
+    not mutated; a fresh one is returned.
+
+    Executes through the slot-compiled core ({!Exec}), converting the
+    name-keyed maps at the boundary; hot loops should hold an {!Exec.t}
+    and work with flat arrays directly. *)
+
+val run_step_reference :
+  ?on_event:(event -> unit) ->
+  Ir.program ->
+  snapshot ->
+  inputs ->
+  outputs * snapshot
+(** The original map/Hashtbl interpreter, kept as an independent oracle for
+    differential testing of {!Exec}.  Not used on any production path. *)
 
 val run_sequence :
   ?on_event:(event -> unit) ->

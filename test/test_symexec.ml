@@ -5,6 +5,7 @@
 module V = Slim.Value
 module Ir = Slim.Ir
 module Interp = Slim.Interp
+module Exec = Slim.Exec
 module Branch = Slim.Branch
 module SV = Symexec.Sym_value
 module Ex = Symexec.Explore
@@ -14,15 +15,16 @@ let check = Alcotest.check
 
 (* Execute [inputs] from [state] and report whether [target] was hit. *)
 let hits prog state inputs target =
+  let ex = Exec.handle prog in
   let hit = ref false in
   let on_event = function
-    | Interp.Branch_hit k when Branch.equal_key k target -> hit := true
+    | Exec.Branch_hit k when Branch.equal_key k target -> hit := true
     | _ -> ()
   in
   let st = ref state in
   List.iter
     (fun ins ->
-      let _, st' = Interp.run_step ~on_event prog !st ins in
+      let _, st' = Exec.run_step ~on_event ex !st ins in
       st := st')
     inputs;
   !hit
@@ -53,7 +55,7 @@ let simple_prog =
     }
 
 let test_simple_then_else () =
-  let st = Interp.initial_state simple_prog in
+  let st = Exec.initial_state (Exec.handle simple_prog) in
   expect_sat_and_hit simple_prog st (0, Branch.Then);
   expect_sat_and_hit simple_prog st (0, Branch.Else)
 
@@ -76,11 +78,12 @@ let state_dep_prog =
 
 let test_state_as_constant () =
   (* with secret = 437 in the snapshot, the solver must find x = 437 *)
-  let st = Interp.Smap.add "secret" (V.Int 437) Interp.Smap.empty in
+  let ex = Exec.handle state_dep_prog in
+  let st = Exec.state_of_list ex [ ("secret", V.Int 437) ] in
   (match Ex.solve_branch state_dep_prog ~state:st ~target:(0, Branch.Then) with
    | Ex.Sat [ ins ], _ ->
      check Alcotest.int "x equals state constant" 437
-       (V.to_int (Interp.Smap.find "x" ins))
+       (V.to_int (Exec.find_input ex ins "x"))
    | _ -> Alcotest.fail "expected one-step sat")
 
 let nested_prog =
@@ -106,13 +109,14 @@ let nested_prog =
     }
 
 let test_nested_target () =
-  let st = Interp.initial_state nested_prog in
+  let ex = Exec.handle nested_prog in
+  let st = Exec.initial_state ex in
   (* deep branch: a > 10 && b = a + 5 *)
   expect_sat_and_hit nested_prog st (1, Branch.Then);
   (match Ex.solve_branch nested_prog ~state:st ~target:(1, Branch.Then) with
    | Ex.Sat [ ins ], _ ->
-     let a = V.to_int (Interp.Smap.find "a" ins) in
-     let b = V.to_int (Interp.Smap.find "b" ins) in
+     let a = V.to_int (Exec.find_input ex ins "a") in
+     let b = V.to_int (Exec.find_input ex ins "b") in
      check Alcotest.bool "constraints hold" true (a > 10 && b = a + 5)
    | _ -> Alcotest.fail "expected sat")
 
@@ -140,12 +144,13 @@ let queue_prog =
 
 let test_queue_match () =
   (* queue = [0; 77; 0; 13]: solver must pick slot/id matching an entry *)
+  let ex = Exec.handle queue_prog in
   let q = V.Vec [| V.Int 0; V.Int 77; V.Int 0; V.Int 13 |] in
-  let st = Interp.Smap.add "queue" q Interp.Smap.empty in
+  let st = Exec.state_of_list ex [ ("queue", q) ] in
   (match Ex.solve_branch queue_prog ~state:st ~target:(0, Branch.Then) with
    | Ex.Sat [ ins ], _ ->
-     let id = V.to_int (Interp.Smap.find "id" ins) in
-     let slot = V.to_int (Interp.Smap.find "slot" ins) in
+     let id = V.to_int (Exec.find_input ex ins "id") in
+     let slot = V.to_int (Exec.find_input ex ins "slot") in
      check Alcotest.bool "matches a stored task id" true
        ((slot = 1 && id = 77) || (slot = 3 && id = 13));
      check Alcotest.bool "executes into branch" true
@@ -154,7 +159,7 @@ let test_queue_match () =
 
 let test_queue_unsat_when_empty () =
   (* empty queue: id > 0 can never match a zero entry *)
-  let st = Interp.initial_state queue_prog in
+  let st = Exec.initial_state (Exec.handle queue_prog) in
   match Ex.solve_branch queue_prog ~state:st ~target:(0, Branch.Then) with
   | Ex.Unsat, _ -> ()
   | Ex.Sat _, _ -> Alcotest.fail "must be unsat on empty queue"
@@ -174,11 +179,12 @@ let test_state_only_guard_unsat () =
         body = [ if_ (sv "mode" =: ci 3) [] [] ];
       }
   in
-  let st = Interp.initial_state prog in
+  let ex = Exec.handle prog in
+  let st = Exec.initial_state ex in
   (match Ex.solve_branch prog ~state:st ~target:(0, Branch.Then) with
    | Ex.Unsat, _ -> ()
    | _ -> Alcotest.fail "state-false guard must be unsat");
-  let st3 = Interp.Smap.add "mode" (V.Int 3) st in
+  let st3 = Exec.state_of_list ex [ ("mode", V.Int 3) ] in
   match Ex.solve_branch prog ~state:st3 ~target:(0, Branch.Then) with
   | Ex.Sat _, _ -> ()
   | _ -> Alcotest.fail "state-true guard must be trivially sat"
@@ -208,7 +214,7 @@ let multi_prog =
     }
 
 let test_multi_step_needed () =
-  let st = Interp.initial_state multi_prog in
+  let st = Exec.initial_state (Exec.handle multi_prog) in
   (* one step from the initial state cannot reach acc >= 2 *)
   (match Ex.solve_branch multi_prog ~state:st ~target:(0, Branch.Then) with
    | Ex.Unsat, _ -> ()
@@ -230,10 +236,11 @@ let test_multi_step_insufficient_horizon () =
 
 let test_one_step_after_state_advance () =
   (* the STCG move: execute to advance the state, then one-step solve *)
-  let st = Interp.initial_state multi_prog in
-  let tick = Interp.inputs_of_list [ ("tick", V.Bool true) ] in
-  let _, st1 = Interp.run_step multi_prog st tick in
-  let _, st2 = Interp.run_step multi_prog st1 tick in
+  let ex = Exec.handle multi_prog in
+  let st = Exec.initial_state ex in
+  let tick = Exec.inputs_of_list ex [ ("tick", V.Bool true) ] in
+  let _, st1 = Exec.run_step ex st tick in
+  let _, st2 = Exec.run_step ex st1 tick in
   (* now acc = 2: the deep branch is trivially reachable in one step *)
   match Ex.solve_branch multi_prog ~state:st2 ~target:(0, Branch.Then) with
   | Ex.Sat inputs, _ ->
@@ -264,13 +271,15 @@ let test_free_decision_before_target () =
           ];
       }
   in
-  let st = Interp.initial_state prog in
+  let ex = Exec.handle prog in
+  let st = Exec.initial_state ex in
   (* t > 150 requires sel && x > 50 *)
   match Ex.solve_branch prog ~state:st ~target:(1, Branch.Then) with
   | Ex.Sat [ ins ], _ ->
     check Alcotest.bool "sel chosen true" true
-      (V.to_bool (Interp.Smap.find "sel" ins));
-    check Alcotest.bool "x > 50" true (V.to_int (Interp.Smap.find "x" ins) > 50);
+      (V.to_bool (Exec.find_input ex ins "sel"));
+    check Alcotest.bool "x > 50" true
+      (V.to_int (Exec.find_input ex ins "x") > 50);
     check Alcotest.bool "hits" true (hits prog st [ ins ] (1, Branch.Then))
   | _ -> Alcotest.fail "expected sat through free decision"
 
@@ -292,11 +301,12 @@ let test_switch_targets () =
           ];
       }
   in
-  let st = Interp.initial_state prog in
+  let ex = Exec.handle prog in
+  let st = Exec.initial_state ex in
   let solve_case target expect_pred =
     match Ex.solve_branch prog ~state:st ~target with
     | Ex.Sat [ ins ], _ ->
-      let op = V.to_int (Interp.Smap.find "op" ins) in
+      let op = V.to_int (Exec.find_input ex ins "op") in
       check Alcotest.bool "op selects the case" true (expect_pred op);
       check Alcotest.bool "hits" true (hits prog st [ ins ] target)
     | _ -> Alcotest.fail "expected sat"
@@ -311,7 +321,10 @@ let prop_sat_implies_hit =
   QCheck.Test.make ~name:"sat answers hit their target" ~count:60
     QCheck.(int_range 0 1000)
     (fun secret ->
-      let st = Interp.Smap.add "secret" (V.Int secret) Interp.Smap.empty in
+      let st =
+        Exec.state_of_list (Exec.handle state_dep_prog)
+          [ ("secret", V.Int secret) ]
+      in
       match
         Ex.solve_branch state_dep_prog ~state:st ~target:(0, Branch.Then)
       with
@@ -319,7 +332,7 @@ let prop_sat_implies_hit =
       | _ -> false)
 
 let test_cost_accounting () =
-  let st = Interp.initial_state nested_prog in
+  let st = Exec.initial_state (Exec.handle nested_prog) in
   let _, cost = Ex.solve_branch nested_prog ~state:st ~target:(1, Branch.Then) in
   check Alcotest.bool "solver was consulted" true (cost.Ex.solver_calls >= 1);
   check Alcotest.bool "terms were submitted" true (cost.Ex.term_nodes > 0)
