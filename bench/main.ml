@@ -78,6 +78,47 @@ let paper_artifacts () =
        ~seeds:(List.filteri (fun i _ -> i < 3) seeds)
        ())
 
+(* --- harness wall-clock: sequential vs domain-parallel ------------------ *)
+
+(* End-to-end speedup of the experiment harness on its (tool, model,
+   seed) job matrix — the dominant wall-clock cost of a full
+   reproduction, and the number the BENCH json tracks across PRs
+   alongside the per-step microseconds.  Always measured on the
+   smoke-budget matrix so the entry is comparable between quick and
+   full runs.  Also asserts the deterministic-merge contract: the
+   parallel table must be byte-identical to the sequential one. *)
+let harness_wallclock () =
+  section "harness: table3 wall-clock (sequential vs domains)";
+  let wc_budget = 120.0 in
+  (* smoke keeps the matrix minimal so `dune runtest` stays fast; the
+     full/quick runs use two seeds and a warm-up pass for a steadier
+     number *)
+  let wc_seeds = if smoke then [ 1 ] else [ 1; 2 ] in
+  let wc_models = Some [ "CPUTask"; "AFC" ] in
+  let par_jobs = max 2 (Harness.Pool.default_jobs ()) in
+  let time_table3 jobs =
+    let t0 = Unix.gettimeofday () in
+    let _, text =
+      Harness.Experiment.table3 ~budget:wc_budget ~seeds:wc_seeds
+        ?models:wc_models ~jobs ()
+    in
+    (Unix.gettimeofday () -. t0, text)
+  in
+  if not smoke then
+    ignore (time_table3 1) (* warm up model compilation and allocator *);
+  let seq_s, seq_text = time_table3 1 in
+  let par_s, par_text = time_table3 par_jobs in
+  if not (String.equal seq_text par_text) then
+    failwith "harness wall-clock: parallel table3 diverged from sequential";
+  let speedup = seq_s /. par_s in
+  Fmt.pr "table3 smoke matrix: jobs=1 %.2fs, jobs=%d %.2fs  (%.2fx, merge deterministic)@."
+    seq_s par_jobs par_s speedup;
+  [
+    ("harness: table3 wall-clock (jobs=1)", seq_s *. 1e9);
+    (Fmt.str "harness: table3 wall-clock (jobs=%d)" par_jobs, par_s *. 1e9);
+    ("harness: table3 parallel speedup (x)", speedup);
+  ]
+
 (* --- micro-benchmarks --------------------------------------------------- *)
 
 let json_escape s =
@@ -96,6 +137,9 @@ let write_json path (results : (string * float) list) =
   let oc = open_out path in
   output_string oc "{\n";
   output_string oc (Fmt.str "  \"quick\": %b,\n" quick);
+  (* worker-domain count the harness artifacts ran with (STCG_JOBS or
+     cores - 1) — wall-clock entries are only comparable at equal jobs *)
+  output_string oc (Fmt.str "  \"jobs\": %d,\n" (Harness.Pool.default_jobs ()));
   output_string oc "  \"unit\": \"ns/run\",\n";
   output_string oc "  \"results\": [\n";
   List.iteri
@@ -229,9 +273,12 @@ let micro_benchmarks () =
 let () =
   Fmt.pr "STCG reproduction benchmark harness%s@."
     (if smoke then " (smoke mode)" else if quick then " (quick mode)" else "");
-  Fmt.pr "budget=%.0f virtual seconds, %d seeds@." budget n_seeds;
+  Fmt.pr "budget=%.0f virtual seconds, %d seeds, %d worker domains@." budget
+    n_seeds
+    (Harness.Pool.default_jobs ());
   if not micro_only then paper_artifacts ();
-  let results = micro_benchmarks () in
+  let wallclock = if micro_only then [] else harness_wallclock () in
+  let results = micro_benchmarks () @ wallclock in
   (match json_path with
    | Some path -> write_json path results
    | None -> ());

@@ -22,6 +22,14 @@ let seeds_arg =
   let doc = "Number of seeds to average randomized tools over." in
   Arg.(value & opt int 5 & info [ "seeds" ] ~docv:"N" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the run matrix (default: \\$(b,STCG_JOBS) or the \
+     machine's core count minus one).  Output is byte-identical for any \
+     value; 1 disables parallelism."
+  in
+  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
 let model_arg =
   let doc = "Benchmark model name (see list-models)." in
   Arg.(required & opt (some string) None & info [ "model"; "m" ] ~docv:"MODEL" ~doc)
@@ -98,13 +106,13 @@ let table2_cmd =
     Term.(const run $ const ())
 
 let table3_cmd =
-  let run budget seeds =
+  let run budget seeds jobs =
     let seeds = List.init seeds (fun i -> i + 1) in
-    let _, text = Harness.Experiment.table3 ~budget ~seeds () in
+    let _, text = Harness.Experiment.table3 ~budget ~seeds ?jobs () in
     print_string text
   in
   Cmd.v (Cmd.info "table3" ~doc:"Coverage comparison (Table III).")
-    Term.(const run $ budget_arg $ seeds_arg)
+    Term.(const run $ budget_arg $ seeds_arg $ jobs_arg)
 
 let fig3_cmd =
   let run () = print_string (Harness.Experiment.fig3 ()) in
@@ -112,9 +120,9 @@ let fig3_cmd =
     Term.(const run $ const ())
 
 let fig4_cmd =
-  let run budget seed models csv_dir =
+  let run budget seed models csv_dir jobs =
     let models = match models with [] -> None | l -> Some l in
-    let panels, csvs = Harness.Experiment.fig4 ~budget ~seed ?models () in
+    let panels, csvs = Harness.Experiment.fig4 ~budget ~seed ?models ?jobs () in
     print_string panels;
     match csv_dir with
     | None -> ()
@@ -138,17 +146,19 @@ let fig4_cmd =
          & info [ "csv" ] ~docv:"DIR" ~doc:"Also dump per-model CSV series to $(docv).")
   in
   Cmd.v (Cmd.info "fig4" ~doc:"Coverage versus time, all tools (Figure 4).")
-    Term.(const run $ budget_arg $ seed_arg $ models_arg $ csv_arg)
+    Term.(const run $ budget_arg $ seed_arg $ models_arg $ csv_arg $ jobs_arg)
 
 let ablations_cmd =
-  let run budget seeds =
+  let run budget seeds jobs =
     let seeds = List.init seeds (fun i -> i + 1) in
-    print_string (Harness.Experiment.ablations ~budget ~seeds ())
+    print_string (Harness.Experiment.ablations ~budget ~seeds ?jobs ())
   in
   Cmd.v
     (Cmd.info "ablations"
        ~doc:"Ablate STCG's design choices (depth sort, state constants, random fallback, hybrid).")
-    Term.(const run $ budget_arg $ Arg.(value & opt int 3 & info [ "seeds" ] ~docv:"N" ~doc:"Seeds to average over."))
+    Term.(const run $ budget_arg
+          $ Arg.(value & opt int 3 & info [ "seeds" ] ~docv:"N" ~doc:"Seeds to average over.")
+          $ jobs_arg)
 
 let replay_cmd =
   let run model path =

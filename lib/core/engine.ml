@@ -58,10 +58,14 @@ type run = {
 }
 
 (* A coverage objective with a stable key for the per-node solved set
-   and a depth used for shallow-first ordering. *)
+   and a depth used for shallow-first ordering.  Keys are dense integers
+   interned per run from the structural target (see [intern_target]):
+   the solving loop hashes them on every cursor/miss/cache probe, so a
+   boxed [Fmt.str]-rendered string there would cost an allocation and a
+   string hash per probe. *)
 type objective = {
   obj_target : Explore.target;
-  obj_key : string;
+  obj_key : int;
   obj_depth : int;
 }
 
@@ -74,29 +78,41 @@ type state = {
   clock : Vclock.t;
   rng : Random.State.t;
   objectives : objective list;  (** traversal order of Algorithm 1 *)
-  cursors : (string, int) Hashtbl.t;
+  target_ids : (Explore.target, int) Hashtbl.t;
+      (** structural target -> dense id; ids are assigned in
+          first-encounter order, so a regenerated MCDC objective for
+          the same vector reuses its id (retries stay idempotent) *)
+  mutable next_target_id : int;
+  cursors : (int, int) Hashtbl.t;
       (** per-objective index of the next unattempted tree node; nodes
           are append-only, so attempted pairs are never rescanned *)
-  misses : (string, int) Hashtbl.t;
+  misses : (int, int) Hashtbl.t;
       (** consecutive failed attempts per objective: objectives that
           keep failing are probed on progressively fewer states (the
           back-off the paper's Discussion calls for to stop "multiple
           solving for this type of branch" from eating the budget) *)
-  solve_cache : (string * int, unit) Hashtbl.t;
-      (** (objective key, state uid) pairs that already failed to solve:
+  solve_cache : (int * int, unit) Hashtbl.t;
+      (** (objective id, state uid) pairs that already failed to solve:
           two nodes with equal snapshots give identical one-step answers,
           so re-solving is skipped (the "duplicate solving" waste the
           paper's Discussion flags).  State uids come from the tree's
           intern table — no snapshot serialization. *)
   mutable mcdc_stamp : int;  (** tracker progress at last MCDC refresh *)
   mutable mcdc_cache : objective list;
-  mutable library : Exec.inputs list;  (** all solved inputs *)
+  library : Exec.inputs Dynarr.t;  (** all solved inputs, oldest first *)
   mutable events : event list;
   mutable testcases : Testcase.t list;
   mutable next_tc : int;
 }
 
-let key_of_target target = Fmt.str "%a" Explore.pp_target target
+let intern_target st target =
+  match Hashtbl.find_opt st.target_ids target with
+  | Some id -> id
+  | None ->
+    let id = st.next_target_id in
+    st.next_target_id <- id + 1;
+    Hashtbl.replace st.target_ids target id;
+    id
 
 let objective_covered st obj =
   match obj.obj_target with
@@ -188,7 +204,7 @@ let mcdc_objectives st =
       in
       List.map
         (fun target ->
-          { obj_target = target; obj_key = key_of_target target; obj_depth = 0 })
+          { obj_target = target; obj_key = intern_target st target; obj_depth = 0 })
         (take flips_per_condition observed))
     (Tracker.uncovered_mcdc st.tracker)
 
@@ -260,7 +276,7 @@ let state_aware_solving st =
                    });
               match outcome with
               | Explore.Sat (input :: _) ->
-                st.library <- input :: st.library;
+                Dynarr.push st.library input;
                 Hashtbl.replace st.cursors obj.obj_key id;
                 Hashtbl.replace st.misses obj.obj_key 0;
                 Some (node, obj, input)
@@ -302,14 +318,16 @@ let random_execution st =
   emit st
     (Ev_random_exec { time = Vclock.now st.clock; node = node.id; len });
   let fresh_input () =
-    match st.library with
-    | [] -> Exec.random_inputs st.rng st.exec
-    | lib ->
+    let n = Dynarr.length st.library in
+    if n = 0 then Exec.random_inputs st.rng st.exec
+    else begin
       (* bias toward recently solved inputs: they target the deep
-         objectives currently being chased *)
-      let n = List.length lib in
+         objectives currently being chased.  Index [i] counts back from
+         the newest (the list this replaced was newest-first), so the
+         RNG draws and the sampled distribution are unchanged. *)
       let bound = if Random.State.bool st.rng then min 8 n else n in
-      List.nth lib (Random.State.int st.rng bound)
+      Dynarr.get st.library (n - 1 - Random.State.int st.rng bound)
+    end
   in
   let previous = ref None in
   let pick_input () =
@@ -389,6 +407,19 @@ let run ?(config = default_config) prog =
   let tracker = Tracker.create prog in
   let tree = State_tree.create prog in
   let clock = Vclock.create ~budget:config.budget in
+  (* target intern table: shared with the run state so the dynamic MCDC
+     sweep keeps assigning consistent ids *)
+  let target_ids : (Explore.target, int) Hashtbl.t = Hashtbl.create 256 in
+  let next_target_id = ref 0 in
+  let intern target =
+    match Hashtbl.find_opt target_ids target with
+    | Some id -> id
+    | None ->
+      let id = !next_target_id in
+      incr next_target_id;
+      Hashtbl.replace target_ids target id;
+      id
+  in
   let branch_objectives =
     (* branch table comes precomputed from the handle *)
     let bs = Exec.branches exec in
@@ -397,7 +428,7 @@ let run ?(config = default_config) prog =
       (fun (b : Branch.t) ->
         {
           obj_target = Explore.Branch_target b.key;
-          obj_key = key_of_target (Explore.Branch_target b.key);
+          obj_key = intern (Explore.Branch_target b.key);
           obj_depth = b.depth;
         })
       bs
@@ -428,7 +459,7 @@ let run ?(config = default_config) prog =
                 in
                 {
                   obj_target = target;
-                  obj_key = key_of_target target;
+                  obj_key = intern target;
                   obj_depth = depth_of_decision d.Coverage.Criteria.d_id;
                 })
               [ true; false ])
@@ -446,12 +477,14 @@ let run ?(config = default_config) prog =
       clock;
       rng = Random.State.make [| config.seed; 0xC7C6 |];
       objectives = branch_objectives @ condition_objectives;
+      target_ids;
+      next_target_id = !next_target_id;
       cursors = Hashtbl.create 256;
       solve_cache = Hashtbl.create 4096;
       misses = Hashtbl.create 256;
       mcdc_stamp = -1;
       mcdc_cache = [];
-      library = [];
+      library = Dynarr.create ();
       events = [];
       testcases = [];
       next_tc = 0;

@@ -1,5 +1,5 @@
 module Exec = Slim.Exec
-module Sset = Set.Make (String)
+module Iset = Set.Make (Int)
 
 type node = {
   id : int;
@@ -8,7 +8,7 @@ type node = {
   state_uid : int;
   input : Exec.inputs option;
   depth : int;
-  mutable solved : Sset.t;
+  mutable solved : Iset.t;
 }
 
 type t = {
@@ -65,7 +65,7 @@ let create prog =
       state_uid = intern_state t state;
       input = None;
       depth = 0;
-      solved = Sset.empty;
+      solved = Iset.empty;
     }
   in
   t.nodes_rev <- [ root ];
@@ -104,7 +104,7 @@ let add_child t ~parent ~input state =
           state_uid = uid;
           input = Some input;
           depth = parent.depth + 1;
-          solved = Sset.empty;
+          solved = Iset.empty;
         }
       in
       t.count <- t.count + 1;
@@ -128,8 +128,8 @@ let random_node t rng =
   let k = Random.State.int rng t.count in
   node t k
 
-let mark_solved n key = n.solved <- Sset.add key n.solved
-let is_solved n key = Sset.mem key n.solved
+let mark_solved n key = n.solved <- Iset.add key n.solved
+let is_solved n key = Iset.mem key n.solved
 
 let distinct_states t = t.distinct
 

@@ -24,9 +24,10 @@ type node = {
           structurally equal (within one tree) *)
   input : Slim.Exec.inputs option;  (** [None] only for the root *)
   depth : int;
-  mutable solved : Set.Make(String).t;
-      (** objective keys already attempted on this state (Algorithm 1
-          line 11) *)
+  mutable solved : Set.Make(Int).t;
+      (** interned objective ids already attempted on this state
+          (Algorithm 1 line 11); the engine assigns each distinct
+          coverage target a dense integer id *)
 }
 
 type t
@@ -56,8 +57,8 @@ val path_inputs : t -> node -> Slim.Exec.inputs list
 
 val random_node : t -> Random.State.t -> node
 
-val mark_solved : node -> string -> unit
-val is_solved : node -> string -> bool
+val mark_solved : node -> int -> unit
+val is_solved : node -> int -> bool
 
 val distinct_states : t -> int
 (** Number of distinct snapshots in the tree (O(1): maintained by the

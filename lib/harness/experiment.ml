@@ -48,10 +48,31 @@ type averaged = {
   a_runs : int;
 }
 
-let average ?budget ~seeds tool entry =
-  (* SLDV is deterministic: one run regardless of the seed list *)
-  let seeds = match tool with SLDV -> [ 1 ] | _ -> seeds in
-  let results = List.map (fun seed -> run_tool ?budget ~seed tool entry) seeds in
+(* --- the parallel job matrix ------------------------------------------- *)
+
+(* Every experiment below is an average of independent (tool, model,
+   seed) runs; each run builds its own tracker, state tree and RNG, so
+   the whole matrix is embarrassingly parallel.  Experiments enumerate
+   their jobs up front, execute them on {!Pool}, and merge by job index
+   — the result lists come back in enumeration order, so every derived
+   table and CSV is byte-identical to the sequential run no matter how
+   the scheduler interleaved the workers ([jobs = 1] literally runs the
+   sequential [List.map] path). *)
+
+(* SLDV is deterministic: one run regardless of the seed list. *)
+let seeds_for tool seeds = match tool with SLDV -> [ 1 ] | _ -> seeds
+
+(* Hoist the per-model lazy construction + slot compilation out of the
+   workers: force each program and its compiled handle once on the
+   submitting domain, so workers share the precomputed handles
+   read-only instead of racing on the model lazies. *)
+let precompile entries =
+  List.iter
+    (fun (e : Registry.entry) ->
+      ignore (Slim.Exec.handle (e.Registry.program ())))
+    entries
+
+let average_of_runs ~tool (entry : Registry.entry) results =
   let n = float (List.length results) in
   let mean f = List.fold_left (fun acc r -> acc +. f r) 0.0 results /. n in
   {
@@ -64,6 +85,15 @@ let average ?budget ~seeds tool entry =
       mean (fun r -> float (List.length r.Run_result.testcases));
     a_runs = List.length results;
   }
+
+let average ?budget ?jobs ~seeds tool entry =
+  precompile [ entry ];
+  let results =
+    Pool.parallel_map ?jobs
+      (fun seed -> run_tool ?budget ~seed tool entry)
+      (seeds_for tool seeds)
+  in
+  average_of_runs ~tool entry results
 
 (* --- Table I ---------------------------------------------------------- *)
 
@@ -154,17 +184,48 @@ let table2 () =
 
 let pct_str x = Fmt.str "%.0f%%" x
 
-let table3 ?budget ?(seeds = [ 1; 2; 3; 4; 5 ]) ?models () =
+let table3 ?budget ?(seeds = [ 1; 2; 3; 4; 5 ]) ?models ?jobs () =
   let entries =
     match models with
     | None -> Registry.entries
     | Some names -> List.filter_map Registry.find names
   in
   let tools = [ SLDV; SimCoTest; STCG ] in
-  let rows =
+  precompile entries;
+  (* the full (model, tool, seed) matrix, in canonical row order *)
+  let matrix =
     List.concat_map
       (fun entry ->
-        List.map (fun tool -> average ?budget ~seeds tool entry) tools)
+        List.concat_map
+          (fun tool ->
+            List.map (fun seed -> (entry, tool, seed)) (seeds_for tool seeds))
+          tools)
+      entries
+  in
+  let runs =
+    Pool.parallel_map ?jobs
+      (fun ((entry : Registry.entry), tool, seed) ->
+        run_tool ?budget ~seed tool entry)
+      matrix
+  in
+  (* deterministic merge: results are in matrix order, so grouping by
+     (model, tool) consumes each cell's seeds in seed order *)
+  let tagged = List.combine matrix runs in
+  let rows =
+    List.concat_map
+      (fun (entry : Registry.entry) ->
+        List.map
+          (fun tool ->
+            let cell =
+              List.filter_map
+                (fun (((e : Registry.entry), t, _), r) ->
+                  if e.Registry.name = entry.Registry.name && t = tool then
+                    Some r
+                  else None)
+                tagged
+            in
+            average_of_runs ~tool entry cell)
+          tools)
       entries
   in
   let paper_of tool (e : Registry.entry) =
@@ -294,20 +355,42 @@ let csv_of_result (r : Run_result.t) =
     r.Run_result.timeline;
   Buffer.contents buf
 
-let fig4 ?(budget = 3600.0) ?(seed = 1) ?models () =
+let fig4 ?(budget = 3600.0) ?(seed = 1) ?models ?jobs () =
   let entries =
     match models with
     | None -> Registry.entries
     | Some names ->
       List.filter_map Registry.find names
   in
+  precompile entries;
+  (* one (model, tool) job per panel curve; merged back per model in
+     enumeration order below *)
+  let matrix =
+    List.concat_map
+      (fun entry -> List.map (fun tool -> (entry, tool)) [ STCG; SLDV; SimCoTest ])
+      entries
+  in
+  let runs =
+    Pool.parallel_map ?jobs
+      (fun ((entry : Registry.entry), tool) -> run_tool ~budget ~seed tool entry)
+      matrix
+  in
+  let result_of (entry : Registry.entry) tool =
+    let rec find = function
+      | [] -> assert false
+      | (((e : Registry.entry), t), r) :: rest ->
+        if e.Registry.name = entry.Registry.name && t = tool then r
+        else find rest
+    in
+    find (List.combine matrix runs)
+  in
   let panels = Buffer.create 4096 in
   let csvs = ref [] in
   List.iter
     (fun (entry : Registry.entry) ->
-      let stcg = run_tool ~budget ~seed STCG entry in
-      let sldv = run_tool ~budget ~seed SLDV entry in
-      let sct = run_tool ~budget ~seed SimCoTest entry in
+      let stcg = result_of entry STCG in
+      let sldv = result_of entry SLDV in
+      let sct = result_of entry SimCoTest in
       let markers_of (r : Run_result.t) =
         List.map
           (fun (t, origin) ->
@@ -352,7 +435,7 @@ let fig4 ?(budget = 3600.0) ?(seed = 1) ?models () =
 
 (* --- Ablations --------------------------------------------------------- *)
 
-let ablations ?(budget = 3600.0) ?(seeds = [ 1; 2; 3 ]) ?models () =
+let ablations ?(budget = 3600.0) ?(seeds = [ 1; 2; 3 ]) ?models ?jobs () =
   let variants =
     [
       ("STCG (full)", fun c -> c);
@@ -368,37 +451,56 @@ let ablations ?(budget = 3600.0) ?(seeds = [ 1; 2; 3 ]) ?models () =
   let models =
     match models with Some ms -> ms | None -> [ "CPUTask"; "TCP" ]
   in
+  let entries = List.filter_map Registry.find models in
+  precompile entries;
+  (* one job per (model, variant, seed); both reported metrics come from
+     the same run (runs are deterministic, so this also halves the work
+     the old per-metric re-execution did) *)
+  let matrix =
+    List.concat_map
+      (fun mname ->
+        List.concat_map
+          (fun (label, tweak) -> List.map (fun seed -> (mname, label, tweak, seed)) seeds)
+          variants)
+      models
+  in
+  let metrics =
+    Pool.parallel_map ?jobs
+      (fun (mname, _label, tweak, seed) ->
+        let entry = Option.get (Registry.find mname) in
+        let prog = entry.Registry.program () in
+        let config = tweak { Engine.default_config with Engine.seed; budget } in
+        let run = Engine.run ~config prog in
+        let decision = Tracker.pct (Tracker.decision run.Engine.r_tracker) in
+        let time_to_full =
+          match run.Engine.r_stop with
+          | Engine.Full_coverage -> Stcg.Vclock.now run.Engine.r_clock
+          | Engine.Budget_exhausted -> budget
+        in
+        (decision, time_to_full))
+      matrix
+  in
+  let tagged = List.combine matrix metrics in
   let rows =
     List.concat_map
       (fun mname ->
-        let entry = Option.get (Registry.find mname) in
-        let prog = entry.Registry.program () in
         List.map
-          (fun (label, tweak) ->
-            let mean_of f =
-              List.fold_left
-                (fun acc seed ->
-                  let config =
-                    tweak { Engine.default_config with Engine.seed; budget }
-                  in
-                  let run = Engine.run ~config prog in
-                  acc +. f run)
-                0.0 seeds
-              /. float (List.length seeds)
+          (fun (label, _tweak) ->
+            let cell =
+              List.filter_map
+                (fun ((m, l, _, _), metric) ->
+                  if m = mname && l = label then Some metric else None)
+                tagged
             in
-            let decision run =
-              Tracker.pct (Tracker.decision run.Engine.r_tracker)
-            in
-            let time_to_full (run : Engine.run) =
-              match run.Engine.r_stop with
-              | Engine.Full_coverage -> Stcg.Vclock.now run.Engine.r_clock
-              | Engine.Budget_exhausted -> budget
+            let mean f =
+              List.fold_left (fun acc metric -> acc +. f metric) 0.0 cell
+              /. float (List.length cell)
             in
             [
               mname;
               label;
-              Fmt.str "%.1f%%" (mean_of decision);
-              Fmt.str "%.0fs" (mean_of time_to_full);
+              Fmt.str "%.1f%%" (mean fst);
+              Fmt.str "%.0fs" (mean snd);
             ])
           variants)
       models

@@ -3,7 +3,15 @@
 
     All experiments are deterministic given their seeds; randomized
     tools (STCG, SimCoTest) are averaged over [seeds] as the paper
-    averages over 10 repetitions. *)
+    averages over 10 repetitions.
+
+    The independent (tool, model, seed) runs behind each experiment are
+    executed on a {!Pool} of worker domains ([?jobs], default
+    {!Pool.default_jobs} — the [STCG_JOBS] environment variable or the
+    machine's core count minus one).  Jobs are enumerated up front and
+    results merged in job-index order, so every table, panel and CSV is
+    byte-identical for any [jobs] value; [jobs = 1] runs the exact
+    sequential path. *)
 
 type tool = STCG | STCG_hybrid | SLDV | SimCoTest
 
@@ -24,7 +32,8 @@ type averaged = {
 }
 
 val average :
-  ?budget:float -> seeds:int list -> tool -> Models.Registry.entry -> averaged
+  ?budget:float -> ?jobs:int -> seeds:int list -> tool ->
+  Models.Registry.entry -> averaged
 
 (** {1 Paper artifacts} *)
 
@@ -36,8 +45,8 @@ val table2 : unit -> string
     (paper Table II). *)
 
 val table3 :
-  ?budget:float -> ?seeds:int list -> ?models:string list -> unit ->
-  averaged list * string
+  ?budget:float -> ?seeds:int list -> ?models:string list -> ?jobs:int ->
+  unit -> averaged list * string
 (** Coverage comparison of the three tools over all models with average
     improvements (paper Table III).  Returns the raw rows and the
     rendered table. *)
@@ -47,14 +56,15 @@ val fig3 : unit -> string
     (paper Figure 3). *)
 
 val fig4 :
-  ?budget:float -> ?seed:int -> ?models:string list -> unit ->
+  ?budget:float -> ?seed:int -> ?models:string list -> ?jobs:int -> unit ->
   string * (string * string) list
 (** Decision-coverage-versus-time panels for each model (paper
     Figure 4).  Returns the rendered panels and, per model, a CSV dump
     of the series ((model, csv) pairs). *)
 
 val ablations :
-  ?budget:float -> ?seeds:int list -> ?models:string list -> unit -> string
+  ?budget:float -> ?seeds:int list -> ?models:string list -> ?jobs:int ->
+  unit -> string
 (** Ablation study over STCG's design choices: depth-sorted targets,
     state-aware (constant) solving, the random-sequence fallback, and
     the random-first hybrid from the paper's Discussion. *)

@@ -1,0 +1,237 @@
+exception Nested_pool
+
+(* Set while a domain (worker or the caller mid-[map]) is executing pool
+   jobs; guards against nested parallelism. *)
+let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let default_jobs () =
+  match Sys.getenv_opt "STCG_JOBS" with
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some n when n >= 1 -> n
+     | Some _ | None -> max 1 (Domain.recommended_domain_count () - 1))
+  | None -> max 1 (Domain.recommended_domain_count () - 1)
+
+(* One worker's slice of a batch: a deque of job indices.  The owner
+   pops at [lo]; thieves pop at [hi - 1].  A plain mutex per deque is
+   plenty — jobs here are whole engine runs (milliseconds to seconds),
+   so deque traffic is negligible. *)
+type deque = {
+  d_lock : Mutex.t;
+  d_idx : int array;
+  mutable d_lo : int;
+  mutable d_hi : int;
+}
+
+type batch = {
+  b_deques : deque array;
+  b_run : int -> unit;  (* executes job [i]; never raises *)
+  b_aborted : bool ref;  (* set on first failure: skip unstarted jobs *)
+  mutable b_remaining : int;  (* jobs not yet executed or skipped *)
+}
+
+type t = {
+  jobs : int;
+  lock : Mutex.t;  (* protects every mutable field below *)
+  work : Condition.t;  (* a batch was submitted, or shutdown *)
+  finished : Condition.t;  (* b_remaining hit 0 *)
+  mutable batch : batch option;
+  mutable generation : int;  (* bumped per submitted batch *)
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let size t = t.jobs
+
+let take_own d =
+  Mutex.lock d.d_lock;
+  let r =
+    if d.d_lo < d.d_hi then begin
+      let i = d.d_idx.(d.d_lo) in
+      d.d_lo <- d.d_lo + 1;
+      Some i
+    end
+    else None
+  in
+  Mutex.unlock d.d_lock;
+  r
+
+let steal d =
+  Mutex.lock d.d_lock;
+  let r =
+    if d.d_lo < d.d_hi then begin
+      let i = d.d_idx.(d.d_hi - 1) in
+      d.d_hi <- d.d_hi - 1;
+      Some i
+    end
+    else None
+  in
+  Mutex.unlock d.d_lock;
+  r
+
+(* Next job for worker [w]: own deque first, then steal round-robin. *)
+let next_job b w =
+  let n = Array.length b.b_deques in
+  match take_own b.b_deques.(w) with
+  | Some i -> Some i
+  | None ->
+    let rec go k =
+      if k = n then None
+      else
+        match steal b.b_deques.((w + k) mod n) with
+        | Some i -> Some i
+        | None -> go (k + 1)
+    in
+    go 1
+
+(* Execute (or, after an abort, skip) jobs until none are reachable.
+   Every drained job decrements [b_remaining]; the worker that hits 0
+   wakes the submitter. *)
+let drain t b w =
+  let rec loop () =
+    match next_job b w with
+    | None -> ()
+    | Some i ->
+      if not !(b.b_aborted) then b.b_run i;
+      Mutex.lock t.lock;
+      b.b_remaining <- b.b_remaining - 1;
+      if b.b_remaining = 0 then Condition.broadcast t.finished;
+      Mutex.unlock t.lock;
+      loop ()
+  in
+  loop ()
+
+let worker t w () =
+  Domain.DLS.set in_worker true;
+  let last = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock t.lock;
+    while (not t.stop) && t.generation = !last do
+      Condition.wait t.work t.lock
+    done;
+    if t.generation <> !last then begin
+      last := t.generation;
+      let b = t.batch in
+      Mutex.unlock t.lock;
+      (* [batch] may already be back to [None] if the other workers
+         finished it before this one woke up — nothing to do then. *)
+      match b with None -> () | Some b -> drain t b w
+    end
+    else begin
+      Mutex.unlock t.lock;
+      running := false
+    end
+  done
+
+let create ?jobs () =
+  let jobs = max 1 (Option.value jobs ~default:(default_jobs ())) in
+  let t =
+    {
+      jobs;
+      lock = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      batch = None;
+      generation = 0;
+      stop = false;
+      domains = [];
+    }
+  in
+  (* the caller is worker 0; spawn the rest *)
+  t.domains <- List.init (jobs - 1) (fun i -> Domain.spawn (worker t (i + 1)));
+  t
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.stop <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.lock;
+  let ds = t.domains in
+  t.domains <- [];
+  List.iter Domain.join ds
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* Split [0 .. njobs-1] into [n] contiguous blocks (front-loaded when
+   it does not divide evenly). *)
+let partition njobs n =
+  let q = njobs / n and r = njobs mod n in
+  Array.init n (fun w ->
+      let lo = (w * q) + min w r in
+      let len = q + if w < r then 1 else 0 in
+      {
+        d_lock = Mutex.create ();
+        d_idx = Array.init len (fun k -> lo + k);
+        d_lo = 0;
+        d_hi = len;
+      })
+
+let map t f items_list =
+  if Domain.DLS.get in_worker then raise Nested_pool;
+  let items = Array.of_list items_list in
+  let njobs = Array.length items in
+  if njobs = 0 then []
+  else if t.jobs = 1 || njobs = 1 then
+    (* the exact sequential path: same domain, same evaluation order,
+       exceptions propagate untouched *)
+    List.map f items_list
+  else begin
+    let results = Array.make njobs None in
+    let failure = ref None in
+    let aborted = ref false in
+    let run i =
+      try results.(i) <- Some (f items.(i))
+      with exn ->
+        let bt = Printexc.get_raw_backtrace () in
+        Mutex.lock t.lock;
+        (match !failure with
+         | Some (j, _, _) when j <= i -> ()
+         | Some _ | None -> failure := Some (i, exn, bt));
+        aborted := true;
+        Mutex.unlock t.lock
+    in
+    let b =
+      {
+        b_deques = partition njobs t.jobs;
+        b_run = run;
+        b_aborted = aborted;
+        b_remaining = njobs;
+      }
+    in
+    Mutex.lock t.lock;
+    if t.stop then begin
+      Mutex.unlock t.lock;
+      invalid_arg "Pool.map: pool is shut down"
+    end;
+    if t.batch <> None then begin
+      Mutex.unlock t.lock;
+      invalid_arg "Pool.map: a batch is already in flight on this pool"
+    end;
+    t.batch <- Some b;
+    t.generation <- t.generation + 1;
+    Condition.broadcast t.work;
+    Mutex.unlock t.lock;
+    (* participate as worker 0, then wait out in-flight stolen jobs *)
+    Domain.DLS.set in_worker true;
+    Fun.protect
+      ~finally:(fun () -> Domain.DLS.set in_worker false)
+      (fun () -> drain t b 0);
+    Mutex.lock t.lock;
+    while b.b_remaining > 0 do
+      Condition.wait t.finished t.lock
+    done;
+    t.batch <- None;
+    Mutex.unlock t.lock;
+    match !failure with
+    | Some (_, exn, bt) -> Printexc.raise_with_backtrace exn bt
+    | None ->
+      Array.to_list
+        (Array.map (function Some v -> v | None -> assert false) results)
+  end
+
+let run_all t thunks = map t (fun f -> f ()) thunks
+let parallel_map ?jobs f items = with_pool ?jobs (fun t -> map t f items)
+let parallel_run_all ?jobs thunks = with_pool ?jobs (fun t -> run_all t thunks)

@@ -1,0 +1,71 @@
+(** A shared-nothing, domain-based parallel run pool.
+
+    The experiment harness averages randomized tools over many
+    (tool, model, seed) runs; the runs are embarrassingly parallel
+    (every run builds its own tracker, tree and RNG), so the harness
+    enumerates its job matrix up front and executes it here.  The pool
+    is a fixed set of worker {!Domain}s coordinated with stdlib
+    [Mutex]/[Condition] only — no external dependency.  Each batch of
+    jobs is split into per-worker deques; a worker pops from its own
+    deque and, when empty, steals from the others, so stragglers
+    (one slow model run) do not serialize the batch.
+
+    Determinism contract: {!map} returns results in input order,
+    regardless of how jobs were scheduled across domains.  Callers that
+    merge in job-index order therefore produce byte-identical output
+    for any worker count — [jobs = 1] runs the exact sequential
+    [List.map] path in the calling domain, spawning no domains at all.
+
+    The submitting domain participates as a worker during {!map}, so a
+    pool of [jobs = n] uses [n - 1] spawned domains plus the caller.
+
+    Worker-count selection ({!default_jobs}): the [STCG_JOBS]
+    environment variable if set to a positive integer, otherwise
+    [Domain.recommended_domain_count () - 1] (at least 1). *)
+
+exception Nested_pool
+(** Raised by {!map}/{!run_all} when called from inside a pool job:
+    nested data-parallelism would oversubscribe the machine and break
+    the sequential-equivalence contract, so it is an error. *)
+
+val default_jobs : unit -> int
+(** [STCG_JOBS] if set and positive, else
+    [max 1 (Domain.recommended_domain_count () - 1)]. *)
+
+type t
+(** A pool handle.  Workers idle on a condition variable between
+    batches; {!shutdown} joins them.  One batch at a time: concurrent
+    {!map} calls on the same pool are a programming error
+    ([Invalid_argument]). *)
+
+val create : ?jobs:int -> unit -> t
+(** [create ?jobs ()] spawns [jobs - 1] worker domains
+    ([jobs] defaults to {!default_jobs}; values < 1 are clamped to 1).
+    [jobs = 1] spawns nothing. *)
+
+val size : t -> int
+(** The worker count [jobs] the pool was created with (including the
+    calling domain). *)
+
+val shutdown : t -> unit
+(** Signal and join all worker domains.  Idempotent.  Must not be
+    called while a {!map} is in flight. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ?jobs f] runs [f] on a fresh pool and guarantees
+    {!shutdown}, also on exception. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map pool f items] applies [f] to every item, in parallel, and
+    returns the results in input order.  If any [f] raises, remaining
+    unstarted jobs are abandoned, in-flight jobs finish, the workers
+    are quiesced, and the exception of the lowest-indexed failed job is
+    re-raised in the caller (with its backtrace). *)
+
+val run_all : t -> (unit -> 'a) list -> 'a list
+(** [run_all pool thunks = map pool (fun f -> f ()) thunks]. *)
+
+val parallel_map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** One-shot convenience: {!with_pool} around {!map}. *)
+
+val parallel_run_all : ?jobs:int -> (unit -> 'a) list -> 'a list

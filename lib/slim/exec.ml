@@ -395,6 +395,16 @@ let compile (prog : Ir.program) : t =
 let memo_capacity = 32
 let memo : (Ir.program * t) list ref = ref []
 
+(* The move-to-front list mutates on every lookup (hits included), and
+   handles are resolved from worker domains when the harness runs its
+   job matrix in parallel — so the whole cache operation is a critical
+   section.  Compilation happens under the lock too: it is fast
+   (~60µs), and letting two domains race to compile the same program
+   would only duplicate work.  The returned handle itself is immutable
+   after construction (its index Hashtbls are never written past
+   [compile]) and freely shareable across domains. *)
+let memo_lock = Mutex.create ()
+
 let handle (prog : Ir.program) : t =
   let rec find acc = function
     | [] -> None
@@ -405,17 +415,21 @@ let handle (prog : Ir.program) : t =
       end
       else find (entry :: acc) rest
   in
-  match find [] !memo with
-  | Some h -> h
-  | None ->
-    let h = compile prog in
-    let kept =
-      if List.length !memo >= memo_capacity then
-        List.filteri (fun i _ -> i < memo_capacity - 1) !memo
-      else !memo
-    in
-    memo := (prog, h) :: kept;
-    h
+  Mutex.lock memo_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock memo_lock)
+    (fun () ->
+      match find [] !memo with
+      | Some h -> h
+      | None ->
+        let h = compile prog in
+        let kept =
+          if List.length !memo >= memo_capacity then
+            List.filteri (fun i _ -> i < memo_capacity - 1) !memo
+          else !memo
+        in
+        memo := (prog, h) :: kept;
+        h)
 
 (* --- accessors --------------------------------------------------------- *)
 

@@ -39,7 +39,12 @@ val compile : Ir.program -> t
 val handle : Ir.program -> t
 (** Memoizing [compile], keyed on physical equality of the program value
     (bounded move-to-front cache).  Callers that hold one program value and
-    call repeatedly — the normal pattern — pay compilation once. *)
+    call repeatedly — the normal pattern — pay compilation once.
+
+    Domain-safe: the memo is mutex-protected, and the returned handle is
+    immutable after construction, so one handle may be shared read-only
+    across worker domains (the parallel harness compiles each model once
+    up front and lets every run reuse it). *)
 
 (** {1 Accessors} *)
 

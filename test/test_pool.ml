@@ -1,0 +1,147 @@
+(* Tests for the domain-parallel run pool: result ordering, the
+   sequential jobs=1 contract, exception propagation, nested-use
+   rejection, pool reuse — and the end-to-end determinism guarantee the
+   harness builds on (table3 byte-identical for any worker count). *)
+
+module Pool = Harness.Pool
+
+let check = Alcotest.check
+
+(* Uneven busy-work so jobs genuinely finish out of submission order
+   and the stealing path is exercised. *)
+let busy i =
+  let n = 1_000 * (1 + ((i * 7) mod 13)) in
+  let acc = ref 0 in
+  for k = 1 to n do
+    acc := !acc + (k mod 7)
+  done;
+  !acc |> ignore
+
+let test_map_ordering () =
+  let items = List.init 100 Fun.id in
+  let f i =
+    busy i;
+    i * i
+  in
+  let expected = List.map f items in
+  List.iter
+    (fun jobs ->
+      check
+        Alcotest.(list int)
+        (Fmt.str "map order, jobs=%d" jobs)
+        expected
+        (Pool.parallel_map ~jobs f items))
+    [ 1; 2; 4; 7 ]
+
+let test_empty_and_singleton () =
+  check Alcotest.(list int) "empty" [] (Pool.parallel_map ~jobs:4 Fun.id []);
+  check Alcotest.(list int) "singleton" [ 42 ]
+    (Pool.parallel_map ~jobs:4 (fun x -> x) [ 42 ])
+
+let test_jobs1_is_sequential () =
+  (* jobs=1 must be the plain List.map path: same domain, same order of
+     side effects *)
+  let trace = ref [] in
+  let out =
+    Pool.parallel_map ~jobs:1
+      (fun i ->
+        trace := i :: !trace;
+        i + 1)
+      [ 1; 2; 3 ]
+  in
+  check Alcotest.(list int) "results" [ 2; 3; 4 ] out;
+  check Alcotest.(list int) "effect order" [ 3; 2; 1 ] !trace
+
+let test_run_all () =
+  let thunks = List.init 10 (fun i () -> 10 * i) in
+  check
+    Alcotest.(list int)
+    "run_all order"
+    (List.init 10 (fun i -> 10 * i))
+    (Pool.parallel_run_all ~jobs:3 thunks)
+
+let test_exception_propagation () =
+  List.iter
+    (fun jobs ->
+      Alcotest.check_raises
+        (Fmt.str "failure surfaces, jobs=%d" jobs)
+        (Failure "boom")
+        (fun () ->
+          ignore
+            (Pool.parallel_map ~jobs
+               (fun i -> if i = 5 then failwith "boom" else i)
+               (List.init 10 Fun.id))))
+    [ 1; 4 ];
+  (* the pool survives a failed batch: same pool usable afterwards *)
+  Pool.with_pool ~jobs:2 (fun p ->
+      (try ignore (Pool.map p (fun () -> failwith "once") [ () ])
+       with Failure _ -> ());
+      check
+        Alcotest.(list int)
+        "pool reusable after failure" [ 1; 2 ]
+        (Pool.map p Fun.id [ 1; 2 ]))
+
+let test_nested_use_rejected () =
+  Alcotest.check_raises "nested parallel_map is an error" Pool.Nested_pool
+    (fun () ->
+      ignore
+        (Pool.parallel_map ~jobs:2
+           (fun _ -> Pool.parallel_map ~jobs:2 Fun.id [ 1; 2 ])
+           [ 1; 2; 3; 4 ]))
+
+let test_pool_reuse () =
+  Pool.with_pool ~jobs:3 (fun p ->
+      check Alcotest.int "size" 3 (Pool.size p);
+      let a = Pool.map p (fun i -> i + 1) (List.init 20 Fun.id) in
+      let b = Pool.map p (fun i -> i * 2) (List.init 20 Fun.id) in
+      check Alcotest.(list int) "first batch" (List.init 20 (fun i -> i + 1)) a;
+      check Alcotest.(list int) "second batch" (List.init 20 (fun i -> i * 2)) b)
+
+let test_default_jobs_positive () =
+  check Alcotest.bool "default_jobs >= 1" true (Pool.default_jobs () >= 1)
+
+(* The harness-level guarantee the whole refactor exists for: the same
+   job matrix merged in job-index order gives byte-identical artifacts
+   whatever the worker count. *)
+let test_table3_determinism () =
+  let run jobs =
+    Harness.Experiment.table3 ~budget:30.0 ~seeds:[ 1; 2 ]
+      ~models:[ "CPUTask"; "AFC" ] ~jobs ()
+  in
+  let rows1, text1 = run 1 in
+  let rows4, text4 = run 4 in
+  check Alcotest.string "rendered table identical (jobs=4 vs jobs=1)" text1
+    text4;
+  check Alcotest.int "row count" (List.length rows1) (List.length rows4);
+  List.iter2
+    (fun (a : Harness.Experiment.averaged) (b : Harness.Experiment.averaged) ->
+      check Alcotest.string "row model" a.Harness.Experiment.a_model
+        b.Harness.Experiment.a_model;
+      check Alcotest.bool
+        (Fmt.str "row %s/%s equal" a.Harness.Experiment.a_model
+           (Harness.Experiment.tool_name a.Harness.Experiment.a_tool))
+        true (a = b))
+    rows1 rows4
+
+let () =
+  Alcotest.run "pool"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map ordering" `Quick test_map_ordering;
+          Alcotest.test_case "empty + singleton" `Quick test_empty_and_singleton;
+          Alcotest.test_case "jobs=1 sequential" `Quick test_jobs1_is_sequential;
+          Alcotest.test_case "run_all" `Quick test_run_all;
+          Alcotest.test_case "exception propagation" `Quick
+            test_exception_propagation;
+          Alcotest.test_case "nested use rejected" `Quick
+            test_nested_use_rejected;
+          Alcotest.test_case "pool reuse" `Quick test_pool_reuse;
+          Alcotest.test_case "default jobs" `Quick test_default_jobs_positive;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "table3 jobs=4 = jobs=1" `Quick
+            test_table3_determinism;
+        ] );
+    ]
