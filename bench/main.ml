@@ -119,6 +119,28 @@ let harness_wallclock () =
     ("harness: table3 parallel speedup (x)", speedup);
   ]
 
+(* --- fuzz campaign ------------------------------------------------------ *)
+
+(* Differential fuzzing as a regression gate in the bench run: a
+   fixed-seed campaign over the whole execution stack (exec diff,
+   coverage invariants, symexec soundness, solver soundness) must stay
+   clean, and its wall-clock is tracked in the BENCH json alongside
+   the other end-to-end numbers.  The case count is the same in smoke
+   and full mode so the entry is comparable between runs. *)
+let fuzz_campaign () =
+  section "fuzz: differential campaign (seed 0)";
+  let count = 100 in
+  let t0 = Unix.gettimeofday () in
+  let summary = Fuzzer.Campaign.run ~seed:0 ~count ~max_steps:8 () in
+  let dt = Unix.gettimeofday () -. t0 in
+  Fmt.pr "%a@." Fuzzer.Campaign.pp_summary summary;
+  if Fuzzer.Campaign.failures summary > 0 then
+    failwith "fuzz campaign: oracle violations (reproducers above)";
+  Fmt.pr "campaign clean in %.2fs@." dt;
+  [
+    (Fmt.str "fuzz: campaign wall-clock (%d cases, jobs=1)" count, dt *. 1e9);
+  ]
+
 (* --- micro-benchmarks --------------------------------------------------- *)
 
 let json_escape s =
@@ -278,7 +300,8 @@ let () =
     (Harness.Pool.default_jobs ());
   if not micro_only then paper_artifacts ();
   let wallclock = if micro_only then [] else harness_wallclock () in
-  let results = micro_benchmarks () @ wallclock in
+  let fuzz = if micro_only then [] else fuzz_campaign () in
+  let results = micro_benchmarks () @ wallclock @ fuzz in
   (match json_path with
    | Some path -> write_json path results
    | None -> ());

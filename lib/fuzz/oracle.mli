@@ -1,0 +1,62 @@
+(** The four differential oracles.
+
+    Each oracle takes a compiled-from-spec {!Slim.Ir.program} plus a
+    name-keyed input sequence and returns a verdict.  They are pure
+    functions of their arguments (plus an explicit [seed] where target
+    selection is randomized), so a failing case replays exactly from
+    its seed — the contract the shrinker and the regression corpus
+    rely on.
+
+    - [exec_diff] — lockstep {!Slim.Exec} vs
+      {!Slim.Interp.run_step_reference}: outputs, states, event
+      streams, error messages, and the smap/slot state bridges must
+      agree at every step.
+    - [coverage] — {!Coverage.Tracker} invariants under execution and
+      replay: monotone progress, ratio bounds, covered branches ⊆
+      program branches, idempotent re-observation, replay and copy
+      independence.
+    - [symexec] — path-predicate soundness of one-step state-aware
+      solving: a [Sat] answer must concretely replay into the claimed
+      branch (or condition-vector atom), an [Unsat] answer must
+      survive a random concrete refutation search.
+    - [solver] — {!Solver.Csp} verified-solution soundness on random
+      constraint problems over the program's input variables ([Sat]
+      assignments must evaluate true, [Unsat] must survive random
+      witness search) — the harness that exercises the {!Solver.Hc4}
+      projections (abs/mod at zero-crossing and negative-divisor
+      domains) far harder than directed tests. *)
+
+type verdict = Pass | Fail of string
+
+val all : string list
+(** Oracle names, in canonical order: ["exec"; "coverage"; "symexec";
+    "solver"]. *)
+
+val exec_diff :
+  Slim.Ir.program -> (string * Slim.Value.t) list list -> verdict
+
+val coverage :
+  Slim.Ir.program -> (string * Slim.Value.t) list list -> verdict
+
+val symexec :
+  seed:int ->
+  ?max_targets:int ->
+  Slim.Ir.program ->
+  (string * Slim.Value.t) list list ->
+  verdict
+
+val solver :
+  seed:int ->
+  ?max_problems:int ->
+  Slim.Ir.program ->
+  (string * Slim.Value.t) list list ->
+  verdict
+
+val run :
+  which:string list ->
+  seed:int ->
+  Slim.Ir.program ->
+  (string * Slim.Value.t) list list ->
+  (string * verdict) list
+(** Run the named oracles (unknown names are ignored) in canonical
+    order.  Any exception escaping an oracle is converted to [Fail]. *)

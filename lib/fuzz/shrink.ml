@@ -1,0 +1,299 @@
+open Slim
+
+type outcome = {
+  r_model : Gen.model_spec;
+  r_inputs : (string * Value.t) list list;
+  r_rounds : int;
+  r_checks : int;
+}
+
+let const_default = function
+  | Gen.S_bool -> Value.Bool false
+  | Gen.S_int -> Value.Int 0
+  | Gen.S_real -> Value.Real 0.
+
+let shrink_value = function
+  | Value.Bool true -> [ Value.Bool false ]
+  | Value.Int n when n <> 0 ->
+    if n / 2 <> n && n / 2 <> 0 then [ Value.Int 0; Value.Int (n / 2) ]
+    else [ Value.Int 0 ]
+  | Value.Real r when r <> 0. && Float.is_finite r ->
+    if r /. 2. <> r && r /. 2. <> 0. then [ Value.Real 0.; Value.Real (r /. 2.) ]
+    else [ Value.Real 0. ]
+  | _ -> []
+
+(* ------------------------------------------------------------------ *)
+(* Input-sequence candidates                                           *)
+
+let rec take n = function
+  | x :: rest when n > 0 -> x :: take (n - 1) rest
+  | _ -> []
+
+let rec drop n = function _ :: rest when n > 0 -> drop (n - 1) rest | l -> l
+
+let remove_at i l = List.filteri (fun j _ -> j <> i) l
+
+let input_candidates steps =
+  let n = List.length steps in
+  if n = 0 then []
+  else
+    let halves = if n > 1 then [ take (n / 2) steps; drop (n / 2) steps ] else [] in
+    let singles =
+      if n <= 12 then List.init n (fun i -> remove_at (n - 1 - i) steps)
+      else [ take (n - 1) steps ]
+    in
+    halves @ singles
+
+(* ------------------------------------------------------------------ *)
+(* Chart candidates                                                    *)
+
+let chart_candidates (c : Gen.chartspec) : Gen.chartspec list =
+  let open Gen in
+  let drop_trans =
+    List.init (List.length c.ch_trans) (fun i ->
+        { c with ch_trans = remove_at i c.ch_trans })
+  in
+  let simplify_trans =
+    List.concat
+      (List.mapi
+         (fun i t ->
+           let upd t' =
+             { c with ch_trans = List.mapi (fun j u -> if j = i then t' else u) c.ch_trans }
+           in
+           (if t.ct_acts <> [] then [ upd { t with ct_acts = [] } ] else [])
+           @
+           if t.ct_guard <> CE_true then [ upd { t with ct_guard = CE_true } ]
+           else [])
+         c.ch_trans)
+  in
+  let clear_states =
+    List.concat
+      (List.mapi
+         (fun i st ->
+           let upd st' =
+             {
+               c with
+               ch_states =
+                 Array.mapi (fun j u -> if j = i then st' else u) c.ch_states;
+             }
+           in
+           (if st.cs_entry <> [] then [ upd { st with cs_entry = [] } ] else [])
+           @ if st.cs_during <> [] then [ upd { st with cs_during = [] } ] else [])
+         (Array.to_list c.ch_states))
+  in
+  let shrink_data =
+    List.concat
+      (List.mapi
+         (fun i (sty, init) ->
+           List.map
+             (fun v ->
+               {
+                 c with
+                 ch_data =
+                   List.mapi (fun j d -> if j = i then (sty, v) else d) c.ch_data;
+               })
+             (shrink_value init))
+         c.ch_data)
+  in
+  drop_trans @ simplify_trans @ clear_states @ shrink_data
+
+(* ------------------------------------------------------------------ *)
+(* Diagram candidates                                                  *)
+
+(* Leading [In] nodes of a subspec are its formals. *)
+let formal_count (sb : Gen.subspec) =
+  let n = Array.length sb.sb_nodes in
+  let rec go i =
+    if i < n then
+      match sb.sb_nodes.(i).Gen.n_kind with Gen.In _ -> go (i + 1) | _ -> i
+    else n
+  in
+  go 0
+
+(* Tweaks are whole-node replacements: hoisting a subsystem-internal
+   node into the enclosing scope may change the slot's type too. *)
+let rec node_tweaks (node : Gen.node) : Gen.node list =
+  let open Gen in
+  let k k' = [ { node with n_kind = k' } ] in
+  let ks l = List.map (fun k' -> { node with n_kind = k' }) l in
+  match node.n_kind with
+  | Const v -> ks (List.map (fun v' -> Const v') (shrink_value v))
+  | Gain (g, j) when g <> 1.0 && node.n_sty <> S_real -> k (Copy j)
+  | Unit_delay (v, j) ->
+    ks (List.map (fun v' -> Unit_delay (v', j)) (shrink_value v))
+  | Delay (v, len, j) ->
+    ks
+      ((if len > 1 then [ Delay (v, 1, j) ] else [])
+      @ List.map (fun v' -> Delay (v', len, j)) (shrink_value v))
+  | Counter { initial; modulo } ->
+    ks
+      ((if initial > 0 then [ Counter { initial = 0; modulo } ] else [])
+      @
+      if modulo > 2 then [ Counter { initial = min initial 1; modulo = 2 } ]
+      else [])
+  | Cmp_const (op, t, j) when t <> 0. -> k (Cmp_const (op, 0., j))
+  | Switch s when s.threshold <> 0. -> k (Switch { s with threshold = 0. })
+  | Multiport m when m.cases <> [] ->
+    k (Multiport { m with cases = take (List.length m.cases - 1) m.cases })
+  | Logic (op, js) when List.length js > 2 -> k (Logic (op, take 2 js))
+  | Integrator i ->
+    ks
+      ((if i.initial <> 0. then [ Integrator { i with initial = 0. } ] else [])
+      @ if i.igain <> 1.0 then [ Integrator { i with igain = 1.0 } ] else [])
+  | Chart (c, ins) ->
+    ks (List.map (fun c' -> Chart (c', ins)) (chart_candidates c))
+  | Sub_if s ->
+    hoists node s.ins [ s.then_; s.else_ ]
+    @ ks
+        (List.map (fun t -> Sub_if { s with then_ = t })
+           (subspec_candidates s.then_)
+        @ List.map (fun e -> Sub_if { s with else_ = e })
+            (subspec_candidates s.else_))
+  | Sub_enabled s ->
+    hoists node s.ins [ s.sub ]
+    @ ks
+        (List.map (fun sub -> Sub_enabled { s with sub })
+           (subspec_candidates s.sub))
+  | _ -> []
+
+(* Replace a subsystem node by one of its internal nodes whose inputs
+   are all formals — rewiring formal [k] to the actual argument
+   [ins.(k)].  This is the move that pulls the culprit out of a
+   conditional subsystem so the subsystem itself can then be dropped. *)
+and hoists (node : Gen.node) (ins : int list) (subs : Gen.subspec list) :
+    Gen.node list =
+  let actuals = Array.of_list ins in
+  List.concat_map
+    (fun (sb : Gen.subspec) ->
+      let formals = formal_count sb in
+      let hoistable (n : Gen.node) =
+        (match n.Gen.n_kind with Gen.In _ | Gen.Ds_read _ -> false | _ -> true)
+        && List.for_all
+             (fun d -> d < formals && d < Array.length actuals)
+             (Gen.node_deps n.Gen.n_kind)
+      in
+      List.filter_map
+        (fun (n : Gen.node) ->
+          if hoistable n then
+            Some
+              {
+                Gen.n_sty = n.Gen.n_sty;
+                n_kind = Gen.map_deps (fun d -> actuals.(d)) n.Gen.n_kind;
+              }
+          else None)
+        (Array.to_list sb.Gen.sb_nodes))
+    subs
+  |> List.filter (fun n' -> n' <> node)
+
+and subspec_candidates (sb : Gen.subspec) : Gen.subspec list =
+  let open Gen in
+  let n = Array.length sb.sb_nodes in
+  let formals = formal_count sb in
+  let with_node i node' =
+    let nodes = Array.copy sb.sb_nodes in
+    nodes.(i) <- node';
+    { sb with sb_nodes = nodes }
+  in
+  let replace_const =
+    List.concat
+      (List.init (n - formals) (fun d ->
+           let i = n - 1 - d in
+           let node = sb.sb_nodes.(i) in
+           match node.n_kind with
+           | Const v when v = const_default node.n_sty -> []
+           | _ ->
+             [
+               with_node i
+                 { node with n_kind = Const (const_default node.n_sty) };
+             ]))
+  in
+  let tweaks =
+    List.concat
+      (List.init (n - formals) (fun d ->
+           let i = n - 1 - d in
+           (* inner tweaks must not change a slot's type: subsystem
+              internals are not re-typed by [Gen.compact] *)
+           List.filter_map
+             (fun node' ->
+               if node'.n_sty = sb.sb_nodes.(i).n_sty then
+                 Some (with_node i node')
+               else None)
+             (node_tweaks sb.sb_nodes.(i))))
+  in
+  let drop_writes =
+    List.init (List.length sb.sb_writes) (fun i ->
+        { sb with sb_writes = remove_at i sb.sb_writes })
+  in
+  replace_const @ tweaks @ drop_writes
+
+let spec_candidates (s : Gen.spec) : Gen.spec list =
+  let open Gen in
+  let n = Array.length s.sp_nodes in
+  let with_node_full i node' =
+    let nodes = Array.copy s.sp_nodes in
+    nodes.(i) <- node';
+    { s with sp_nodes = nodes }
+  in
+  let with_node i k =
+    with_node_full i { (s.sp_nodes.(i)) with n_kind = k }
+  in
+  let replace_const =
+    (* last nodes first: they carry the most structure *)
+    List.concat
+      (List.init n (fun d ->
+           let i = n - 1 - d in
+           let node = s.sp_nodes.(i) in
+           match node.n_kind with
+           | Const v when v = const_default node.n_sty -> []
+           | _ -> [ with_node i (Const (const_default node.n_sty)) ]))
+  in
+  let tweaks =
+    List.concat
+      (List.init n (fun d ->
+           let i = n - 1 - d in
+           List.map (with_node_full i) (node_tweaks s.sp_nodes.(i))))
+  in
+  let drop_outs =
+    if List.length s.sp_outs > 1 then
+      [ { s with sp_outs = take (List.length s.sp_outs - 1) s.sp_outs } ]
+    else []
+  in
+  let drop_writes =
+    List.init (List.length s.sp_writes) (fun i ->
+        { s with sp_writes = remove_at i s.sp_writes })
+  in
+  replace_const @ tweaks @ drop_outs @ drop_writes
+
+let candidates m ins =
+  let input_cands = List.map (fun ins' -> (m, ins')) (input_candidates ins) in
+  let model_cands =
+    match m with
+    | Gen.M_diagram s ->
+      List.map
+        (fun s' -> (Gen.M_diagram (Gen.compact s'), ins))
+        (spec_candidates s)
+    | Gen.M_chart c ->
+      List.map (fun c' -> (Gen.M_chart c', ins)) (chart_candidates c)
+  in
+  input_cands @ model_cands
+
+(* ------------------------------------------------------------------ *)
+
+let minimize ?(max_checks = 400) ~still_fails m ins =
+  let checks = ref 0 in
+  let try_ (m', ins') =
+    if !checks >= max_checks then false
+    else begin
+      incr checks;
+      still_fails m' ins'
+    end
+  in
+  let rec fix m ins rounds =
+    if !checks >= max_checks then (m, ins, rounds)
+    else
+      match List.find_opt try_ (candidates m ins) with
+      | Some (m', ins') -> fix m' ins' (rounds + 1)
+      | None -> (m, ins, rounds + 1)
+  in
+  let m, ins, rounds = fix m ins 0 in
+  { r_model = m; r_inputs = ins; r_rounds = rounds; r_checks = !checks }

@@ -1,0 +1,31 @@
+(** Greedy test-case shrinking.
+
+    Given a failing (model, input sequence) pair and a [still_fails]
+    predicate, {!minimize} repeatedly tries size-reducing edits —
+    shorten the input sequence, replace nodes by default constants
+    (dead nodes are then dropped by {!Gen.compact}), shrink constants,
+    delay lengths, switch thresholds, multiport cases, chart
+    transitions and actions, conditional-subsystem internals (and
+    hoist a formal-fed internal node out of its subsystem entirely) —
+    accepting any edit that keeps the case
+    failing, until a full pass accepts nothing or the check budget is
+    spent.  Every candidate is no larger than the current case (by
+    construction), so the result never grows. *)
+
+type outcome = {
+  r_model : Gen.model_spec;
+  r_inputs : (string * Slim.Value.t) list list;
+  r_rounds : int;  (** candidate-scan passes, including the final no-op one *)
+  r_checks : int;  (** [still_fails] invocations *)
+}
+
+val minimize :
+  ?max_checks:int ->
+  still_fails:(Gen.model_spec -> (string * Slim.Value.t) list list -> bool) ->
+  Gen.model_spec ->
+  (string * Slim.Value.t) list list ->
+  outcome
+(** [still_fails] must return [true] when the candidate still exhibits
+    the original failure; it should catch its own exceptions (treating
+    an oracle crash as a failure reproduction is the usual choice).
+    Default [max_checks] is 400. *)

@@ -233,5 +233,23 @@ let map t f items_list =
   end
 
 let run_all t thunks = map t (fun f -> f ()) thunks
+
+(* Group tiny jobs into chunks of [chunk] so that deque/steal traffic is
+   paid once per chunk instead of once per item.  Chunks are formed in
+   input order and results concatenated in chunk order, so the
+   determinism contract of [map] carries over unchanged; the exception
+   re-raised on failure is that of the lowest-indexed failed *chunk*
+   (within a chunk, items run left to right). *)
+let map_chunked t ~chunk f items =
+  if chunk <= 1 then map t f items
+  else begin
+    let rec chunks acc cur k = function
+      | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+      | x :: rest ->
+        if k = chunk then chunks (List.rev cur :: acc) [ x ] 1 rest
+        else chunks acc (x :: cur) (k + 1) rest
+    in
+    List.concat (map t (List.map f) (chunks [] [] 0 items))
+  end
 let parallel_map ?jobs f items = with_pool ?jobs (fun t -> map t f items)
 let parallel_run_all ?jobs thunks = with_pool ?jobs (fun t -> run_all t thunks)

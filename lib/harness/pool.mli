@@ -65,6 +65,15 @@ val map : t -> ('a -> 'b) -> 'a list -> 'b list
 val run_all : t -> (unit -> 'a) list -> 'a list
 (** [run_all pool thunks = map pool (fun f -> f ()) thunks]. *)
 
+val map_chunked : t -> chunk:int -> ('a -> 'b) -> 'a list -> 'b list
+(** Like {!map}, but schedules items in contiguous chunks of [chunk]
+    (the last chunk may be shorter) so that jobs much smaller than the
+    steal granularity — e.g. one fuzz case — amortize pool overhead.
+    Results are still returned in input order for any worker count and
+    [chunk]; [chunk <= 1] is exactly {!map}.  On failure the exception
+    of the lowest-indexed failed chunk is re-raised (items within a
+    chunk run left to right, stopping at the first raise). *)
+
 val parallel_map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** One-shot convenience: {!with_pool} around {!map}. *)
 

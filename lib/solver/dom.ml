@@ -20,6 +20,23 @@ let intn lo hi =
   if lo > hi then raise Empty;
   Dint { lo; hi }
 
+(* float -> int bound conversions must saturate: [int_of_float] is
+   unspecified past [max_int] and in practice wraps (8e18 becomes a
+   large NEGATIVE int), which can turn a huge over-approximated bound
+   into an inverted — empty — interval and produce an unsound Unsat.
+   1e18 is exactly representable and far above any model constant. *)
+let int_bound_max = 1_000_000_000_000_000_000
+
+let int_of_float_up f =
+  if f >= 1e18 then int_bound_max
+  else if f <= -1e18 then -int_bound_max
+  else int_of_float (Float.ceil f)
+
+let int_of_float_down f =
+  if f >= 1e18 then int_bound_max
+  else if f <= -1e18 then -int_bound_max
+  else int_of_float (Float.floor f)
+
 let realn lo hi =
   if lo > hi then raise Empty;
   Dreal { lo; hi }
@@ -59,8 +76,8 @@ let meet a b =
   | Dreal x, Dreal y -> realn (Float.max x.lo y.lo) (Float.min x.hi y.hi)
   | Dint x, Dreal y | Dreal y, Dint x ->
     intn
-      (max x.lo (int_of_float (Float.ceil y.lo)))
-      (min x.hi (int_of_float (Float.floor y.hi)))
+      (max x.lo (int_of_float_up y.lo))
+      (min x.hi (int_of_float_down y.hi))
   | (Dbool _ | Dint _ | Dreal _), (Dbool _ | Dint _ | Dreal _) ->
     Value.type_error "Dom.meet: incompatible domains"
 

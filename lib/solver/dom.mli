@@ -17,6 +17,12 @@ val booln : bool -> t
 val intn : int -> int -> t
 val realn : float -> float -> t
 
+val int_of_float_up : float -> int
+val int_of_float_down : float -> int
+(** [ceil] / [floor] to int, saturating at +-1e18: plain
+    [int_of_float] wraps past [max_int], which can invert an interval
+    and make a satisfiable box look empty. *)
+
 val is_singleton : t -> bool
 val singleton_value : t -> Slim.Value.t option
 val member : t -> Slim.Value.t -> bool

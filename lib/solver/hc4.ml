@@ -46,8 +46,7 @@ let num_of_dom = function
     }
 
 let dom_of_num { nlo; nhi; nint } =
-  if nint then
-    Dom.intn (int_of_float (Float.ceil nlo)) (int_of_float (Float.floor nhi))
+  if nint then Dom.intn (Dom.int_of_float_up nlo) (Dom.int_of_float_down nhi)
   else Dom.realn nlo nhi
 
 let ntop = { nlo = -1e18; nhi = 1e18; nint = false }
@@ -79,10 +78,18 @@ let ndiv a b =
   end
 
 let nmod a b =
-  ignore a;
-  (* result magnitude is below |divisor|; sign follows the divisor *)
-  let m = Float.max (Float.abs b.nlo) (Float.abs b.nhi) in
-  nmk (a.nint && b.nint) (-.m) m
+  (* result magnitude is below |divisor|; sign follows the divisor
+     (MATLAB-style, see [Value.modulo]).  When the divisor's sign is
+     known the result interval is one-sided: int mod with b in [1,k]
+     lands in [0, k-1], real mod in [0, k); symmetrically for b < 0.
+     Only a zero-crossing divisor needs the two-sided fallback. *)
+  let nint = a.nint && b.nint in
+  let shrink m = if nint then m -. 1.0 else m in
+  if b.nlo > 0.0 then nmk nint 0.0 (Float.max 0.0 (shrink b.nhi))
+  else if b.nhi < 0.0 then nmk nint (Float.min 0.0 (-.shrink (-.b.nlo))) 0.0
+  else
+    let m = Float.max (Float.abs b.nlo) (Float.abs b.nhi) in
+    nmk nint (-.m) m
 
 let nneg a = nmk a.nint (-.a.nhi) (-.a.nlo)
 
@@ -303,8 +310,19 @@ let rec bwd store (t : Term.t) (req : Dom.t) : unit =
      | Ir.Not -> bwd store e (dom_of_b3 (b3_not (b3_of_dom req)))
      | Ir.Neg -> bwd_num store e (nneg (num_of_dom req))
      | Ir.Abs_op ->
+       (* |e| in [r.lo, r.hi] means e in -[r.lo,r.hi] union [r.lo,r.hi];
+          e's current sign picks the branch (or the hull if unknown).
+          r.hi < 0 empties via [nmk]: an absolute value is never
+          negative. *)
        let r = num_of_dom req in
-       bwd_num store e (nmk r.nint (-.r.nhi) r.nhi)
+       let rlo = Float.max 0.0 r.nlo in
+       let e_now = num_of_dom (fwd store e) in
+       let lo, hi =
+         if e_now.nlo >= 0.0 then (rlo, r.nhi)
+         else if e_now.nhi <= 0.0 then (-.r.nhi, -.rlo)
+         else (-.r.nhi, r.nhi)
+       in
+       bwd_num store e (nmk r.nint lo hi)
      | Ir.To_real ->
        (match fwd store e with
         | Dom.Dbool _ ->
@@ -351,7 +369,16 @@ let rec bwd store (t : Term.t) (req : Dom.t) : unit =
      | Ir.Div ->
        (* a / b = r  =>  a in r*b (real case; skip for ints: truncation) *)
        if not (na.nint && nb.nint) then bwd_num store a (nmul r nb)
-     | Ir.Mod -> ()
+     | Ir.Mod ->
+       (* No useful projection onto the dividend (mod wraps), but the
+          result's sign follows the divisor: a result bounded away from
+          zero pins the divisor's sign, and |result| < |divisor| bounds
+          its magnitude from below. *)
+       let one = if r.nint && nb.nint then 1.0 else 0.0 in
+       if r.nlo > 0.0 then
+         bwd_num store b { nb with nlo = Float.max nb.nlo (r.nlo +. one) }
+       else if r.nhi < 0.0 then
+         bwd_num store b { nb with nhi = Float.min nb.nhi (r.nhi -. one) }
      | Ir.Min ->
        (* min(a,b) >= lo(r): both >= lo(r); if one side's lo exceeds
           hi(r), the other must be <= hi(r) *)

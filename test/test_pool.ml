@@ -97,6 +97,68 @@ let test_pool_reuse () =
       check Alcotest.(list int) "first batch" (List.init 20 (fun i -> i + 1)) a;
       check Alcotest.(list int) "second batch" (List.init 20 (fun i -> i * 2)) b)
 
+let test_map_chunked_matches_map () =
+  let items = List.init 53 Fun.id in
+  let f i =
+    busy i;
+    (i * 3) - 7
+  in
+  let expected = List.map f items in
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun p ->
+          List.iter
+            (fun chunk ->
+              check
+                Alcotest.(list int)
+                (Fmt.str "chunked = map, jobs=%d chunk=%d" jobs chunk)
+                expected
+                (Pool.map_chunked p ~chunk f items))
+            [ 0; 1; 3; 7; 8; 53; 100 ]))
+    [ 1; 2; 4; 7 ]
+
+let test_map_chunked_empty () =
+  Pool.with_pool ~jobs:3 (fun p ->
+      check Alcotest.(list int) "empty" [] (Pool.map_chunked p ~chunk:4 Fun.id []))
+
+let test_map_chunked_effect_count () =
+  (* every item is mapped exactly once, whatever the chunking *)
+  Pool.with_pool ~jobs:1 (fun p ->
+      List.iter
+        (fun chunk ->
+          let hits = Array.make 10 0 in
+          ignore
+            (Pool.map_chunked p ~chunk
+               (fun i ->
+                 hits.(i) <- hits.(i) + 1;
+                 i)
+               (List.init 10 Fun.id));
+          check
+            Alcotest.(list int)
+            (Fmt.str "each item once, chunk=%d" chunk)
+            (List.init 10 (fun _ -> 1))
+            (Array.to_list hits))
+        [ 1; 3; 10; 99 ])
+
+let test_map_chunked_exception () =
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun p ->
+          Alcotest.check_raises
+            (Fmt.str "failure surfaces, jobs=%d" jobs)
+            (Failure "chunk-boom")
+            (fun () ->
+              ignore
+                (Pool.map_chunked p ~chunk:4
+                   (fun i -> if i = 9 then failwith "chunk-boom" else i)
+                   (List.init 20 Fun.id)));
+          (* the pool survives and stays usable *)
+          check
+            Alcotest.(list int)
+            "pool reusable after chunked failure" [ 5; 6 ]
+            (Pool.map_chunked p ~chunk:2 Fun.id [ 5; 6 ])))
+    [ 1; 3 ]
+
 let test_default_jobs_positive () =
   check Alcotest.bool "default_jobs >= 1" true (Pool.default_jobs () >= 1)
 
@@ -137,6 +199,13 @@ let () =
           Alcotest.test_case "nested use rejected" `Quick
             test_nested_use_rejected;
           Alcotest.test_case "pool reuse" `Quick test_pool_reuse;
+          Alcotest.test_case "map_chunked = map (any jobs/chunk)" `Quick
+            test_map_chunked_matches_map;
+          Alcotest.test_case "map_chunked empty" `Quick test_map_chunked_empty;
+          Alcotest.test_case "map_chunked maps each item once" `Quick
+            test_map_chunked_effect_count;
+          Alcotest.test_case "map_chunked exception propagation" `Quick
+            test_map_chunked_exception;
           Alcotest.test_case "default jobs" `Quick test_default_jobs_positive;
         ] );
       ( "determinism",

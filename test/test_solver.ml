@@ -174,6 +174,137 @@ let test_array_fold_via_ite_chain () =
   let a = get_sat (solve [ ("i", i_ty 0 2) ] c) in
   check Alcotest.int "index found" 1 (V.to_int (Csp.Smap.find "i" a))
 
+(* --- directed HC4 projection tests: mod/abs on awkward domains, and
+   the float->int saturation regression found by the fuzzer. *)
+
+let verify vars c a =
+  match
+    T.eval
+      (fun x ->
+        match Csp.Smap.find_opt x a with
+        | Some v -> v
+        | None -> V.default_of_ty (List.assoc x vars))
+      c
+  with
+  | V.Bool b -> b
+  | _ -> false
+
+let test_div_overflow_regression () =
+  (* fuzz seed 0, case 180: i0 > i20 / (i0 + i0).  The denominator
+     interval crosses zero, so forward division returns a huge top
+     interval; backward multiplication then produced bounds beyond
+     max_int, and the unsaturated float->int conversion in
+     [Dom.meet Dint/Dreal] wrapped them negative — an empty domain and
+     an unsound Unsat (witness: i0=1.78, i20=-2). *)
+  let vars = [ ("i0", r_ty (-4.) 4.); ("i20", i_ty (-6) 6) ] in
+  let c =
+    T.cmp Ir.Gt (ivar "i0")
+      (T.binop Ir.Div (ivar "i20") (T.binop Ir.Add (ivar "i0") (ivar "i0")))
+  in
+  match solve vars c with
+  | Csp.Sat a -> check Alcotest.bool "verified" true (verify vars c a)
+  | Csp.Unsat -> Alcotest.fail "sound witness exists (i0=1.78, i20=-2)"
+  | Csp.Unknown -> ()
+
+let test_dom_meet_saturates () =
+  (* the raw conversion wraps: 8e18 -> large negative *)
+  check Alcotest.bool "int_of_float_down saturates positive" true
+    (Dom.int_of_float_down 8e18 > 0);
+  check Alcotest.bool "int_of_float_up saturates negative" true
+    (Dom.int_of_float_up (-8e18) < 0);
+  match Dom.meet (Dom.intn (-6) 6) (Dom.realn (-8e18) 8e18) with
+  | Dom.Dint { lo; hi } ->
+    check Alcotest.int "lo" (-6) lo;
+    check Alcotest.int "hi" 6 hi
+  | _ -> Alcotest.fail "expected an int domain"
+  | exception Dom.Empty -> Alcotest.fail "huge real bounds emptied the meet"
+
+let test_mod_positive_divisor_range () =
+  (* sign follows the divisor: x mod 3 is in [0,2], so < 0 is unsat *)
+  let c = T.cmp Ir.Lt (T.binop Ir.Mod (ivar "x") (T.cint 3)) (T.cint 0) in
+  (match solve [ ("x", i_ty (-10) 10) ] c with
+   | Csp.Unsat -> ()
+   | _ -> Alcotest.fail "x mod 3 < 0 must be unsat");
+  (* and = 2 is reachable (x = -1: Euclidean remainder 2) *)
+  let c2 = T.cmp Ir.Eq (T.binop Ir.Mod (ivar "x") (T.cint 3)) (T.cint 2) in
+  let vars = [ ("x", i_ty (-10) 10) ] in
+  let a = get_sat (solve vars c2) in
+  check Alcotest.bool "verified" true (verify vars c2 a)
+
+let test_mod_negative_divisor_range () =
+  (* negative divisor: x mod -3 is in [-2,0], so > 0 is unsat... *)
+  let c = T.cmp Ir.Gt (T.binop Ir.Mod (ivar "x") (T.cint (-3))) (T.cint 0) in
+  (match solve [ ("x", i_ty (-10) 10) ] c with
+   | Csp.Unsat -> ()
+   | _ -> Alcotest.fail "x mod -3 > 0 must be unsat");
+  (* ...and -2 is reachable (x = 1: 1 mod -3 = -2) *)
+  let c2 =
+    T.cmp Ir.Lt (T.binop Ir.Mod (ivar "x") (T.cint (-3))) (T.cint (-1))
+  in
+  let vars = [ ("x", i_ty (-10) 10) ] in
+  let a = get_sat (solve vars c2) in
+  check Alcotest.bool "verified" true (verify vars c2 a)
+
+let test_mod_zero_crossing_divisor () =
+  (* divisor domain crossing zero: only the magnitude bound applies,
+     so a result beyond max |divisor| is refuted... *)
+  let c =
+    T.cmp Ir.Eq (T.binop Ir.Mod (ivar "x") (ivar "y")) (T.cint 7)
+  in
+  (match solve [ ("x", i_ty (-10) 10); ("y", i_ty (-3) 3) ] c with
+   | Csp.Unsat -> ()
+   | _ -> Alcotest.fail "|x mod y| < 3 cannot equal 7");
+  (* ...while a result inside the band stays reachable *)
+  let c2 = T.cmp Ir.Eq (T.binop Ir.Mod (ivar "x") (ivar "y")) (T.cint 1) in
+  let vars = [ ("x", i_ty (-10) 10); ("y", i_ty (-3) 3) ] in
+  let a = get_sat (solve vars c2) in
+  check Alcotest.bool "verified" true (verify vars c2 a)
+
+let test_mod_backward_pins_divisor () =
+  (* a strictly positive result forces a positive divisor larger than
+     the result: x mod y = 2 and y <= 0 together are unsat *)
+  let c =
+    T.and_
+      (T.cmp Ir.Eq (T.binop Ir.Mod (ivar "x") (ivar "y")) (T.cint 2))
+      (T.cmp Ir.Le (ivar "y") (T.cint 0))
+  in
+  (match solve [ ("x", i_ty (-10) 10); ("y", i_ty (-5) 5) ] c with
+   | Csp.Unsat -> ()
+   | Csp.Sat a ->
+     Alcotest.failf "unsound sat: x=%a y=%a"
+       V.pp (Csp.Smap.find "x" a) V.pp (Csp.Smap.find "y" a)
+   | Csp.Unknown -> ());
+  (* and the satisfiable version still solves *)
+  let c2 = T.cmp Ir.Eq (T.binop Ir.Mod (ivar "x") (ivar "y")) (T.cint 2) in
+  let vars = [ ("x", i_ty (-10) 10); ("y", i_ty (-5) 5) ] in
+  let a = get_sat (solve vars c2) in
+  check Alcotest.bool "verified" true (verify vars c2 a)
+
+let test_abs_backward_sign () =
+  (* |x| >= 3 with x constrained negative narrows into the negative
+     branch instead of the naive symmetric hull *)
+  let vars = [ ("x", i_ty (-10) 10) ] in
+  let c =
+    T.and_
+      (T.cmp Ir.Ge (T.unop Ir.Abs_op (ivar "x")) (T.cint 3))
+      (T.cmp Ir.Le (ivar "x") (T.cint 0))
+  in
+  let a = get_sat (solve vars c) in
+  check Alcotest.bool "x <= -3" true (V.to_int (Csp.Smap.find "x" a) <= -3);
+  (* |x| = 2 with x > 0 has exactly one integer solution *)
+  let c2 =
+    T.and_
+      (T.cmp Ir.Eq (T.unop Ir.Abs_op (ivar "x")) (T.cint 2))
+      (T.cmp Ir.Gt (ivar "x") (T.cint 0))
+  in
+  let a2 = get_sat (solve vars c2) in
+  check Alcotest.int "x = 2" 2 (V.to_int (Csp.Smap.find "x" a2));
+  (* an absolute value is never negative *)
+  let c3 = T.cmp Ir.Le (T.unop Ir.Abs_op (ivar "x")) (T.cint (-1)) in
+  match solve vars c3 with
+  | Csp.Unsat -> ()
+  | _ -> Alcotest.fail "|x| <= -1 must be unsat"
+
 (* Soundness property: on random small constraints over small domains,
    Sat answers satisfy and Unsat answers have no brute-force witness. *)
 let random_term rng depth =
@@ -272,6 +403,23 @@ let () =
         [
           Alcotest.test_case "hard real unknown" `Quick test_unknown_on_hard_real;
           Alcotest.test_case "budget unknown" `Quick test_budget_exhaustion_returns_unknown;
+        ] );
+      ( "hc4 projections",
+        [
+          Alcotest.test_case "div overflow regression" `Quick
+            test_div_overflow_regression;
+          Alcotest.test_case "Dom.meet saturates huge bounds" `Quick
+            test_dom_meet_saturates;
+          Alcotest.test_case "mod: positive divisor range" `Quick
+            test_mod_positive_divisor_range;
+          Alcotest.test_case "mod: negative divisor range" `Quick
+            test_mod_negative_divisor_range;
+          Alcotest.test_case "mod: zero-crossing divisor" `Quick
+            test_mod_zero_crossing_divisor;
+          Alcotest.test_case "mod: backward pins divisor" `Quick
+            test_mod_backward_pins_divisor;
+          Alcotest.test_case "abs: sign-aware backward" `Quick
+            test_abs_backward_sign;
         ] );
       ("props", List.map QCheck_alcotest.to_alcotest [ prop_solver_sound ]);
     ]
