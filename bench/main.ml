@@ -62,21 +62,27 @@ let paper_artifacts () =
   section "Figure 3 - CPUTask branch structure and state tree";
   print_string (Harness.Experiment.fig3 ());
 
-  section "Table III - coverage comparison";
-  let _, table3 = Harness.Experiment.table3 ~budget ~seeds ?models () in
-  print_string table3;
-  Fmt.pr "@.";
+  (* one pool for the whole artifact sweep: table3, fig4 and the
+     ablations share the same warm worker domains instead of spawning a
+     fresh pool each *)
+  Harness.Pool.with_pool (fun pool ->
+      section "Table III - coverage comparison";
+      let _, table3 = Harness.Experiment.table3 ~budget ~seeds ?models ~pool () in
+      print_string table3;
+      Fmt.pr "@.";
 
-  section "Figure 4 - decision coverage vs time";
-  let panels, _csvs = Harness.Experiment.fig4 ~budget ~seed:1 ?models () in
-  print_string panels;
+      section "Figure 4 - decision coverage vs time";
+      let panels, _csvs =
+        Harness.Experiment.fig4 ~budget ~seed:1 ?models ~pool ()
+      in
+      print_string panels;
 
-  section "Ablations - STCG design choices";
-  print_string
-    (Harness.Experiment.ablations ~budget
-       ?models:(if smoke then Some [ "CPUTask" ] else None)
-       ~seeds:(List.filteri (fun i _ -> i < 3) seeds)
-       ())
+      section "Ablations - STCG design choices";
+      print_string
+        (Harness.Experiment.ablations ~budget
+           ?models:(if smoke then Some [ "CPUTask" ] else None)
+           ~seeds:(List.filteri (fun i _ -> i < 3) seeds)
+           ~pool ()))
 
 (* --- harness wall-clock: sequential vs domain-parallel ------------------ *)
 
@@ -155,7 +161,7 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let write_json path (results : (string * float) list) =
+let write_json ?telemetry path (results : (string * float) list) =
   let oc = open_out path in
   output_string oc "{\n";
   output_string oc (Fmt.str "  \"quick\": %b,\n" quick);
@@ -163,6 +169,12 @@ let write_json path (results : (string * float) list) =
      cores - 1) — wall-clock entries are only comparable at equal jobs *)
   output_string oc (Fmt.str "  \"jobs\": %d,\n" (Harness.Pool.default_jobs ()));
   output_string oc "  \"unit\": \"ns/run\",\n";
+  (* counter/histogram/span snapshot of the end-to-end phases (paper
+     artifacts, wall-clock matrix, fuzz campaign); micro-benchmarks run
+     after telemetry is reset and measure the disabled path *)
+  (match telemetry with
+   | Some obj -> output_string oc (Fmt.str "  \"telemetry\": %s,\n" obj)
+   | None -> ());
   output_string oc "  \"results\": [\n";
   List.iteri
     (fun i (name, ns) ->
@@ -277,19 +289,32 @@ let micro_benchmarks () =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   let collected = ref [] in
-  List.iter
-    (fun test ->
-      let raw = Benchmark.all cfg instances test in
-      let results = Analyze.all ols Instance.monotonic_clock raw in
-      Hashtbl.iter
-        (fun name result ->
-          match Analyze.OLS.estimates result with
-          | Some [ est ] ->
-            collected := (name, est) :: !collected;
-            Fmt.pr "%-40s %12.1f ns/run@." name est
-          | Some _ | None -> Fmt.pr "%-40s (no estimate)@." name)
-        results)
-    tests;
+  let measure tests =
+    List.iter
+      (fun test ->
+        let raw = Benchmark.all cfg instances test in
+        let results = Analyze.all ols Instance.monotonic_clock raw in
+        Hashtbl.iter
+          (fun name result ->
+            match Analyze.OLS.estimates result with
+            | Some [ est ] ->
+              collected := (name, est) :: !collected;
+              Fmt.pr "%-40s %12.1f ns/run@." name est
+            | Some _ | None -> Fmt.pr "%-40s (no estimate)@." name)
+          results)
+      tests
+  in
+  measure tests;
+  (* same one-step workload with telemetry collection on, to keep the
+     enabled-path cost visible next to the disabled-path number above *)
+  let test_exec_tel =
+    Test.make ~name:"exec: one CPUTask step (slots, telemetry)"
+      (Staged.stage (fun () -> ignore (Slim.Exec.run_step exec est0 einputs)))
+  in
+  Telemetry.enable ();
+  measure [ test_exec_tel ];
+  Telemetry.disable ();
+  Telemetry.reset ();
   List.rev !collected
 
 let () =
@@ -298,11 +323,22 @@ let () =
   Fmt.pr "budget=%.0f virtual seconds, %d seeds, %d worker domains@." budget
     n_seeds
     (Harness.Pool.default_jobs ());
+  (* micro-benchmarks run first, from a fresh process heap with
+     telemetry disabled, so the ns/run figures measure the fast path and
+     do not inherit GC state from the end-to-end phases; telemetry is
+     then switched on for those phases and snapshotted into the json *)
+  let micros = micro_benchmarks () in
+  if not micro_only then Telemetry.enable ();
   if not micro_only then paper_artifacts ();
   let wallclock = if micro_only then [] else harness_wallclock () in
   let fuzz = if micro_only then [] else fuzz_campaign () in
-  let results = micro_benchmarks () @ wallclock @ fuzz in
+  let telemetry =
+    if micro_only then None else Some (Telemetry.json_summary ())
+  in
+  Telemetry.disable ();
+  Telemetry.reset ();
+  let results = micros @ wallclock @ fuzz in
   (match json_path with
-   | Some path -> write_json path results
+   | Some path -> write_json ?telemetry path results
    | None -> ());
   Fmt.pr "@.done.@."

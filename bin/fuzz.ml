@@ -48,7 +48,15 @@ let json_arg =
   let doc = "Emit the summary as a JSON object instead of text." in
   Arg.(value & flag & info [ "json" ] ~doc)
 
-let main seed count max_steps oracles jobs chunk json =
+let stats_arg =
+  let doc =
+    "Collect telemetry during the campaign and print it (or, with \
+     $(b,--json), include it under the \"telemetry\" key): per-oracle \
+     run counts and timing, solver/symexec/exec counters."
+  in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+let main seed count max_steps oracles jobs chunk json stats =
   let oracles =
     match List.concat oracles with [] -> Fuzzer.Oracle.all | l -> l
   in
@@ -61,11 +69,18 @@ let main seed count max_steps oracles jobs chunk json =
       (String.concat ", " Fuzzer.Oracle.all);
     exit 2
   end;
+  if stats then Telemetry.enable ();
   let summary =
     Fuzzer.Campaign.run ~oracles ~jobs ~chunk ~seed ~count ~max_steps ()
   in
-  if json then print_endline (Fuzzer.Campaign.to_json summary)
-  else Fmt.pr "%a@." Fuzzer.Campaign.pp_summary summary;
+  if json then begin
+    let telemetry = if stats then Some (Telemetry.json_summary ()) else None in
+    print_endline (Fuzzer.Campaign.to_json ?telemetry summary)
+  end
+  else begin
+    Fmt.pr "%a@." Fuzzer.Campaign.pp_summary summary;
+    if stats then print_string (Telemetry.render_summary ())
+  end;
   if Fuzzer.Campaign.failures summary > 0 then exit 1
 
 let cmd =
@@ -74,6 +89,6 @@ let cmd =
     (Cmd.info "fuzz" ~version:"1.0.0" ~doc)
     Term.(
       const main $ seed_arg $ count_arg $ max_steps_arg $ oracle_arg
-      $ jobs_arg $ chunk_arg $ json_arg)
+      $ jobs_arg $ chunk_arg $ json_arg $ stats_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -34,6 +34,48 @@ let model_arg =
   let doc = "Benchmark model name (see list-models)." in
   Arg.(required & opt (some string) None & info [ "model"; "m" ] ~docv:"MODEL" ~doc)
 
+(* --- telemetry --------------------------------------------------------- *)
+
+let stats_arg =
+  let doc =
+    "Print telemetry after the run: deterministic counters and histograms, \
+     then scheduling counters and wall-clock span totals."
+  in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+let trace_arg =
+  let doc =
+    "Write a Chrome trace_event JSON file to $(docv) (open in \
+     chrome://tracing or ui.perfetto.dev)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let force_arg =
+  let doc = "Allow $(b,--trace) to overwrite an existing file." in
+  Arg.(value & flag & info [ "force" ] ~doc)
+
+let telemetry_term =
+  Term.(
+    const (fun stats trace force -> (stats, trace, force))
+    $ stats_arg $ trace_arg $ force_arg)
+
+(* Validate the trace destination and enable telemetry *before* the
+   workload runs; the returned thunk exports after it. *)
+let telemetry_setup (stats, trace, force) =
+  (match trace with
+   | Some path when Sys.file_exists path && not force ->
+     Fmt.epr "stcg: refusing to overwrite existing %s (pass --force)@." path;
+     exit 2
+   | _ -> ());
+  if stats || trace <> None then Telemetry.enable ();
+  fun () ->
+    (match trace with
+     | Some path ->
+       Telemetry.Chrome_trace.write ~path;
+       Fmt.pr "wrote Chrome trace to %s@." path
+     | None -> ());
+    if stats then print_string (Telemetry.render_summary ())
+
 let tool_arg =
   let doc = "Tool: stcg, stcg-hybrid, sldv or simcotest." in
   Arg.(value & opt string "stcg" & info [ "tool"; "t" ] ~docv:"TOOL" ~doc)
@@ -69,7 +111,8 @@ let list_models_cmd =
     Term.(const run $ const ())
 
 let run_cmd =
-  let run model tool budget seed export =
+  let run model tool budget seed export tel =
+    let finish = telemetry_setup tel in
     let entry = find_model model in
     let tool = parse_tool tool in
     let result = Harness.Experiment.run_tool ~budget ~seed tool entry in
@@ -85,7 +128,8 @@ let run_cmd =
     Fmt.pr "timeline:@.";
     List.iter
       (fun (t, p) -> Fmt.pr "  %7.1fs  %5.1f%%@." t p)
-      result.Stcg.Run_result.timeline
+      result.Stcg.Run_result.timeline;
+    finish ()
   in
   let export_arg =
     Arg.(value & opt (some string) None
@@ -93,12 +137,17 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one tool on one benchmark model.")
-    Term.(const run $ model_arg $ tool_arg $ budget_arg $ seed_arg $ export_arg)
+    Term.(const run $ model_arg $ tool_arg $ budget_arg $ seed_arg $ export_arg
+          $ telemetry_term)
 
 let table1_cmd =
-  let run budget seed = print_string (Harness.Experiment.table1 ~budget ~seed ()) in
+  let run budget seed tel =
+    let finish = telemetry_setup tel in
+    print_string (Harness.Experiment.table1 ~budget ~seed ());
+    finish ()
+  in
   Cmd.v (Cmd.info "table1" ~doc:"State-tree construction trace (Table I).")
-    Term.(const run $ budget_arg $ seed_arg)
+    Term.(const run $ budget_arg $ seed_arg $ telemetry_term)
 
 let table2_cmd =
   let run () = print_string (Harness.Experiment.table2 ()) in
@@ -106,13 +155,15 @@ let table2_cmd =
     Term.(const run $ const ())
 
 let table3_cmd =
-  let run budget seeds jobs =
+  let run budget seeds jobs tel =
+    let finish = telemetry_setup tel in
     let seeds = List.init seeds (fun i -> i + 1) in
     let _, text = Harness.Experiment.table3 ~budget ~seeds ?jobs () in
-    print_string text
+    print_string text;
+    finish ()
   in
   Cmd.v (Cmd.info "table3" ~doc:"Coverage comparison (Table III).")
-    Term.(const run $ budget_arg $ seeds_arg $ jobs_arg)
+    Term.(const run $ budget_arg $ seeds_arg $ jobs_arg $ telemetry_term)
 
 let fig3_cmd =
   let run () = print_string (Harness.Experiment.fig3 ()) in
@@ -120,22 +171,24 @@ let fig3_cmd =
     Term.(const run $ const ())
 
 let fig4_cmd =
-  let run budget seed models csv_dir jobs =
+  let run budget seed models csv_dir jobs tel =
+    let finish = telemetry_setup tel in
     let models = match models with [] -> None | l -> Some l in
     let panels, csvs = Harness.Experiment.fig4 ~budget ~seed ?models ?jobs () in
     print_string panels;
-    match csv_dir with
-    | None -> ()
-    | Some dir ->
-      (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
-      List.iter
-        (fun (name, csv) ->
-          let path = Filename.concat dir (Fmt.str "fig4_%s.csv" name) in
-          let oc = open_out path in
-          output_string oc csv;
-          close_out oc;
-          Fmt.pr "wrote %s@." path)
-        csvs
+    (match csv_dir with
+     | None -> ()
+     | Some dir ->
+       (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+       List.iter
+         (fun (name, csv) ->
+           let path = Filename.concat dir (Fmt.str "fig4_%s.csv" name) in
+           let oc = open_out path in
+           output_string oc csv;
+           close_out oc;
+           Fmt.pr "wrote %s@." path)
+         csvs);
+    finish ()
   in
   let models_arg =
     Arg.(value & opt_all string [] & info [ "only" ] ~docv:"MODEL"
@@ -146,28 +199,33 @@ let fig4_cmd =
          & info [ "csv" ] ~docv:"DIR" ~doc:"Also dump per-model CSV series to $(docv).")
   in
   Cmd.v (Cmd.info "fig4" ~doc:"Coverage versus time, all tools (Figure 4).")
-    Term.(const run $ budget_arg $ seed_arg $ models_arg $ csv_arg $ jobs_arg)
+    Term.(const run $ budget_arg $ seed_arg $ models_arg $ csv_arg $ jobs_arg
+          $ telemetry_term)
 
 let ablations_cmd =
-  let run budget seeds jobs =
+  let run budget seeds jobs tel =
+    let finish = telemetry_setup tel in
     let seeds = List.init seeds (fun i -> i + 1) in
-    print_string (Harness.Experiment.ablations ~budget ~seeds ?jobs ())
+    print_string (Harness.Experiment.ablations ~budget ~seeds ?jobs ());
+    finish ()
   in
   Cmd.v
     (Cmd.info "ablations"
        ~doc:"Ablate STCG's design choices (depth sort, state constants, random fallback, hybrid).")
     Term.(const run $ budget_arg
           $ Arg.(value & opt int 3 & info [ "seeds" ] ~docv:"N" ~doc:"Seeds to average over.")
-          $ jobs_arg)
+          $ jobs_arg $ telemetry_term)
 
 let replay_cmd =
-  let run model path =
+  let run model path tel =
+    let finish = telemetry_setup tel in
     let entry = find_model model in
     let prog = entry.Models.Registry.program () in
     let testcases = Stcg.Testcase.load prog path in
     let tracker = Stcg.Testcase.replay_suite prog testcases in
     Fmt.pr "replayed %d test cases: %a@." (List.length testcases)
-      Coverage.Tracker.pp_summary tracker
+      Coverage.Tracker.pp_summary tracker;
+    finish ()
   in
   let file_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
@@ -176,7 +234,7 @@ let replay_cmd =
   Cmd.v
     (Cmd.info "replay"
        ~doc:"Independently re-measure the coverage of an exported test suite.")
-    Term.(const run $ model_arg $ file_arg)
+    Term.(const run $ model_arg $ file_arg $ telemetry_term)
 
 let () =
   let doc = "STCG: state-aware test case generation (DAC'23 reproduction)" in

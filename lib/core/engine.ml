@@ -32,6 +32,22 @@ let default_config =
     max_tree_nodes = 30_000;
   }
 
+let tel_runs = Telemetry.Counter.make "engine.runs"
+let tel_steps = Telemetry.Counter.make "engine.steps"
+let tel_solve_attempts = Telemetry.Counter.make "engine.solve_attempts"
+let tel_solve_sat = Telemetry.Counter.make "engine.solve_sat"
+let tel_solve_unsat = Telemetry.Counter.make "engine.solve_unsat"
+let tel_solve_unknown = Telemetry.Counter.make "engine.solve_unknown"
+let tel_cache_hits = Telemetry.Counter.make "engine.solve_cache_hits"
+let tel_stride_skips = Telemetry.Counter.make "engine.stride_skips"
+let tel_random_execs = Telemetry.Counter.make "engine.random_execs"
+let tel_testcases = Telemetry.Counter.make "engine.testcases"
+let tel_tree_nodes = Telemetry.Counter.make "engine.tree_nodes"
+let tel_h_solve_nodes = Telemetry.Histogram.make "engine.solve_nodes"
+let tel_sp_run = Telemetry.Span.make "engine.run"
+let tel_sp_solve = Telemetry.Span.make "engine.solve"
+let tel_sp_random = Telemetry.Span.make "engine.random_exec"
+
 type solve_result = [ `Sat | `Unsat | `Unknown ]
 
 type event =
@@ -143,6 +159,7 @@ let execute_raw st snapshot input =
       input
   in
   Vclock.charge_steps st.clock 1;
+  Telemetry.Counter.incr tel_steps;
   let after = Tracker.covered_branches st.tracker in
   let fresh = Branch.Key_set.diff after before in
   if not (Branch.Key_set.is_empty fresh) then emit_coverage st;
@@ -153,7 +170,8 @@ let execute_raw st snapshot input =
 let maybe_record st (parent : State_tree.node option) input state' =
   match parent with
   | Some parent when State_tree.size st.tree < st.cfg.max_tree_nodes ->
-    let child, _ = State_tree.add_child st.tree ~parent ~input state' in
+    let child, is_new = State_tree.add_child st.tree ~parent ~input state' in
+    if is_new then Telemetry.Counter.incr tel_tree_nodes;
     Some child
   | Some _ | None -> None
 
@@ -179,6 +197,7 @@ let synthesize_testcase st ~steps origin fresh =
   in
   st.next_tc <- st.next_tc + 1;
   st.testcases <- tc :: st.testcases;
+  Telemetry.Counter.incr tel_testcases;
   emit st (Ev_testcase tc);
   tc
 
@@ -237,24 +256,33 @@ let state_aware_solving st =
             Hashtbl.replace st.cursors obj.obj_key id;
             None
           end
-          else if id mod stride () <> 0 then
+          else if id mod stride () <> 0 then begin
             (* back-off: this objective failed many times in a row;
                probe only a thinning subset of new states *)
+            Telemetry.Counter.incr tel_stride_skips;
             try_nodes (id + 1)
+          end
           else begin
             let node = State_tree.node st.tree id in
             let cache_key = (obj.obj_key, node.State_tree.state_uid) in
-            if
-              State_tree.is_solved node obj.obj_key
-              || Hashtbl.mem st.solve_cache cache_key
-            then try_nodes (id + 1)
+            if State_tree.is_solved node obj.obj_key then try_nodes (id + 1)
+            else if Hashtbl.mem st.solve_cache cache_key then begin
+              Telemetry.Counter.incr tel_cache_hits;
+              try_nodes (id + 1)
+            end
             else begin
               State_tree.mark_solved node obj.obj_key;
+              Telemetry.Counter.incr tel_solve_attempts;
               let outcome, cost =
-                Explore.solve_target ~config:solver_cfg
-                  ~symbolic_state:(not st.cfg.state_aware) st.prog
-                  ~state:node.state ~target:obj.obj_target
+                Telemetry.Span.with_ tel_sp_solve
+                  ~note:(fun () -> Fmt.str "%a" Explore.pp_target obj.obj_target)
+                  (fun () ->
+                    Explore.solve_target ~config:solver_cfg
+                      ~symbolic_state:(not st.cfg.state_aware) st.prog
+                      ~state:node.state ~target:obj.obj_target)
               in
+              Telemetry.Histogram.observe tel_h_solve_nodes
+                cost.Explore.solver_nodes;
               (match outcome with
                | Explore.Sat _ -> ()
                | Explore.Unsat | Explore.Unknown ->
@@ -266,6 +294,11 @@ let state_aware_solving st =
                 | Explore.Unsat -> `Unsat
                 | Explore.Unknown -> `Unknown
               in
+              Telemetry.Counter.incr
+                (match result with
+                 | `Sat -> tel_solve_sat
+                 | `Unsat -> tel_solve_unsat
+                 | `Unknown -> tel_solve_unknown);
               emit st
                 (Ev_solve
                    {
@@ -305,6 +338,8 @@ let state_aware_solving st =
    choice with a bias toward recently added (deep) nodes so progress
    into large state spaces compounds across rounds. *)
 let random_execution st =
+  Telemetry.Counter.incr tel_random_execs;
+  Telemetry.Span.with_ tel_sp_random @@ fun () ->
   let node =
     if Random.State.bool st.rng then State_tree.random_node st.tree st.rng
     else begin
@@ -403,6 +438,8 @@ let all_requirements_met tracker =
   && full (Tracker.mcdc tracker)
 
 let run ?(config = default_config) prog =
+  Telemetry.Counter.incr tel_runs;
+  Telemetry.Span.with_ tel_sp_run @@ fun () ->
   let exec = Exec.handle prog in
   let tracker = Tracker.create prog in
   let tree = State_tree.create prog in

@@ -69,7 +69,14 @@ let shrunk_failure ~shrink_checks ~still_fails ~index ~oracle ~message model
     f_repro = Fmt.str "%a" Gen.pp_repro (o.Shrink.r_model, o.Shrink.r_inputs);
   }
 
+let tel_cases = Telemetry.Counter.make "fuzz.cases"
+let tel_failures = Telemetry.Counter.make "fuzz.failures"
+let tel_sp_case = Telemetry.Span.make "fuzz.case"
+
 let run_case ?(oracles = Oracle.all) ?(shrink_checks = 400) ~seed ~max_steps i =
+  Telemetry.Counter.incr tel_cases;
+  Telemetry.Span.with_ tel_sp_case ~note:(fun () -> string_of_int i)
+  @@ fun () ->
   let cs = case_seed ~seed i in
   let rng = Splitmix.create cs in
   let model_rng = Splitmix.split rng in
@@ -145,6 +152,7 @@ let run ?(oracles = Oracle.all) ?(jobs = 1) ?(chunk = 8) ?shrink_checks ~seed
   in
   let cases = List.map fst results in
   let fails = List.filter_map snd results in
+  Telemetry.Counter.add tel_failures (List.length fails);
   let count_if p = List.length (List.filter p cases) in
   let sum f = List.fold_left (fun acc c -> acc + f c) 0 cases in
   {
@@ -219,7 +227,7 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let to_json s =
+let to_json ?telemetry s =
   let b = Buffer.create 1024 in
   let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   pf "{\"seed\": %d, \"count\": %d, \"max_steps\": %d" s.s_seed s.s_count
@@ -249,5 +257,9 @@ let to_json s =
         f.f_orig_size f.f_size f.f_steps f.f_rounds f.f_checks
         (json_escape f.f_repro))
     s.s_failures;
-  pf "], \"pass\": %b}" (s.s_failures = []);
+  pf "]";
+  (match telemetry with
+   | Some obj -> pf ", \"telemetry\": %s" obj
+   | None -> ());
+  pf ", \"pass\": %b}" (s.s_failures = []);
   Buffer.contents b

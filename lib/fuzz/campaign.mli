@@ -83,6 +83,8 @@ val pp_summary : summary Fmt.t
 (** Human-readable report: totals, per-oracle table, then each failure
     with its minimized reproducer. *)
 
-val to_json : summary -> string
+val to_json : ?telemetry:string -> summary -> string
 (** The same data as a single-line-friendly JSON object (reproducers
-    included as escaped strings), consumed by the bench harness. *)
+    included as escaped strings), consumed by the bench harness.
+    [telemetry] is a pre-rendered JSON object spliced in under the
+    ["telemetry"] key (see {!Telemetry.json_summary}). *)

@@ -464,17 +464,30 @@ let guard name f =
   | v -> v
   | exception e -> fail "%s oracle raised %s" name (Printexc.to_string e)
 
+(* one span + run counter per oracle, so `fuzz --stats` attributes
+   campaign time to the oracle that spent it *)
+let tel_spans =
+  List.map (fun n -> (n, Telemetry.Span.make ("fuzz.oracle." ^ n))) all
+
+let tel_runs =
+  List.map (fun n -> (n, Telemetry.Counter.make ("fuzz.oracle." ^ n ^ ".runs"))) all
+
 let run ~which ~seed prog steps =
   List.filter_map
     (fun name ->
       if not (List.mem name which) then None
       else
+        let timed f =
+          Telemetry.Counter.incr (List.assoc name tel_runs);
+          Telemetry.Span.with_ (List.assoc name tel_spans) (fun () ->
+              guard name f)
+        in
         let v =
           match name with
-          | "exec" -> guard name (fun () -> exec_diff prog steps)
-          | "coverage" -> guard name (fun () -> coverage prog steps)
-          | "symexec" -> guard name (fun () -> symexec ~seed prog steps)
-          | "solver" -> guard name (fun () -> solver ~seed prog steps)
+          | "exec" -> timed (fun () -> exec_diff prog steps)
+          | "coverage" -> timed (fun () -> coverage prog steps)
+          | "symexec" -> timed (fun () -> symexec ~seed prog steps)
+          | "solver" -> timed (fun () -> solver ~seed prog steps)
           | _ -> Fail ("unknown oracle " ^ name)
         in
         Some (name, v))

@@ -62,6 +62,15 @@ type averaged = {
 (* SLDV is deterministic: one run regardless of the seed list. *)
 let seeds_for tool seeds = match tool with SLDV -> [ 1 ] | _ -> seeds
 
+(* Run on the caller's shared pool when given one; otherwise spin up a
+   private pool for this experiment ([?jobs] workers).  Sharing one pool
+   across a whole bench run keeps the worker domains warm instead of
+   respawning them per artifact. *)
+let pmap ?pool ?jobs f items =
+  match pool with
+  | Some p -> Pool.map p f items
+  | None -> Pool.parallel_map ?jobs f items
+
 (* Hoist the per-model lazy construction + slot compilation out of the
    workers: force each program and its compiled handle once on the
    submitting domain, so workers share the precomputed handles
@@ -86,10 +95,10 @@ let average_of_runs ~tool (entry : Registry.entry) results =
     a_runs = List.length results;
   }
 
-let average ?budget ?jobs ~seeds tool entry =
+let average ?budget ?pool ?jobs ~seeds tool entry =
   precompile [ entry ];
   let results =
-    Pool.parallel_map ?jobs
+    pmap ?pool ?jobs
       (fun seed -> run_tool ?budget ~seed tool entry)
       (seeds_for tool seeds)
   in
@@ -184,7 +193,7 @@ let table2 () =
 
 let pct_str x = Fmt.str "%.0f%%" x
 
-let table3 ?budget ?(seeds = [ 1; 2; 3; 4; 5 ]) ?models ?jobs () =
+let table3 ?budget ?(seeds = [ 1; 2; 3; 4; 5 ]) ?models ?pool ?jobs () =
   let entries =
     match models with
     | None -> Registry.entries
@@ -203,7 +212,7 @@ let table3 ?budget ?(seeds = [ 1; 2; 3; 4; 5 ]) ?models ?jobs () =
       entries
   in
   let runs =
-    Pool.parallel_map ?jobs
+    pmap ?pool ?jobs
       (fun ((entry : Registry.entry), tool, seed) ->
         run_tool ?budget ~seed tool entry)
       matrix
@@ -355,7 +364,7 @@ let csv_of_result (r : Run_result.t) =
     r.Run_result.timeline;
   Buffer.contents buf
 
-let fig4 ?(budget = 3600.0) ?(seed = 1) ?models ?jobs () =
+let fig4 ?(budget = 3600.0) ?(seed = 1) ?models ?pool ?jobs () =
   let entries =
     match models with
     | None -> Registry.entries
@@ -371,7 +380,7 @@ let fig4 ?(budget = 3600.0) ?(seed = 1) ?models ?jobs () =
       entries
   in
   let runs =
-    Pool.parallel_map ?jobs
+    pmap ?pool ?jobs
       (fun ((entry : Registry.entry), tool) -> run_tool ~budget ~seed tool entry)
       matrix
   in
@@ -435,7 +444,7 @@ let fig4 ?(budget = 3600.0) ?(seed = 1) ?models ?jobs () =
 
 (* --- Ablations --------------------------------------------------------- *)
 
-let ablations ?(budget = 3600.0) ?(seeds = [ 1; 2; 3 ]) ?models ?jobs () =
+let ablations ?(budget = 3600.0) ?(seeds = [ 1; 2; 3 ]) ?models ?pool ?jobs () =
   let variants =
     [
       ("STCG (full)", fun c -> c);
@@ -465,7 +474,7 @@ let ablations ?(budget = 3600.0) ?(seeds = [ 1; 2; 3 ]) ?models ?jobs () =
       models
   in
   let metrics =
-    Pool.parallel_map ?jobs
+    pmap ?pool ?jobs
       (fun (mname, _label, tweak, seed) ->
         let entry = Option.get (Registry.find mname) in
         let prog = entry.Registry.program () in

@@ -11,7 +11,11 @@
     machine's core count minus one).  Jobs are enumerated up front and
     results merged in job-index order, so every table, panel and CSV is
     byte-identical for any [jobs] value; [jobs = 1] runs the exact
-    sequential path. *)
+    sequential path.
+
+    Pass [?pool] to run several experiments on one shared pool (the
+    bench harness does this for the whole artifact sweep); it takes
+    precedence over [?jobs]. *)
 
 type tool = STCG | STCG_hybrid | SLDV | SimCoTest
 
@@ -32,7 +36,7 @@ type averaged = {
 }
 
 val average :
-  ?budget:float -> ?jobs:int -> seeds:int list -> tool ->
+  ?budget:float -> ?pool:Pool.t -> ?jobs:int -> seeds:int list -> tool ->
   Models.Registry.entry -> averaged
 
 (** {1 Paper artifacts} *)
@@ -45,8 +49,8 @@ val table2 : unit -> string
     (paper Table II). *)
 
 val table3 :
-  ?budget:float -> ?seeds:int list -> ?models:string list -> ?jobs:int ->
-  unit -> averaged list * string
+  ?budget:float -> ?seeds:int list -> ?models:string list -> ?pool:Pool.t ->
+  ?jobs:int -> unit -> averaged list * string
 (** Coverage comparison of the three tools over all models with average
     improvements (paper Table III).  Returns the raw rows and the
     rendered table. *)
@@ -56,15 +60,15 @@ val fig3 : unit -> string
     (paper Figure 3). *)
 
 val fig4 :
-  ?budget:float -> ?seed:int -> ?models:string list -> ?jobs:int -> unit ->
-  string * (string * string) list
+  ?budget:float -> ?seed:int -> ?models:string list -> ?pool:Pool.t ->
+  ?jobs:int -> unit -> string * (string * string) list
 (** Decision-coverage-versus-time panels for each model (paper
     Figure 4).  Returns the rendered panels and, per model, a CSV dump
     of the series ((model, csv) pairs). *)
 
 val ablations :
-  ?budget:float -> ?seeds:int list -> ?models:string list -> ?jobs:int ->
-  unit -> string
+  ?budget:float -> ?seeds:int list -> ?models:string list -> ?pool:Pool.t ->
+  ?jobs:int -> unit -> string
 (** Ablation study over STCG's design choices: depth-sorted targets,
     state-aware (constant) solving, the random-sequence fallback, and
     the random-first hybrid from the paper's Discussion. *)

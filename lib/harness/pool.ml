@@ -1,5 +1,14 @@
 exception Nested_pool
 
+(* [pool.jobs]/[pool.batches] count the same work for any worker count,
+   so they are deterministic; [pool.steals] depends on scheduling and is
+   excluded from determinism checks.  The [pool.job] span gives per-
+   domain busy time. *)
+let tel_jobs = Telemetry.Counter.make "pool.jobs"
+let tel_batches = Telemetry.Counter.make "pool.batches"
+let tel_steals = Telemetry.Counter.make ~nondet:true "pool.steals"
+let tel_sp_job = Telemetry.Span.make "pool.job"
+
 (* Set while a domain (worker or the caller mid-[map]) is executing pool
    jobs; guards against nested parallelism. *)
 let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
@@ -67,6 +76,7 @@ let steal d =
     else None
   in
   Mutex.unlock d.d_lock;
+  if r <> None then Telemetry.Counter.incr tel_steals;
   r
 
 (* Next job for worker [w]: own deque first, then steal round-robin. *)
@@ -174,16 +184,26 @@ let map t f items_list =
   let items = Array.of_list items_list in
   let njobs = Array.length items in
   if njobs = 0 then []
-  else if t.jobs = 1 || njobs = 1 then
+  else if t.jobs = 1 || njobs = 1 then begin
     (* the exact sequential path: same domain, same evaluation order,
-       exceptions propagate untouched *)
-    List.map f items_list
+       exceptions propagate untouched.  Jobs are still counted and
+       spanned so telemetry totals match the parallel path. *)
+    Telemetry.Counter.incr tel_batches;
+    List.map
+      (fun x ->
+        Telemetry.Counter.incr tel_jobs;
+        Telemetry.Span.with_ tel_sp_job (fun () -> f x))
+      items_list
+  end
   else begin
+    Telemetry.Counter.incr tel_batches;
     let results = Array.make njobs None in
     let failure = ref None in
     let aborted = ref false in
     let run i =
-      try results.(i) <- Some (f items.(i))
+      try
+        Telemetry.Counter.incr tel_jobs;
+        results.(i) <- Some (Telemetry.Span.with_ tel_sp_job (fun () -> f items.(i)))
       with exn ->
         let bt = Printexc.get_raw_backtrace () in
         Mutex.lock t.lock;

@@ -26,6 +26,14 @@ exception Eval_error of string
 
 let eval_error fmt = Format.kasprintf (fun s -> raise (Eval_error s)) fmt
 
+(* Telemetry (no-ops unless enabled at program start).  [exec.compiles]
+   is nondeterministic: the handle memo is shared across domains, so
+   eviction order — and with it the recompile count — can depend on
+   scheduling. *)
+let tel_steps = Telemetry.Counter.make "exec.steps"
+let tel_compiles = Telemetry.Counter.make ~nondet:true "exec.compiles"
+let tel_compile_span = Telemetry.Span.make "exec.compile"
+
 (* Mutable per-step register file.  A fresh frame is built for every step, so
    a handle is freely shareable across engines and (later) worker shards. *)
 type frame = {
@@ -326,6 +334,8 @@ and compile_stmt ctx : Ir.stmt -> frame -> unit = function
          body fr)
 
 let compile (prog : Ir.program) : t =
+  Telemetry.Counter.incr tel_compiles;
+  Telemetry.Span.with_ tel_compile_span @@ fun () ->
   let input_vars = Array.of_list prog.inputs in
   let output_vars = Array.of_list prog.outputs in
   let state_vars = Array.of_list (List.map fst prog.states) in
@@ -573,6 +583,7 @@ let run_step ?(on_event = fun (_ : event) -> ()) t (st : state) (inp : inputs)
     invalid_arg "Exec.run_step: state array length mismatch";
   if Array.length inp <> Array.length t.input_defaults then
     invalid_arg "Exec.run_step: inputs array length mismatch";
+  Telemetry.Counter.incr tel_steps;
   let fr =
     {
       f_inp = Array.map Value.copy inp;

@@ -167,8 +167,11 @@ and exec_stmt env = function
        env.on_event (Branch_hit (id, Branch.Default));
        exec_stmts env default)
 
+let tel_ref_steps = Telemetry.Counter.make "interp.steps"
+
 let run_step_reference ?(on_event = fun _ -> ()) (prog : Ir.program) snapshot
     inputs =
+  Telemetry.Counter.incr tel_ref_steps;
   let env =
     {
       e_inputs = Hashtbl.create 16;

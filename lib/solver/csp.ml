@@ -73,6 +73,29 @@ let satisfied constraint_ assignment =
 
 let default_budget = 20_000
 
+let tel_calls = Telemetry.Counter.make "solver.solve_calls"
+let tel_sat = Telemetry.Counter.make "solver.sat"
+let tel_unsat = Telemetry.Counter.make "solver.unsat"
+let tel_unknown = Telemetry.Counter.make "solver.unknown"
+let tel_nodes = Telemetry.Counter.make "solver.nodes"
+let tel_splits = Telemetry.Counter.make "solver.splits"
+let tel_h_nodes = Telemetry.Histogram.make "solver.nodes_per_call"
+let tel_h_term = Telemetry.Histogram.make "solver.term_size"
+
+let tel_result (res, (stats : stats)) =
+  if Telemetry.enabled () then begin
+    Telemetry.Counter.incr tel_calls;
+    Telemetry.Counter.incr
+      (match res with
+       | Sat _ -> tel_sat
+       | Unsat -> tel_unsat
+       | Unknown -> tel_unknown);
+    Telemetry.Counter.add tel_nodes stats.nodes;
+    Telemetry.Histogram.observe tel_h_nodes stats.nodes;
+    Telemetry.Histogram.observe tel_h_term stats.term_size
+  end;
+  (res, stats)
+
 let solve ?(node_budget = default_budget) ?rng problem =
   let rng =
     match rng with Some r -> r | None -> Random.State.make [| 0x57C6 |]
@@ -85,15 +108,15 @@ let solve ?(node_budget = default_budget) ?rng problem =
   let constraint_ = problem.p_constraint in
   (* trivial cases *)
   match Term.is_const constraint_ with
-  | Some (Value.Bool false) -> (Unsat, stats)
+  | Some (Value.Bool false) -> tel_result (Unsat, stats)
   | Some (Value.Bool true) ->
     let assignment =
       List.fold_left
         (fun acc (x, ty) -> Smap.add x (Value.default_of_ty ty) acc)
         Smap.empty vars
     in
-    (Sat assignment, stats)
-  | Some _ -> (Unsat, stats)
+    tel_result (Sat assignment, stats)
+  | Some _ -> tel_result (Unsat, stats)
   | None ->
     let try_samples store =
       let attempts =
@@ -153,6 +176,7 @@ let solve ?(node_budget = default_budget) ?rng problem =
             in
             if all_exact then Exhausted else Gave_up
           | Some (x, (l, r), _) -> (
+            Telemetry.Counter.incr tel_splits;
             let sl = copy_store store in
             Hashtbl.replace sl.Hc4.doms x l;
             match dfs sl with
@@ -169,12 +193,13 @@ let solve ?(node_budget = default_budget) ?rng problem =
     let store =
       Hc4.create_store (List.map (fun (x, ty) -> (x, Dom.of_ty ty)) vars)
     in
-    (match dfs store with
-     | Found a -> (Sat a, stats)
-     | Exhausted -> (Unsat, stats)
-     | Gave_up -> (Unknown, stats)
-     | exception Out_of_budget -> (Unknown, stats)
-     | exception Dom.Empty -> (Unsat, stats))
+    tel_result
+      (match dfs store with
+       | Found a -> (Sat a, stats)
+       | Exhausted -> (Unsat, stats)
+       | Gave_up -> (Unknown, stats)
+       | exception Out_of_budget -> (Unknown, stats)
+       | exception Dom.Empty -> (Unsat, stats))
 
 let pp_result ppf = function
   | Sat a ->

@@ -469,11 +469,17 @@ and bwd_cmp store op a b =
 
 let default_max_rounds = 30
 
+let tel_rounds = Telemetry.Counter.make "solver.hc4_rounds"
+
 (* Propagate [t] = true.  Returns [`Unsat] if the store becomes empty. *)
 let propagate ?(max_rounds = default_max_rounds) store (t : Term.t) =
+  let rounds = ref 0 in
+  let finish r =
+    Telemetry.Counter.add tel_rounds !rounds;
+    r
+  in
   try
     let continue_ = ref true in
-    let rounds = ref 0 in
     while !continue_ && !rounds < max_rounds do
       store.changed <- false;
       bwd store t (Dom.booln true);
@@ -485,5 +491,5 @@ let propagate ?(max_rounds = default_max_rounds) store (t : Term.t) =
       continue_ := store.changed;
       incr rounds
     done;
-    `Ok
-  with Dom.Empty -> `Unsat
+    finish `Ok
+  with Dom.Empty -> finish `Unsat

@@ -70,6 +70,29 @@ let requirements ex (target : target) =
 exception Found of Value.t Csp.Smap.t
 exception Path_budget
 
+let tel_solves = Telemetry.Counter.make "symexec.solves"
+let tel_sat = Telemetry.Counter.make "symexec.sat"
+let tel_unsat = Telemetry.Counter.make "symexec.unsat"
+let tel_unknown = Telemetry.Counter.make "symexec.unknown"
+let tel_paths = Telemetry.Counter.make "symexec.paths"
+let tel_prunes = Telemetry.Counter.make "symexec.prunes"
+let tel_solver_nodes = Telemetry.Counter.make "symexec.solver_nodes"
+let tel_h_paths = Telemetry.Histogram.make "symexec.paths_per_solve"
+
+let tel_finish ((outcome, cost) as r) =
+  if Telemetry.enabled () then begin
+    Telemetry.Counter.incr tel_solves;
+    Telemetry.Counter.add tel_paths cost.paths_explored;
+    Telemetry.Counter.add tel_solver_nodes cost.solver_nodes;
+    Telemetry.Histogram.observe tel_h_paths cost.paths_explored;
+    Telemetry.Counter.incr
+      (match outcome with
+       | Sat _ -> tel_sat
+       | Unsat -> tel_unsat
+       | Unknown -> tel_unknown)
+  end;
+  r
+
 (* Constraint for taking [outcome] of a decision whose guard/scrutinee
    symbolically evaluates to [t]. *)
 let outcome_constraint (outcome : Branch.outcome) (t : Term.t) ~case_labels =
@@ -167,7 +190,7 @@ let infeasible pc =
    from an earlier decision against [bank = 2] here), which keeps walks
    over ladders of decisions on the same inputs linear instead of
    exponential. *)
-let quick_feasible ctx pc =
+let quick_feasible_check ctx pc =
   match pc with
   | [] -> true
   | [ t ] -> Term.is_const t <> Some (Value.Bool false)
@@ -199,6 +222,11 @@ let quick_feasible ctx pc =
       | `Ok -> true
       | `Unsat -> false
     end
+
+let quick_feasible ctx pc =
+  let feasible = quick_feasible_check ctx pc in
+  if not feasible then Telemetry.Counter.incr tel_prunes;
+  feasible
 
 (* Walk a statement list in CPS.  [k] receives (env, pc) at the end of
    the list.  Entering the target branch solves the accumulated path
@@ -411,11 +439,12 @@ let solve_target ?(config = default_config) ?(symbolic_state = false) prog
     | None -> []
     | exception SV.Sym_error _ -> []
   in
-  match walk ctx prog.Ir.body env pc0 (fun _ _ -> ()) with
-  | () -> ((if ctx.saw_unknown then Unknown else Unsat), ctx.cost)
-  | exception Found a -> (Sat [ SV.inputs_of_assignment prog a ], ctx.cost)
-  | exception Path_budget -> (Unknown, ctx.cost)
-  | exception SV.Sym_error _ -> (Unknown, ctx.cost)
+  tel_finish
+    (match walk ctx prog.Ir.body env pc0 (fun _ _ -> ()) with
+     | () -> ((if ctx.saw_unknown then Unknown else Unsat), ctx.cost)
+     | exception Found a -> (Sat [ SV.inputs_of_assignment prog a ], ctx.cost)
+     | exception Path_budget -> (Unknown, ctx.cost)
+     | exception SV.Sym_error _ -> (Unknown, ctx.cost))
 
 let solve_branch ?config ?symbolic_state prog ~state ~target =
   solve_target ?config ?symbolic_state prog ~state
@@ -477,14 +506,15 @@ let solve_branch_multi ?(config = default_config) prog ~horizon ~target =
         raise (Found a)
     end
   in
-  match run_step 0 env0 [] with
-  | () -> ((if ctx.saw_unknown then Unknown else Unsat), ctx.cost)
-  | exception Found a ->
-    let steps = Option.value ~default:0 !depth_of_found + 1 in
-    let inputs =
-      List.init steps (fun k ->
-          SV.inputs_of_assignment ~prefix:(Fmt.str "s%d$" k) prog a)
-    in
-    (Sat inputs, ctx.cost)
-  | exception Path_budget -> (Unknown, ctx.cost)
-  | exception SV.Sym_error _ -> (Unknown, ctx.cost)
+  tel_finish
+    (match run_step 0 env0 [] with
+     | () -> ((if ctx.saw_unknown then Unknown else Unsat), ctx.cost)
+     | exception Found a ->
+       let steps = Option.value ~default:0 !depth_of_found + 1 in
+       let inputs =
+         List.init steps (fun k ->
+             SV.inputs_of_assignment ~prefix:(Fmt.str "s%d$" k) prog a)
+       in
+       (Sat inputs, ctx.cost)
+     | exception Path_budget -> (Unknown, ctx.cost)
+     | exception SV.Sym_error _ -> (Unknown, ctx.cost))

@@ -1,0 +1,79 @@
+(* Chrome trace_event exporter: spans as "X" (complete) events, one
+   thread lane per domain, plus a global instant event carrying the
+   final counter totals.  The output loads directly in chrome://tracing
+   and https://ui.perfetto.dev.
+
+   Timestamps are rebased to the earliest recorded span so the trace
+   starts near t=0 regardless of the process epoch; ts/dur are in
+   microseconds as the format requires. *)
+
+let esc = Core.json_escape
+
+let add_event buf ~first fmt =
+  if not !first then Buffer.add_string buf ",\n";
+  first := false;
+  Buffer.add_string buf "    ";
+  Printf.ksprintf (Buffer.add_string buf) fmt
+
+let to_string () =
+  let records = Core.span_records () in
+  let t0 =
+    List.fold_left
+      (fun acc (r : Core.span_record) ->
+        if Int64.compare r.Core.sr_start_ns acc < 0 then r.Core.sr_start_ns
+        else acc)
+      (match records with [] -> 0L | r :: _ -> r.Core.sr_start_ns)
+      records
+  in
+  let us ns = Int64.to_float ns /. 1e3 in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n  \"traceEvents\": [\n";
+  let first = ref true in
+  add_event buf ~first
+    "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 0, \"tid\": 0, \
+     \"args\": {\"name\": \"stcg\"}}";
+  let domains =
+    List.sort_uniq Int.compare
+      (List.map (fun (r : Core.span_record) -> r.Core.sr_domain) records)
+  in
+  List.iter
+    (fun d ->
+      add_event buf ~first
+        "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, \"tid\": %d, \
+         \"args\": {\"name\": \"domain %d\"}}"
+        d d)
+    domains;
+  List.iter
+    (fun (r : Core.span_record) ->
+      let args =
+        match r.Core.sr_note with
+        | Some note ->
+          Printf.sprintf ", \"args\": {\"note\": \"%s\"}" (esc note)
+        | None -> ""
+      in
+      add_event buf ~first
+        "{\"name\": \"%s\", \"cat\": \"stcg\", \"ph\": \"X\", \"pid\": 0, \
+         \"tid\": %d, \"ts\": %.3f, \"dur\": %.3f%s}"
+        (esc r.Core.sr_name) r.Core.sr_domain
+        (us (Int64.sub r.Core.sr_start_ns t0))
+        (us r.Core.sr_dur_ns) args)
+    records;
+  let snap = Core.snapshot ~nondet:true () in
+  let counter_args =
+    String.concat ", "
+      (List.map
+         (fun (n, v) -> Printf.sprintf "\"%s\": %d" (esc n) v)
+         snap.Core.sn_counters)
+  in
+  add_event buf ~first
+    "{\"name\": \"counters\", \"ph\": \"i\", \"s\": \"g\", \"pid\": 0, \
+     \"tid\": 0, \"ts\": 0, \"args\": {%s}}"
+    counter_args;
+  Buffer.add_string buf "\n  ],\n  \"displayTimeUnit\": \"ms\"\n}\n";
+  Buffer.contents buf
+
+let write ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ()))

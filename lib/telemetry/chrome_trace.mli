@@ -1,0 +1,8 @@
+(** Export recorded spans (plus final counter totals) in Chrome
+    [trace_event] JSON, loadable in chrome://tracing and Perfetto. *)
+
+val to_string : unit -> string
+(** The full trace document as a string. *)
+
+val write : path:string -> unit
+(** Write {!to_string} to [path] (truncating). *)

@@ -1,0 +1,18 @@
+(* A per-domain non-decreasing clock in integer nanoseconds.
+
+   The OS wall clock can step backwards (NTP slew); span arithmetic and
+   the Chrome trace exporter both assume [t1 >= t0] for consecutive
+   reads on one domain, so each domain clamps its reads against the
+   last value it returned.  Clamping is domain-local state — no
+   cross-domain synchronization on the hot path. *)
+
+let last : int64 ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0L)
+
+let now_ns () =
+  let t = Int64.of_float (Unix.gettimeofday () *. 1e9) in
+  let cell = Domain.DLS.get last in
+  let v = if Int64.compare t !cell > 0 then t else !cell in
+  cell := v;
+  v
+
+let elapsed_ns ~since = Int64.sub (now_ns ()) since

@@ -1,0 +1,12 @@
+(** Per-domain non-decreasing timestamps in nanoseconds.
+
+    Backed by the wall clock but clamped so that two consecutive reads
+    on the same domain never go backwards — the property span nesting
+    and trace export rely on.  Timestamps from different domains share
+    the same epoch but are only approximately comparable. *)
+
+val now_ns : unit -> int64
+(** Current time in nanoseconds, non-decreasing per domain. *)
+
+val elapsed_ns : since:int64 -> int64
+(** [elapsed_ns ~since] is [now_ns () - since] (>= 0 on one domain). *)

@@ -1,0 +1,7 @@
+(* Library facade: [Telemetry.Counter.incr], [Telemetry.Span.with_],
+   [Telemetry.Chrome_trace.write], ... *)
+
+include Core
+module Monotonic_clock = Monotonic_clock
+module Chrome_trace = Chrome_trace
+module Text_table = Text_table

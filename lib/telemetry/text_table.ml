@@ -1,0 +1,42 @@
+(* Column-aligned plain-text tables for terminal reports. *)
+
+let render ~header rows =
+  let all = header :: rows in
+  let cols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+  let width c =
+    List.fold_left
+      (fun m row ->
+        match List.nth_opt row c with
+        | Some cell -> max m (String.length cell)
+        | None -> m)
+      0 all
+  in
+  let widths = List.init cols width in
+  let line fill =
+    let parts = List.map (fun w -> String.make (w + 2) fill) widths in
+    "+" ^ String.concat "+" parts ^ "+"
+  in
+  let render_row row =
+    let cells =
+      List.mapi
+        (fun c w ->
+          let cell = Option.value ~default:"" (List.nth_opt row c) in
+          Printf.sprintf " %-*s " w cell)
+        widths
+    in
+    "|" ^ String.concat "|" cells ^ "|"
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (line '-');
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (render_row header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (line '=');
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (render_row row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.add_string buf (line '-');
+  Buffer.contents buf

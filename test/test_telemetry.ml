@@ -1,0 +1,358 @@
+(* Tests for the telemetry subsystem: instrument semantics, the
+   determinism contract across worker counts, span nesting, and the
+   Chrome trace exporter's JSON. *)
+
+let check = Alcotest.check
+
+let contains sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+(* every test starts from a clean, enabled state and leaves telemetry
+   disabled for the next one *)
+let with_telemetry f =
+  Telemetry.reset ();
+  Telemetry.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.disable ();
+      Telemetry.reset ())
+    f
+
+(* --- minimal JSON syntax checker (no json library in the image) ------- *)
+
+exception Bad_json of int
+
+let json_valid s =
+  let n = String.length s in
+  let i = ref 0 in
+  let peek () = if !i < n then Some s.[!i] else None in
+  let advance () = incr i in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if peek () = Some c then advance () else raise (Bad_json !i)
+  in
+  let literal lit =
+    let l = String.length lit in
+    if !i + l <= n && String.sub s !i l = lit then i := !i + l
+    else raise (Bad_json !i)
+  in
+  let parse_string () =
+    expect '"';
+    let rec go () =
+      match peek () with
+      | None -> raise (Bad_json !i)
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+         | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') ->
+           advance ();
+           go ()
+         | Some 'u' ->
+           advance ();
+           for _ = 1 to 4 do
+             match peek () with
+             | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+             | _ -> raise (Bad_json !i)
+           done;
+           go ()
+         | _ -> raise (Bad_json !i))
+      | Some _ ->
+        advance ();
+        go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let digits () =
+      let any = ref false in
+      let rec go () =
+        match peek () with
+        | Some '0' .. '9' ->
+          any := true;
+          advance ();
+          go ()
+        | _ -> ()
+      in
+      go ();
+      if not !any then raise (Bad_json !i)
+    in
+    if peek () = Some '-' then advance ();
+    digits ();
+    if peek () = Some '.' then begin
+      advance ();
+      digits ()
+    end;
+    (match peek () with
+     | Some ('e' | 'E') ->
+       advance ();
+       (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+       digits ()
+     | _ -> ())
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then advance ()
+      else begin
+        let rec members () =
+          skip_ws ();
+          parse_string ();
+          skip_ws ();
+          expect ':';
+          parse_value ();
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ()
+          | Some '}' -> advance ()
+          | _ -> raise (Bad_json !i)
+        in
+        members ()
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then advance ()
+      else begin
+        let rec elements () =
+          parse_value ();
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elements ()
+          | Some ']' -> advance ()
+          | _ -> raise (Bad_json !i)
+        in
+        elements ()
+      end
+    | Some '"' -> parse_string ()
+    | Some 't' -> literal "true"
+    | Some 'f' -> literal "false"
+    | Some 'n' -> literal "null"
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | _ -> raise (Bad_json !i)
+  in
+  match
+    parse_value ();
+    skip_ws ()
+  with
+  | () -> !i = n
+  | exception Bad_json _ -> false
+
+let test_json_checker_sanity () =
+  check Alcotest.bool "object" true
+    (json_valid {|{"a": [1, 2.5, -3e2], "b": "x\nA", "c": true}|});
+  check Alcotest.bool "trailing junk" false (json_valid "{} x");
+  check Alcotest.bool "unclosed" false (json_valid {|{"a": 1|});
+  check Alcotest.bool "bare word" false (json_valid "undefined")
+
+(* --- instruments -------------------------------------------------------- *)
+
+let test_counter_basics () =
+  with_telemetry @@ fun () ->
+  let c = Telemetry.Counter.make "test.counter" in
+  check Alcotest.int "starts at zero" 0 (Telemetry.Counter.total c);
+  Telemetry.Counter.incr c;
+  Telemetry.Counter.add c 41;
+  check Alcotest.int "accumulates" 42 (Telemetry.Counter.total c);
+  let c' = Telemetry.Counter.make "test.counter" in
+  Telemetry.Counter.incr c';
+  check Alcotest.int "make is idempotent by name" 43
+    (Telemetry.Counter.total c)
+
+let test_disabled_is_noop () =
+  Telemetry.reset ();
+  Telemetry.disable ();
+  let c = Telemetry.Counter.make "test.off" in
+  let h = Telemetry.Histogram.make "test.off_hist" in
+  let sp = Telemetry.Span.make "test.off_span" in
+  Telemetry.Counter.incr c;
+  Telemetry.Histogram.observe h 7;
+  let note_forced = ref false in
+  let r =
+    Telemetry.Span.with_ sp
+      ~note:(fun () ->
+        note_forced := true;
+        "n")
+      (fun () -> 99)
+  in
+  check Alcotest.int "span passes result through" 99 r;
+  check Alcotest.int "counter untouched" 0 (Telemetry.Counter.total c);
+  check Alcotest.bool "note not forced when off" false !note_forced;
+  check Alcotest.int "no span recorded" 0
+    (List.length (Telemetry.span_records ()))
+
+let test_histogram_stats () =
+  with_telemetry @@ fun () ->
+  let h = Telemetry.Histogram.make "test.hist" in
+  List.iter (Telemetry.Histogram.observe h) [ 0; 1; 2; 3; 100 ];
+  let snap = Telemetry.snapshot () in
+  let stats = List.assoc "test.hist" snap.Telemetry.sn_histograms in
+  check Alcotest.int "count" 5 stats.Telemetry.h_count;
+  check Alcotest.int "sum" 106 stats.Telemetry.h_sum;
+  check Alcotest.int "max" 100 stats.Telemetry.h_max;
+  (* p50 of [0;1;2;3;100] lands in the [2,3] bucket (top 3) *)
+  check Alcotest.int "p50 bucket top" 3 stats.Telemetry.h_p50;
+  (* p99 lands in the bucket holding 100: [64,127] *)
+  check Alcotest.int "p99 bucket top" 127 stats.Telemetry.h_p99
+
+let test_nondet_excluded () =
+  with_telemetry @@ fun () ->
+  let det = Telemetry.Counter.make "test.det" in
+  let nd = Telemetry.Counter.make ~nondet:true "test.nondet" in
+  Telemetry.Counter.incr det;
+  Telemetry.Counter.incr nd;
+  let s = Telemetry.snapshot () in
+  check Alcotest.bool "det included" true
+    (List.mem_assoc "test.det" s.Telemetry.sn_counters);
+  check Alcotest.bool "nondet excluded" false
+    (List.mem_assoc "test.nondet" s.Telemetry.sn_counters);
+  let s' = Telemetry.snapshot ~nondet:true () in
+  check Alcotest.bool "nondet included on request" true
+    (List.mem_assoc "test.nondet" s'.Telemetry.sn_counters);
+  let r = Telemetry.render_deterministic () in
+  check Alcotest.bool "render_deterministic excludes nondet" false
+    (contains "test.nondet" r)
+
+(* --- spans -------------------------------------------------------------- *)
+
+let test_span_nesting () =
+  with_telemetry @@ fun () ->
+  let outer = Telemetry.Span.make "test.outer" in
+  let inner = Telemetry.Span.make "test.inner" in
+  Telemetry.Span.with_ outer (fun () ->
+      Telemetry.Span.with_ inner (fun () -> ());
+      Telemetry.Span.with_ inner (fun () -> ()));
+  (* a span body that raises must still be recorded, at the right depth *)
+  (try
+     Telemetry.Span.with_ outer (fun () ->
+         Telemetry.Span.with_ inner (fun () -> failwith "boom"))
+   with Failure _ -> ());
+  let records = Telemetry.span_records () in
+  check Alcotest.int "all spans recorded" 5 (List.length records);
+  let of_name n =
+    List.filter (fun (r : Telemetry.span_record) -> r.sr_name = n) records
+  in
+  List.iter
+    (fun (r : Telemetry.span_record) ->
+      check Alcotest.int ("depth of " ^ r.sr_name)
+        (if r.sr_name = "test.outer" then 0 else 1)
+        r.sr_depth;
+      check Alcotest.bool "non-negative duration" true (r.sr_dur_ns >= 0L))
+    records;
+  (* inner spans lie within some outer span's window *)
+  let within (o : Telemetry.span_record) (i : Telemetry.span_record) =
+    i.sr_start_ns >= o.sr_start_ns
+    && Int64.add i.sr_start_ns i.sr_dur_ns
+       <= Int64.add o.sr_start_ns o.sr_dur_ns
+  in
+  List.iter
+    (fun i ->
+      check Alcotest.bool "inner nested in an outer" true
+        (List.exists (fun o -> within o i) (of_name "test.outer")))
+    (of_name "test.inner");
+  let totals = Telemetry.span_totals () in
+  let count n =
+    let cnt, _ =
+      List.fold_left
+        (fun acc (name, c, t) -> if name = n then (c, t) else acc)
+        (0, 0L) totals
+    in
+    cnt
+  in
+  check Alcotest.int "outer total count" 2 (count "test.outer");
+  check Alcotest.int "inner total count" 3 (count "test.inner")
+
+(* --- determinism across worker counts ----------------------------------- *)
+
+let table3_smoke ~jobs =
+  Telemetry.reset ();
+  Telemetry.enable ();
+  let _, text =
+    Harness.Experiment.table3 ~budget:20.0 ~seeds:[ 1; 2 ]
+      ~models:[ "CPUTask" ] ~jobs ()
+  in
+  let det = Telemetry.render_deterministic () in
+  Telemetry.disable ();
+  Telemetry.reset ();
+  (text, det)
+
+let test_determinism_across_jobs () =
+  let text1, det1 = table3_smoke ~jobs:1 in
+  let text4, det4 = table3_smoke ~jobs:4 in
+  check Alcotest.string "table3 byte-identical" text1 text4;
+  check Alcotest.string "deterministic telemetry byte-identical" det1 det4;
+  check Alcotest.bool "engine counters present" true
+    (contains "engine.solve_attempts" det1)
+
+(* --- exporters ----------------------------------------------------------- *)
+
+let test_chrome_trace_valid_json () =
+  with_telemetry @@ fun () ->
+  let sp = Telemetry.Span.make "test.traced" in
+  let c = Telemetry.Counter.make "test.traced_counter" in
+  Telemetry.Span.with_ sp
+    ~note:(fun () -> "needs \"escaping\"\nand\ttabs")
+    (fun () -> Telemetry.Counter.incr c);
+  Telemetry.Span.with_ sp (fun () -> ());
+  let doc = Telemetry.Chrome_trace.to_string () in
+  check Alcotest.bool "trace parses as JSON" true (json_valid doc);
+  check Alcotest.bool "has traceEvents" true (contains "\"traceEvents\"" doc);
+  check Alcotest.bool "has complete events" true (contains "\"ph\": \"X\"" doc);
+  check Alcotest.bool "has span name" true (contains "test.traced" doc);
+  check Alcotest.bool "has counter args" true (contains "test.traced_counter" doc)
+
+let test_json_summary_valid () =
+  with_telemetry @@ fun () ->
+  let c = Telemetry.Counter.make "test.sum_counter" in
+  let h = Telemetry.Histogram.make "test.sum_hist" in
+  let sp = Telemetry.Span.make "test.sum_span" in
+  Telemetry.Counter.add c 5;
+  Telemetry.Histogram.observe h 12;
+  Telemetry.Span.with_ sp (fun () -> ());
+  let doc = Telemetry.json_summary () in
+  check Alcotest.bool "summary parses as JSON" true (json_valid doc);
+  check Alcotest.bool "has counters key" true (contains "\"counters\"" doc);
+  check Alcotest.bool "has histograms key" true (contains "\"histograms\"" doc);
+  check Alcotest.bool "has spans key" true (contains "\"spans\"" doc)
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "json-checker",
+        [ Alcotest.test_case "sanity" `Quick test_json_checker_sanity ] );
+      ( "instruments",
+        [
+          Alcotest.test_case "counter basics" `Quick test_counter_basics;
+          Alcotest.test_case "disabled no-op" `Quick test_disabled_is_noop;
+          Alcotest.test_case "histogram stats" `Quick test_histogram_stats;
+          Alcotest.test_case "nondet excluded" `Quick test_nondet_excluded;
+        ] );
+      ( "spans",
+        [ Alcotest.test_case "nesting" `Quick test_span_nesting ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "table3 jobs=1 vs jobs=4" `Slow
+            test_determinism_across_jobs;
+        ] );
+      ( "exporters",
+        [
+          Alcotest.test_case "chrome trace JSON" `Quick
+            test_chrome_trace_valid_json;
+          Alcotest.test_case "json summary" `Quick test_json_summary_valid;
+        ] );
+    ]
