@@ -125,6 +125,61 @@ let harness_wallclock () =
     ("harness: table3 parallel speedup (x)", speedup);
   ]
 
+(* --- static analysis ---------------------------------------------------- *)
+
+(* Fixpoint wall-clock of the abstract interpreter on every registry
+   model, plus the end-to-end effect on the engine: how many coverage
+   objectives the analyzer lets the solving loop skip.  Tracked in the
+   BENCH json so analyzer slowdowns (or lost dead-objective proofs)
+   show up across PRs. *)
+let analysis_bench () =
+  section "analysis: abstract-interpretation fixpoint";
+  let models =
+    if smoke then [ "CPUTask"; "AFC" ] else Models.Registry.names
+  in
+  let entries = ref [] in
+  let total_dead = ref 0 in
+  List.iter
+    (fun name ->
+      let prog = (Option.get (Models.Registry.find name)).program () in
+      ignore (Analysis.Analyzer.analyze prog) (* warm *);
+      let t0 = Unix.gettimeofday () in
+      let r = Analysis.Analyzer.analyze prog in
+      let dt = Unix.gettimeofday () -. t0 in
+      let s = Analysis.Verdict.of_result r in
+      let db, dc, dm = Analysis.Verdict.counts s Analysis.Verdict.Dead in
+      total_dead := !total_dead + db + dc + dm;
+      Fmt.pr
+        "%-12s %8.2f ms  %3d sweeps %2d widened  dead objectives (%d,%d,%d)@."
+        name (dt *. 1e3) r.Analysis.Analyzer.r_iterations
+        r.Analysis.Analyzer.r_widenings db dc dm;
+      entries :=
+        (Fmt.str "analysis: fixpoint %s" name, dt *. 1e9) :: !entries)
+    models;
+  (* drive the engine once with the analyzer on: the skipped-objective
+     counter is the proof the dead verdicts reach the solving loop *)
+  let tel_skipped = Telemetry.Counter.make "engine.objectives_skipped_dead" in
+  let tel_on = Telemetry.enabled () in
+  if not tel_on then Telemetry.enable ();
+  let before = Telemetry.Counter.total tel_skipped in
+  let afc = (Option.get (Models.Registry.find "AFC")).program () in
+  let cfg =
+    { Stcg.Engine.default_config with
+      Stcg.Engine.budget = (if smoke then 30.0 else 120.0);
+      seed = 1;
+      analyze = true }
+  in
+  let _run = Stcg.Engine.run ~config:cfg afc in
+  let skipped = Telemetry.Counter.total tel_skipped - before in
+  if not tel_on then Telemetry.disable ();
+  Fmt.pr "engine on AFC with --analyze: %d objectives skipped as dead@."
+    skipped;
+  if skipped <= 0 then
+    failwith "analysis bench: engine skipped no dead objectives on AFC";
+  ("analysis: dead objectives proved (bench models)", float_of_int !total_dead)
+  :: ("analysis: engine objectives skipped (AFC)", float_of_int skipped)
+  :: List.rev !entries
+
 (* --- fuzz campaign ------------------------------------------------------ *)
 
 (* Differential fuzzing as a regression gate in the bench run: a
@@ -331,13 +386,14 @@ let () =
   if not micro_only then Telemetry.enable ();
   if not micro_only then paper_artifacts ();
   let wallclock = if micro_only then [] else harness_wallclock () in
+  let analysis = if micro_only then [] else analysis_bench () in
   let fuzz = if micro_only then [] else fuzz_campaign () in
   let telemetry =
     if micro_only then None else Some (Telemetry.json_summary ())
   in
   Telemetry.disable ();
   Telemetry.reset ();
-  let results = micros @ wallclock @ fuzz in
+  let results = micros @ wallclock @ analysis @ fuzz in
   (match json_path with
    | Some path -> write_json ?telemetry path results
    | None -> ());

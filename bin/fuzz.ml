@@ -26,7 +26,7 @@ let max_steps_arg =
 let oracle_arg =
   let doc =
     "Oracles to run: comma-separated subset of exec, coverage, symexec, \
-     solver (repeatable).  Default: all four."
+     solver, analysis (repeatable).  Default: all five."
   in
   Arg.(
     value
@@ -56,7 +56,46 @@ let stats_arg =
   in
   Arg.(value & flag & info [ "stats" ] ~doc)
 
-let main seed count max_steps oracles jobs chunk json stats =
+let corpus_arg =
+  let doc =
+    "Append every campaign failure to $(docv)/corpus.jsonl (created if \
+     absent): one JSON object per line addressing the case by (seed, \
+     index, max_steps) so it replays exactly."
+  in
+  Arg.(value & opt (some string) None & info [ "corpus" ] ~docv:"DIR" ~doc)
+
+let replay_arg =
+  let doc =
+    "Replay a corpus file instead of running a campaign: regenerate each \
+     entry's case and re-run the oracle that once failed.  Exit 0 when \
+     every entry passes (all recorded bugs stayed fixed), 1 otherwise."
+  in
+  Arg.(
+    value & opt (some file) None & info [ "replay-corpus" ] ~docv:"FILE" ~doc)
+
+let replay_corpus path =
+  match Fuzzer.Corpus.load path with
+  | Error m ->
+    Fmt.epr "corpus: %s@." m;
+    exit 2
+  | Ok entries ->
+    let failed = ref 0 in
+    List.iter
+      (fun (e : Fuzzer.Corpus.entry) ->
+        match Fuzzer.Corpus.replay e with
+        | Fuzzer.Oracle.Pass ->
+          Fmt.pr "replay seed=%d index=%d oracle=%s: PASS@." e.e_seed
+            e.e_index e.e_oracle
+        | Fuzzer.Oracle.Fail m ->
+          incr failed;
+          Fmt.pr "replay seed=%d index=%d oracle=%s: FAIL %s@." e.e_seed
+            e.e_index e.e_oracle m)
+      entries;
+    Fmt.pr "corpus: %d entries, %d regressions@." (List.length entries)
+      !failed;
+    if !failed > 0 then exit 1
+
+let run_campaign seed count max_steps oracles jobs chunk json stats corpus =
   let oracles =
     match List.concat oracles with [] -> Fuzzer.Oracle.all | l -> l
   in
@@ -81,7 +120,25 @@ let main seed count max_steps oracles jobs chunk json stats =
     Fmt.pr "%a@." Fuzzer.Campaign.pp_summary summary;
     if stats then print_string (Telemetry.render_summary ())
   end;
+  (match corpus with
+   | Some dir ->
+     let entries =
+       Fuzzer.Corpus.of_failures ~seed ~max_steps summary.Fuzzer.Campaign.s_failures
+     in
+     if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+     let path = Filename.concat dir "corpus.jsonl" in
+     Fuzzer.Corpus.append ~path entries;
+     if entries <> [] then
+       Fmt.pr "corpus: %d failure(s) appended to %s@." (List.length entries)
+         path
+   | None -> ());
   if Fuzzer.Campaign.failures summary > 0 then exit 1
+
+let main seed count max_steps oracles jobs chunk json stats corpus replay =
+  match replay with
+  | Some path -> replay_corpus path
+  | None ->
+    run_campaign seed count max_steps oracles jobs chunk json stats corpus
 
 let cmd =
   let doc = "Random-model fuzzing with differential oracles." in
@@ -89,6 +146,7 @@ let cmd =
     (Cmd.info "fuzz" ~version:"1.0.0" ~doc)
     Term.(
       const main $ seed_arg $ count_arg $ max_steps_arg $ oracle_arg
-      $ jobs_arg $ chunk_arg $ json_arg $ stats_arg)
+      $ jobs_arg $ chunk_arg $ json_arg $ stats_arg $ corpus_arg
+      $ replay_arg)
 
 let () = exit (Cmd.eval cmd)

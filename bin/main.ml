@@ -111,11 +111,11 @@ let list_models_cmd =
     Term.(const run $ const ())
 
 let run_cmd =
-  let run model tool budget seed export tel =
+  let run model tool budget seed analyze export tel =
     let finish = telemetry_setup tel in
     let entry = find_model model in
     let tool = parse_tool tool in
-    let result = Harness.Experiment.run_tool ~budget ~seed tool entry in
+    let result = Harness.Experiment.run_tool ~budget ~analyze ~seed tool entry in
     Fmt.pr "%a@." Stcg.Run_result.pp_summary result;
     (match export with
      | Some path ->
@@ -135,10 +135,17 @@ let run_cmd =
     Arg.(value & opt (some string) None
          & info [ "export" ] ~docv:"FILE" ~doc:"Export test cases to $(docv).")
   in
+  let analyze_arg =
+    Arg.(value & flag
+         & info [ "analyze" ]
+             ~doc:"Run the static analyzer first: proven-dead objectives \
+                   are justified in coverage reporting and skipped by the \
+                   solving loop (STCG variants only).")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one tool on one benchmark model.")
-    Term.(const run $ model_arg $ tool_arg $ budget_arg $ seed_arg $ export_arg
-          $ telemetry_term)
+    Term.(const run $ model_arg $ tool_arg $ budget_arg $ seed_arg
+          $ analyze_arg $ export_arg $ telemetry_term)
 
 let table1_cmd =
   let run budget seed tel =
@@ -216,6 +223,46 @@ let ablations_cmd =
           $ Arg.(value & opt int 3 & info [ "seeds" ] ~docv:"N" ~doc:"Seeds to average over.")
           $ jobs_arg $ telemetry_term)
 
+let lint_cmd =
+  let run model all tel =
+    let finish = telemetry_setup tel in
+    let entries =
+      if all then Models.Registry.entries
+      else
+        match model with
+        | Some m -> [ find_model m ]
+        | None ->
+          Fmt.epr "lint: pass --model NAME or --all@.";
+          exit 2
+    in
+    let issues = ref 0 in
+    List.iter
+      (fun (e : Models.Registry.entry) ->
+        let prog = e.Models.Registry.program () in
+        let diags = Analysis.Lint.run prog in
+        issues := !issues + List.length diags;
+        List.iter print_endline
+          (Analysis.Lint.to_lines ~model:e.Models.Registry.name diags))
+      entries;
+    finish ();
+    if !issues > 0 then exit 1
+  in
+  let model_opt_arg =
+    Arg.(value & opt (some string) None
+         & info [ "model"; "m" ] ~docv:"MODEL"
+             ~doc:"Benchmark model name (see list-models).")
+  in
+  let all_arg =
+    Arg.(value & flag
+         & info [ "all" ] ~doc:"Lint every registry model.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Statically lint models: uninitialized reads, dead stores, \
+             constant guards, unreachable states, index range errors.  \
+             Exit 1 when any diagnostic fires.")
+    Term.(const run $ model_opt_arg $ all_arg $ telemetry_term)
+
 let replay_cmd =
   let run model path tel =
     let finish = telemetry_setup tel in
@@ -244,5 +291,5 @@ let () =
        (Cmd.group info
           [
             list_models_cmd; run_cmd; table1_cmd; table2_cmd; table3_cmd;
-            fig3_cmd; fig4_cmd; ablations_cmd; replay_cmd;
+            fig3_cmd; fig4_cmd; ablations_cmd; lint_cmd; replay_cmd;
           ]))

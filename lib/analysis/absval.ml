@@ -1,0 +1,88 @@
+module Value = Slim.Value
+module Dom = Solver.Dom
+
+type t =
+  | Scalar of Dom.t
+  | Vector of t array
+
+let int_top = Dom.Dint { lo = min_int; hi = max_int }
+let real_top = Dom.Dreal { lo = neg_infinity; hi = infinity }
+
+let rec of_value = function
+  | Value.Bool b -> Scalar (Dom.booln b)
+  | Value.Int i -> Scalar (Dom.Dint { lo = i; hi = i })
+  | Value.Real r -> Scalar (Dom.Dreal { lo = r; hi = r })
+  | Value.Vec a -> Vector (Array.map of_value a)
+
+let rec top_of_ty = function
+  | Value.Tbool -> Scalar Dom.top_bool
+  | Value.Tint { lo; hi } -> Scalar (Dom.Dint { lo; hi })
+  | Value.Treal { lo; hi } -> Scalar (Dom.Dreal { lo; hi })
+  | Value.Tvec (ty, n) -> Vector (Array.init n (fun _ -> top_of_ty ty))
+
+let scalar_top = function
+  | Dom.Dbool _ -> Dom.top_bool
+  | Dom.Dint _ -> int_top
+  | Dom.Dreal _ -> real_top
+
+let rec top_like = function
+  | Scalar d -> Scalar (scalar_top d)
+  | Vector a -> Vector (Array.map top_like a)
+
+let rec join a b =
+  match a, b with
+  | Scalar x, Scalar y -> Scalar (Dom.hull x y)
+  | Vector x, Vector y when Array.length x = Array.length y ->
+    Vector (Array.map2 join x y)
+  | (Scalar _ | Vector _), (Scalar _ | Vector _) ->
+    Value.type_error "Absval.join: shape mismatch"
+
+(* Bounds that moved since [old] jump straight to the value top: the
+   chain Scalar -> widened Scalar has length <= 2 per bound, so the
+   state fixpoint terminates after a bounded number of sweeps. *)
+let widen_scalar old next =
+  match old, next with
+  | Dom.Dbool _, Dom.Dbool _ -> next
+  | Dom.Dint o, Dom.Dint n ->
+    Dom.Dint
+      {
+        lo = (if n.lo < o.lo then min_int else n.lo);
+        hi = (if n.hi > o.hi then max_int else n.hi);
+      }
+  | Dom.Dreal o, Dom.Dreal n ->
+    Dom.Dreal
+      {
+        lo = (if n.lo < o.lo then neg_infinity else n.lo);
+        hi = (if n.hi > o.hi then infinity else n.hi);
+      }
+  | (Dom.Dbool _ | Dom.Dint _ | Dom.Dreal _), _ ->
+    (* kind changed across iterations (int/real promotion): give up on
+       the slot entirely — sound and terminal *)
+    scalar_top next
+
+let rec widen old next =
+  match old, next with
+  | Scalar o, Scalar n -> Scalar (widen_scalar o n)
+  | Vector o, Vector n when Array.length o = Array.length n ->
+    Vector (Array.map2 widen o n)
+  | (Scalar _ | Vector _), (Scalar _ | Vector _) ->
+    Value.type_error "Absval.widen: shape mismatch"
+
+let rec equal a b =
+  match a, b with
+  | Scalar x, Scalar y -> Dom.equal x y
+  | Vector x, Vector y ->
+    Array.length x = Array.length y && Array.for_all2 equal x y
+  | (Scalar _ | Vector _), (Scalar _ | Vector _) -> false
+
+let rec member a v =
+  match a, v with
+  | Scalar d, (Value.Bool _ | Value.Int _ | Value.Real _) -> Dom.member d v
+  | Vector arr, Value.Vec vs ->
+    Array.length arr = Array.length vs
+    && Array.for_all2 member arr vs
+  | (Scalar _ | Vector _), _ -> false
+
+let rec pp ppf = function
+  | Scalar d -> Dom.pp ppf d
+  | Vector a -> Fmt.pf ppf "[|%a|]" Fmt.(array ~sep:(any ";") pp) a

@@ -1,0 +1,52 @@
+(** Abstract values of the static analyzer.
+
+    A scalar abstracts to a {!Solver.Dom.t} (interval / boolean
+    constancy); a vector abstracts elementwise.  Unlike the solver —
+    whose answers are confirmed by concrete evaluation — the analyzer's
+    [Dead] verdicts are never re-checked, so every operation here must
+    be a true over-approximation of the runtime:
+
+    - integer results whose bounds leave the "no native-int overflow
+      possible" window collapse to the full native range
+      [[min_int, max_int]] (OCaml ints wrap, so a saturated-but-finite
+      bound like the solver's ±1e18 would under-approximate);
+    - real tops are infinite, never the solver's ±1e18 (runtime floats
+      are unbounded), and any NaN appearing in a bound collapses the
+      result to the full real line. *)
+
+type t =
+  | Scalar of Solver.Dom.t
+  | Vector of t array
+
+val of_value : Slim.Value.t -> t
+(** Exact (point) abstraction. *)
+
+val top_of_ty : Slim.Value.ty -> t
+(** Everything the declared type admits.  Used for model {e inputs},
+    which every driver (solver, random generation, fuzzer) draws inside
+    their declared domains; state variables instead widen to the
+    value tops below, because the runtime never clamps them. *)
+
+val int_top : Solver.Dom.t
+(** [[min_int, max_int]] — covers every native int, wrapped or not. *)
+
+val real_top : Solver.Dom.t
+(** [[-inf, +inf]]. *)
+
+val top_like : t -> t
+(** Value top of the same shape and scalar kind. *)
+
+val join : t -> t -> t
+(** Least upper bound (interval hull, elementwise on vectors). *)
+
+val widen : t -> t -> t
+(** [widen old next]: bounds of [next] that moved past [old] jump to
+    the value top of their kind, guaranteeing a finite ascending chain.
+    [next] must be [join old post] so bounds only move outward. *)
+
+val equal : t -> t -> bool
+
+val member : t -> Slim.Value.t -> bool
+(** Concretization membership (used by tests and the fuzz oracle). *)
+
+val pp : t Fmt.t

@@ -1,0 +1,54 @@
+(** Flow-sensitive abstract interpretation of a SLIM step program.
+
+    The analyzer runs the step body over abstract values ({!Absval}):
+    inputs are the tops of their declared domains, locals and outputs
+    start from their per-step defaults, and the persistent state is
+    iterated to a fixpoint — join for the first rounds, then interval
+    widening ({!Absval.widen}) so delays, data stores and chart state
+    variables converge.  A final pass over the stabilized state records,
+    for every decision, how reachable it is and what its guard (and each
+    atomic condition) can evaluate to; the same pass collects the
+    {!Diag} diagnostics consumed by the linter.
+
+    {b Soundness contract}: the abstract state of every program point
+    over-approximates every concrete execution whose input values lie
+    inside their declared domains — the contract all drivers (the
+    solver, random generation, the fuzzer, the test-case replayers for
+    suites produced by this stack) already maintain.  Consequently
+    [Never]-reachability is a proof of concrete unreachability; [Must]
+    and [May] are best-effort.  The fuzz campaign cross-checks this
+    claim dynamically (the "analysis" oracle). *)
+
+type reach =
+  | Never  (** proven unreachable: no conforming execution reaches it *)
+  | May  (** the analysis cannot tell *)
+  | Must  (** reached on every step of every conforming execution *)
+
+type guard_fact = {
+  g_reach : reach;  (** reachability of the decision itself *)
+  g_val : Solver.Interval.bool3;  (** what the whole guard can evaluate to *)
+  g_atoms : Solver.Interval.bool3 array;
+      (** per-atom values, in {!Slim.Ir.atoms_of_condition} order *)
+}
+
+type result = {
+  r_prog : Slim.Ir.program;
+  r_iterations : int;  (** state-fixpoint sweeps (including the final one) *)
+  r_widenings : int;  (** sweeps that applied widening *)
+  r_branch_reach : (Slim.Branch.key * reach) list;  (** program order *)
+  r_guards : (int * guard_fact) list;
+      (** [If] decisions in program order ([Switch] decisions have no
+          guard fact; their branch entries carry the verdicts) *)
+  r_diags : Diag.t list;  (** deterministic order (see {!Diag.sort}) *)
+  r_state : (string * Absval.t) list;
+      (** the stabilized abstract state, one entry per state variable *)
+}
+
+val analyze : Slim.Ir.program -> result
+
+val branch_reach : result -> Slim.Branch.key -> reach
+(** Defaults to [May] for unknown keys. *)
+
+val guard_fact : result -> int -> guard_fact option
+
+val pp_reach : reach Fmt.t

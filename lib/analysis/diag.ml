@@ -1,0 +1,42 @@
+type code =
+  | Const_true_guard
+  | Const_false_guard
+  | Dead_case
+  | Dead_default
+  | Uninit_local_read
+  | Dead_store
+  | Index_may_oob
+  | Index_oob
+  | Dead_chart_state
+  | Dead_chart_transition
+
+let code_id = function
+  | Const_true_guard -> "A101"
+  | Const_false_guard -> "A102"
+  | Dead_case -> "A103"
+  | Dead_default -> "A104"
+  | Uninit_local_read -> "A201"
+  | Dead_store -> "A202"
+  | Index_may_oob -> "A301"
+  | Index_oob -> "A302"
+  | Dead_chart_state -> "A401"
+  | Dead_chart_transition -> "A402"
+
+type t = {
+  d_code : code;
+  d_loc : string;
+  d_msg : string;
+}
+
+let make d_code ~loc d_msg = { d_code; d_loc = loc; d_msg }
+
+let compare_t a b =
+  let c = String.compare a.d_loc b.d_loc in
+  if c <> 0 then c
+  else
+    let c = String.compare (code_id a.d_code) (code_id b.d_code) in
+    if c <> 0 then c else String.compare a.d_msg b.d_msg
+
+let sort l = List.sort_uniq compare_t l
+
+let pp ppf d = Fmt.pf ppf "%s %s: %s" (code_id d.d_code) d.d_loc d.d_msg

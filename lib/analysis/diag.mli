@@ -1,0 +1,50 @@
+(** Linter diagnostics with stable codes.
+
+    Every diagnostic carries a stable code (the table below — also
+    documented in ANALYSIS.md), a source location (a structural path
+    into the step program plus the decision id when one is involved)
+    and a human-readable message.  Output ordering is deterministic:
+    {!sort} orders by location, then code, then message.
+
+    {v
+    A101  constant-true guard (else branch unreachable)
+    A102  constant-false guard (then branch unreachable)
+    A103  unreachable switch case
+    A104  unreachable switch default
+    A201  read of a never-written local (uninitialized data-store read)
+    A202  write-after-write: value overwritten before any read
+    A301  vector index may be out of range
+    A302  vector index always out of range
+    A401  unreachable chart state (dead case of a state dispatch)
+    A402  unreachable chart transition (constant-false guard inside a
+          state dispatch)
+    v} *)
+
+type code =
+  | Const_true_guard
+  | Const_false_guard
+  | Dead_case
+  | Dead_default
+  | Uninit_local_read
+  | Dead_store
+  | Index_may_oob
+  | Index_oob
+  | Dead_chart_state
+  | Dead_chart_transition
+
+val code_id : code -> string
+(** The stable "Annn" identifier. *)
+
+type t = {
+  d_code : code;
+  d_loc : string;  (** structural path, e.g. ["body[2].then[0]"] *)
+  d_msg : string;
+}
+
+val make : code -> loc:string -> string -> t
+
+val sort : t list -> t list
+(** Deterministic order with duplicates removed. *)
+
+val pp : t Fmt.t
+(** Renders ["A102 body[2]: ..."]. *)

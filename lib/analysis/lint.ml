@@ -1,0 +1,8 @@
+let run prog =
+  let r = Analyzer.analyze prog in
+  r.Analyzer.r_diags
+
+let to_lines ~model diags =
+  match diags with
+  | [] -> [ Fmt.str "%s: clean" model ]
+  | _ -> List.map (fun d -> Fmt.str "%s: %a" model Diag.pp d) diags

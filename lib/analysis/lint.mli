@@ -1,0 +1,12 @@
+(** Model linter: a thin client of {!Analyzer}.
+
+    Runs the abstract interpreter on a step program and returns its
+    diagnostics (stable codes, deterministic order — see {!Diag}).
+    [to_lines] renders them in the exact format the [stcg lint]
+    subcommand prints and the committed expectation file records. *)
+
+val run : Slim.Ir.program -> Diag.t list
+
+val to_lines : model:string -> Diag.t list -> string list
+(** ["<model>: A102 body[2]: ..."] per diagnostic; a single
+    ["<model>: clean"] line when there are none. *)

@@ -15,6 +15,7 @@ type config = {
   random_first : bool;
   random_first_rounds : int;
   max_tree_nodes : int;
+  analyze : bool;
 }
 
 let default_config =
@@ -30,6 +31,7 @@ let default_config =
     random_first = false;
     random_first_rounds = 20;
     max_tree_nodes = 30_000;
+    analyze = false;
   }
 
 let tel_runs = Telemetry.Counter.make "engine.runs"
@@ -43,6 +45,7 @@ let tel_stride_skips = Telemetry.Counter.make "engine.stride_skips"
 let tel_random_execs = Telemetry.Counter.make "engine.random_execs"
 let tel_testcases = Telemetry.Counter.make "engine.testcases"
 let tel_tree_nodes = Telemetry.Counter.make "engine.tree_nodes"
+let tel_skipped_dead = Telemetry.Counter.make "engine.objectives_skipped_dead"
 let tel_h_solve_nodes = Telemetry.Histogram.make "engine.solve_nodes"
 let tel_sp_run = Telemetry.Span.make "engine.run"
 let tel_sp_solve = Telemetry.Span.make "engine.solve"
@@ -442,6 +445,24 @@ let run ?(config = default_config) prog =
   Telemetry.Span.with_ tel_sp_run @@ fun () ->
   let exec = Exec.handle prog in
   let tracker = Tracker.create prog in
+  (* Static dead-objective detection: proven-dead objectives are
+     justified in the tracker (removed from every denominator) and
+     filtered from the worklists below, so the solver never burns
+     budget on them — SLDV-style dead-logic justification. *)
+  let dead_branch, dead_cond =
+    if not config.analyze then ((fun _ -> false), (fun _ -> false))
+    else begin
+      let s = Analysis.Verdict.of_program prog in
+      let db = Analysis.Verdict.dead_branches s in
+      let dc = Analysis.Verdict.dead_conditions s in
+      let dm = Analysis.Verdict.dead_mcdc s in
+      Tracker.set_justified tracker ~branches:db ~conditions:dc ~mcdc:dm;
+      Telemetry.Counter.add tel_skipped_dead
+        (List.length db + List.length dc + List.length dm);
+      ( (fun key -> List.exists (Branch.equal_key key) db),
+        fun c -> List.mem c dc )
+    end
+  in
   let tree = State_tree.create prog in
   let clock = Vclock.create ~budget:config.budget in
   (* target intern table: shared with the run state so the dynamic MCDC
@@ -461,6 +482,7 @@ let run ?(config = default_config) prog =
     (* branch table comes precomputed from the handle *)
     let bs = Exec.branches exec in
     let bs = if config.sort_branches then Branch.sort_by_depth bs else bs in
+    let bs = List.filter (fun (b : Branch.t) -> not (dead_branch b.key)) bs in
     List.map
       (fun (b : Branch.t) ->
         {
@@ -488,17 +510,20 @@ let run ?(config = default_config) prog =
       (fun (d : Coverage.Criteria.decision_info) ->
         List.concat_map
           (fun atom ->
-            List.map
+            List.filter_map
               (fun value ->
-                let target =
-                  Explore.Condition_target
-                    { decision = d.Coverage.Criteria.d_id; atom; value }
-                in
-                {
-                  obj_target = target;
-                  obj_key = intern target;
-                  obj_depth = depth_of_decision d.Coverage.Criteria.d_id;
-                })
+                if dead_cond (d.Coverage.Criteria.d_id, atom, value) then None
+                else
+                  let target =
+                    Explore.Condition_target
+                      { decision = d.Coverage.Criteria.d_id; atom; value }
+                  in
+                  Some
+                    {
+                      obj_target = target;
+                      obj_key = intern target;
+                      obj_depth = depth_of_decision d.Coverage.Criteria.d_id;
+                    })
               [ true; false ])
           (List.init d.Coverage.Criteria.d_atom_count Fun.id))
       criteria.Coverage.Criteria.decisions

@@ -25,6 +25,10 @@ type config = {
           before solving starts *)
   random_first_rounds : int;
   max_tree_nodes : int;
+  analyze : bool;
+      (** run the static analyzer first: proven-dead objectives are
+          justified in the tracker ({!Coverage.Tracker.set_justified})
+          and skipped by the solving loop *)
 }
 
 val default_config : config

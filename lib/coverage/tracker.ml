@@ -18,6 +18,12 @@ type t = {
       (* decision id -> vector key -> outcome *)
   mutable progress : int;
       (* bumped whenever genuinely new information arrives *)
+  (* objectives justified by static analysis (proven dead): excluded
+     from denominators and from the uncovered lists, mirroring
+     SLDV-style dead-logic justification *)
+  mutable j_branches : Branch.Key_set.t;
+  mutable j_conds : (int * int * bool) list;
+  mutable j_mcdc : (int * int) list;
 }
 
 let create prog =
@@ -33,9 +39,22 @@ let create prog =
     cond_seen = Hashtbl.create 256;
     vectors = Hashtbl.create 64;
     progress = 0;
+    j_branches = Branch.Key_set.empty;
+    j_conds = [];
+    j_mcdc = [];
   }
 
 let criteria t = t.criteria
+
+let set_justified t ~branches ~conditions ~mcdc =
+  t.j_branches <- Branch.Key_set.of_list branches;
+  t.j_conds <- List.sort_uniq compare conditions;
+  t.j_mcdc <- List.sort_uniq compare mcdc;
+  t.progress <- t.progress + 1
+
+let justified_counts t =
+  (Branch.Key_set.cardinal t.j_branches, List.length t.j_conds,
+   List.length t.j_mcdc)
 
 let observe t = function
   | Exec.Branch_hit key ->
@@ -75,12 +94,16 @@ type ratio = { covered : int; total : int }
 let pct r = if r.total = 0 then 100.0 else 100.0 *. float r.covered /. float r.total
 
 let decision t =
-  { covered = Branch.Key_set.cardinal t.branches;
-    total = t.criteria.decision_total }
+  { covered = Branch.Key_set.cardinal (Branch.Key_set.diff t.branches t.j_branches);
+    total = t.criteria.decision_total - Branch.Key_set.cardinal t.j_branches }
 
 let condition t =
-  { covered = Hashtbl.length t.cond_seen;
-    total = t.criteria.condition_total }
+  let covered =
+    Hashtbl.fold
+      (fun k () acc -> if List.mem k t.j_conds then acc else acc + 1)
+      t.cond_seen 0
+  in
+  { covered; total = t.criteria.condition_total - List.length t.j_conds }
 
 let mcdc t =
   let covered = ref 0 in
@@ -94,19 +117,20 @@ let mcdc t =
             Hashtbl.fold (fun k o acc -> (vector_of_key k, o) :: acc) tbl []
         in
         for i = 0 to d.d_atom_count - 1 do
-          let ok =
-            List.exists
-              (fun p1 ->
-                List.exists
-                  (fun p2 -> Criteria.mcdc_pair_ok d.d_fn i p1 p2)
-                  observed)
-              observed
-          in
-          if ok then incr covered
+          if not (List.mem (d.d_id, i) t.j_mcdc) then
+            let ok =
+              List.exists
+                (fun p1 ->
+                  List.exists
+                    (fun p2 -> Criteria.mcdc_pair_ok d.d_fn i p1 p2)
+                    observed)
+                observed
+            in
+            if ok then incr covered
         done
       end)
     t.criteria.decisions;
-  { covered = !covered; total = t.criteria.mcdc_total }
+  { covered = !covered; total = t.criteria.mcdc_total - List.length t.j_mcdc }
 
 let is_condition_covered t decision atom value =
   Hashtbl.mem t.cond_seen (decision, atom, value)
@@ -127,26 +151,31 @@ let uncovered_mcdc t =
         let observed = observed_vectors t d.d_id in
         List.filter_map
           (fun i ->
-            let ok =
-              List.exists
-                (fun p1 ->
-                  List.exists
-                    (fun p2 -> Criteria.mcdc_pair_ok d.d_fn i p1 p2)
-                    observed)
-                observed
-            in
-            if ok then None else Some (d.d_id, i))
+            if List.mem (d.d_id, i) t.j_mcdc then None
+            else
+              let ok =
+                List.exists
+                  (fun p1 ->
+                    List.exists
+                      (fun p2 -> Criteria.mcdc_pair_ok d.d_fn i p1 p2)
+                      observed)
+                  observed
+              in
+              if ok then None else Some (d.d_id, i))
           (List.init d.d_atom_count Fun.id)
       end)
     t.criteria.decisions
 
 let uncovered_branches t =
   List.filter
-    (fun (b : Branch.t) -> not (Branch.Key_set.mem b.key t.branches))
+    (fun (b : Branch.t) ->
+      (not (Branch.Key_set.mem b.key t.branches))
+      && not (Branch.Key_set.mem b.key t.j_branches))
     t.criteria.branches
 
 let fully_covered t =
-  Branch.Key_set.cardinal t.branches = t.criteria.decision_total
+  let d = decision t in
+  d.covered = d.total
 
 let copy t =
   {
@@ -159,10 +188,16 @@ let copy t =
        Hashtbl.iter (fun k tbl -> Hashtbl.replace v k (Hashtbl.copy tbl)) t.vectors;
        v);
     progress = t.progress;
+    j_branches = t.j_branches;
+    j_conds = t.j_conds;
+    j_mcdc = t.j_mcdc;
   }
 
 let pp_summary ppf t =
   let d = decision t and c = condition t and m = mcdc t in
   Fmt.pf ppf "decision %d/%d (%.1f%%)  condition %d/%d (%.1f%%)  mcdc %d/%d (%.1f%%)"
     d.covered d.total (pct d) c.covered c.total (pct c) m.covered m.total
-    (pct m)
+    (pct m);
+  let jb, jc, jm = justified_counts t in
+  if jb + jc + jm > 0 then
+    Fmt.pf ppf "  justified (%d,%d,%d)" jb jc jm

@@ -12,6 +12,22 @@ val criteria : t -> Criteria.t
 
 val observe : t -> Slim.Exec.event -> unit
 
+val set_justified :
+  t ->
+  branches:Slim.Branch.key list ->
+  conditions:(int * int * bool) list ->
+  mcdc:(int * int) list ->
+  unit
+(** Mark objectives as justified (proven dead by static analysis).
+    Justified objectives are excluded from every denominator, from
+    {!uncovered_branches} and {!uncovered_mcdc}, and from
+    {!fully_covered} — the SLDV-style dead-logic justification the
+    paper's coverage tables assume.  Replaces any previous
+    justification. *)
+
+val justified_counts : t -> int * int * int
+(** [(branches, conditions, mcdc)] objectives currently justified. *)
+
 val progress : t -> int
 (** Monotone stamp, bumped only when an observation adds genuinely new
     information (new branch, condition outcome or condition vector) —

@@ -2,7 +2,7 @@ open Slim
 
 type verdict = Pass | Fail of string
 
-let all = [ "exec"; "coverage"; "symexec"; "solver" ]
+let all = [ "exec"; "coverage"; "symexec"; "solver"; "analysis" ]
 
 let fail fmt = Fmt.kstr (fun m -> Fail m) fmt
 
@@ -458,6 +458,71 @@ let solver ~seed ?(max_problems = 5) prog steps =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Oracle 5: static-analysis soundness                                 *)
+
+(* A [Dead] verdict claims no execution whose inputs conform to their
+   declared domains can cover the objective; executing the case's input
+   sequence and watching the tracker refutes that claim directly.  Any
+   hit is an analyzer soundness bug and shrinks like every other
+   failure. *)
+let analysis prog steps =
+  let summary = Analysis.Verdict.of_program prog in
+  let dead_b = Analysis.Verdict.dead_branches summary in
+  let dead_c = Analysis.Verdict.dead_conditions summary in
+  let dead_m = Analysis.Verdict.dead_mcdc summary in
+  if dead_b = [] && dead_c = [] && dead_m = [] then Pass
+  else begin
+    let ex = Exec.handle prog in
+    let conforming row =
+      List.for_all
+        (fun (name, v) ->
+          match
+            List.find_opt (fun (var : Ir.var) -> var.name = name)
+              prog.Ir.inputs
+          with
+          | Some var -> Value.member var.ty v
+          | None -> true (* unknown names are dropped by inputs_of_list *))
+        row
+    in
+    let tr = Coverage.Tracker.create prog in
+    let rec go st = function
+      | [] -> ()
+      | row :: rest when conforming row -> (
+        match
+          Exec.run_step ~on_event:(Coverage.Tracker.observe tr) ex st
+            (Exec.inputs_of_list ex row)
+        with
+        | _, st' -> go st' rest
+        | exception Exec.Eval_error _ ->
+          (* the step aborted; events emitted before the error are
+             real executions and stay counted *)
+          ())
+      | _ -> ()
+    in
+    go (Exec.initial_state ex) steps;
+    let hit_b =
+      List.find_opt (fun k -> Coverage.Tracker.is_branch_covered tr k) dead_b
+    in
+    let hit_c =
+      List.find_opt
+        (fun (d, i, v) -> Coverage.Tracker.is_condition_covered tr d i v)
+        dead_c
+    in
+    let uncovered_m = Coverage.Tracker.uncovered_mcdc tr in
+    let hit_m =
+      List.find_opt (fun p -> not (List.mem p uncovered_m)) dead_m
+    in
+    match (hit_b, hit_c, hit_m) with
+    | Some key, _, _ ->
+      fail "dead branch %a covered dynamically" Branch.pp_key key
+    | None, Some (d, i, v), _ ->
+      fail "dead condition (%d,%d,%b) covered dynamically" d i v
+    | None, None, Some (d, i) ->
+      fail "dead mcdc objective (%d,%d) demonstrated dynamically" d i
+    | None, None, None -> Pass
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let guard name f =
   match f () with
@@ -488,6 +553,7 @@ let run ~which ~seed prog steps =
           | "coverage" -> timed (fun () -> coverage prog steps)
           | "symexec" -> timed (fun () -> symexec ~seed prog steps)
           | "solver" -> timed (fun () -> solver ~seed prog steps)
+          | "analysis" -> timed (fun () -> analysis prog steps)
           | _ -> Fail ("unknown oracle " ^ name)
         in
         Some (name, v))

@@ -24,13 +24,18 @@
       assignments must evaluate true, [Unsat] must survive random
       witness search) — the harness that exercises the {!Solver.Hc4}
       projections (abs/mod at zero-crossing and negative-divisor
-      domains) far harder than directed tests. *)
+      domains) far harder than directed tests.
+    - [analysis] — soundness of {!Analysis.Verdict}: no objective the
+      static analyzer classifies as [Dead] may ever be covered by a
+      concrete execution whose inputs conform to their declared
+      domains.  A dynamic hit on a dead objective is an analyzer bug
+      and is minimized like any other failure. *)
 
 type verdict = Pass | Fail of string
 
 val all : string list
 (** Oracle names, in canonical order: ["exec"; "coverage"; "symexec";
-    "solver"]. *)
+    "solver"; "analysis"]. *)
 
 val exec_diff :
   Slim.Ir.program -> (string * Slim.Value.t) list list -> verdict
@@ -51,6 +56,9 @@ val solver :
   Slim.Ir.program ->
   (string * Slim.Value.t) list list ->
   verdict
+
+val analysis :
+  Slim.Ir.program -> (string * Slim.Value.t) list list -> verdict
 
 val run :
   which:string list ->

@@ -12,16 +12,18 @@ let tool_name = function
   | SLDV -> "SLDV"
   | SimCoTest -> "SimCoTest"
 
-let run_tool ?(budget = 3600.0) ~seed tool (entry : Registry.entry) =
+let run_tool ?(budget = 3600.0) ?(analyze = false) ~seed tool
+    (entry : Registry.entry) =
   let prog = entry.Registry.program () in
   match tool with
   | STCG ->
-    let config = { Engine.default_config with Engine.seed; budget } in
+    let config = { Engine.default_config with Engine.seed; budget; analyze } in
     Run_result.of_engine_run ~model:entry.Registry.name
       (Engine.run ~config prog)
   | STCG_hybrid ->
     let config =
-      { Engine.default_config with Engine.seed; budget; random_first = true }
+      { Engine.default_config with
+        Engine.seed; budget; random_first = true; analyze }
     in
     let result =
       Run_result.of_engine_run ~model:entry.Registry.name

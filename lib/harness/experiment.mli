@@ -22,8 +22,11 @@ type tool = STCG | STCG_hybrid | SLDV | SimCoTest
 val tool_name : tool -> string
 
 val run_tool :
-  ?budget:float -> seed:int -> tool -> Models.Registry.entry ->
-  Stcg.Run_result.t
+  ?budget:float -> ?analyze:bool -> seed:int -> tool ->
+  Models.Registry.entry -> Stcg.Run_result.t
+(** [analyze] (default false, STCG variants only): run the static
+    analyzer first so proven-dead objectives are justified and skipped
+    (see {!Stcg.Engine.config}). *)
 
 type averaged = {
   a_model : string;

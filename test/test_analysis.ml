@@ -1,0 +1,345 @@
+(* Tests for lib/analysis: verdict goldens on the registry models,
+   directed diagnostics on hand-built programs, widening soundness, and
+   the engine's dead-objective skip (justified coverage reporting plus
+   testcase equivalence against the no-analysis run). *)
+
+module V = Slim.Value
+module Ir = Slim.Ir
+module Branch = Slim.Branch
+module Analyzer = Analysis.Analyzer
+module Verdict = Analysis.Verdict
+module Diag = Analysis.Diag
+module Lint = Analysis.Lint
+module Engine = Stcg.Engine
+module Tracker = Coverage.Tracker
+
+let check = Alcotest.check
+
+let registry_prog name =
+  match Models.Registry.find name with
+  | Some e -> e.Models.Registry.program ()
+  | None -> Alcotest.failf "registry model %s missing" name
+
+let dead_branches name =
+  Verdict.dead_branches (Verdict.of_program (registry_prog name))
+
+let has_branch key l = List.exists (Branch.equal_key key) l
+
+let codes prog =
+  List.map (fun (d : Diag.t) -> Diag.code_id d.Diag.d_code) (Lint.run prog)
+
+(* --- registry verdict goldens ------------------------------------------ *)
+
+(* AFC decision 17 has a constant-false guard: its then branch is
+   statically dead (also reported as A102 by the linter). *)
+let test_afc_dead () =
+  let dead = dead_branches "AFC" in
+  check Alcotest.bool "AFC (17, Then) dead" true
+    (has_branch (17, Branch.Then) dead);
+  check Alcotest.int "AFC one dead branch" 1 (List.length dead)
+
+(* NICProtocol's dead transition sits inside a chart dispatch (A402). *)
+let test_nic_dead () =
+  let dead = dead_branches "NICProtocol" in
+  check Alcotest.bool "NIC (16, Then) dead" true
+    (has_branch (16, Branch.Then) dead);
+  check Alcotest.int "NIC one dead branch" 1 (List.length dead)
+
+(* LEDLC dispatches over enumerations whose defaults can never fire. *)
+let test_ledlc_dead () =
+  let dead = dead_branches "LEDLC" in
+  List.iter
+    (fun d ->
+      check Alcotest.bool (Fmt.str "LEDLC (%d, Default) dead" d) true
+        (has_branch (d, Branch.Default) dead))
+    [ 16; 17; 18; 19; 24 ];
+  check Alcotest.int "LEDLC five dead branches" 5 (List.length dead)
+
+let test_tcp_clean () =
+  let s = Verdict.of_program (registry_prog "TCP") in
+  let b, c, m = Verdict.counts s Verdict.Dead in
+  check Alcotest.(triple int int int) "TCP no dead objectives" (0, 0, 0)
+    (b, c, m);
+  check Alcotest.(list string) "TCP lints clean" []
+    (codes (registry_prog "TCP"))
+
+(* Every registry model's analysis must terminate within the fixpoint
+   hard cap (no fallback-to-top escape needed) and produce verdicts for
+   every branch objective. *)
+let test_registry_total () =
+  List.iter
+    (fun (e : Models.Registry.entry) ->
+      let prog = e.Models.Registry.program () in
+      let r = Analyzer.analyze prog in
+      check Alcotest.bool
+        (Fmt.str "%s iterations positive" e.Models.Registry.name)
+        true (r.Analyzer.r_iterations > 0);
+      let summary = Verdict.of_result r in
+      check Alcotest.int
+        (Fmt.str "%s verdict per branch" e.Models.Registry.name)
+        (Branch.count prog)
+        (List.length summary.Verdict.v_branches))
+    Models.Registry.entries
+
+(* --- directed diagnostics ---------------------------------------------- *)
+
+let simple ?(inputs = []) ?(states = []) ?(locals = []) ?(outputs = [])
+    body =
+  let prog =
+    Ir.renumber_decisions
+      { Ir.name = "t"; inputs; outputs; states; locals; body }
+  in
+  Ir.type_check prog;
+  prog
+
+let test_diag_const_guards () =
+  let prog =
+    simple
+      ~inputs:[ Ir.input "x" (V.tint_range 0 10) ]
+      ~outputs:[ Ir.output "y" V.Tbool; Ir.output "z" V.Tbool ]
+      Ir.
+        [
+          if_ (iv "x" >=: ci 0)
+            [ assign_out "y" (cb true) ]
+            [ assign_out "y" (cb false) ];
+          if_ (iv "x" >: ci 20)
+            [ assign_out "z" (cb true) ]
+            [ assign_out "z" (cb false) ];
+        ]
+  in
+  check Alcotest.(list string) "A101 + A102" [ "A101"; "A102" ] (codes prog);
+  let s = Verdict.of_program prog in
+  check Alcotest.bool "else of always-true guard dead" true
+    (has_branch (0, Branch.Else) (Verdict.dead_branches s));
+  check Alcotest.bool "then of always-false guard dead" true
+    (has_branch (1, Branch.Then) (Verdict.dead_branches s))
+
+let test_diag_switch () =
+  let prog =
+    simple
+      ~inputs:[ Ir.input "op" (V.tint_range 0 2) ]
+      ~outputs:[ Ir.output "y" V.tint ]
+      Ir.
+        [
+          switch (iv "op")
+            [ (0, [ assign_out "y" (ci 1) ]);
+              (1, [ assign_out "y" (ci 2) ]);
+              (5, [ assign_out "y" (ci 3) ]) ]
+            [ assign_out "y" (ci 4) ];
+        ]
+  in
+  check Alcotest.(list string) "A103 for case 5" [ "A103" ] (codes prog);
+  let dead = Verdict.dead_branches (Verdict.of_program prog) in
+  check Alcotest.bool "case 5 dead" true (has_branch (0, Branch.Case 5) dead);
+  (* Exhaustive cases kill the default. *)
+  let prog =
+    simple
+      ~inputs:[ Ir.input "op" (V.tint_range 0 1) ]
+      ~outputs:[ Ir.output "y" V.tint ]
+      Ir.
+        [
+          switch (iv "op")
+            [ (0, [ assign_out "y" (ci 1) ]); (1, [ assign_out "y" (ci 2) ]) ]
+            [ assign_out "y" (ci 3) ];
+        ]
+  in
+  check Alcotest.(list string) "A104 for default" [ "A104" ] (codes prog);
+  let dead = Verdict.dead_branches (Verdict.of_program prog) in
+  check Alcotest.bool "default dead" true (has_branch (0, Branch.Default) dead)
+
+let test_diag_locals () =
+  let prog =
+    simple
+      ~inputs:[ Ir.input "x" V.tint ]
+      ~outputs:[ Ir.output "y" V.tint ]
+      ~locals:[ Ir.local "t" V.tint ]
+      Ir.[ assign_out "y" (lv "t" +: iv "x") ]
+  in
+  check Alcotest.(list string) "A201 uninit read" [ "A201" ] (codes prog);
+  let prog =
+    simple
+      ~inputs:[ Ir.input "x" V.tint ]
+      ~outputs:[ Ir.output "y" V.tint ]
+      ~locals:[ Ir.local "t" V.tint ]
+      Ir.
+        [
+          assign "t" (iv "x");
+          assign "t" (iv "x" +: ci 1);
+          assign_out "y" (lv "t");
+        ]
+  in
+  check Alcotest.(list string) "A202 dead store" [ "A202" ] (codes prog)
+
+let test_diag_index () =
+  let vec3 = V.Tvec (V.tint, 3) in
+  let prog =
+    simple
+      ~inputs:[ Ir.input "i" (V.tint_range 0 5) ]
+      ~outputs:[ Ir.output "y" V.tint ]
+      ~states:[ Ir.state "buf" vec3 (V.Vec [| V.Int 0; V.Int 0; V.Int 0 |]) ]
+      Ir.[ assign_out "y" (index (sv "buf") (iv "i")) ]
+  in
+  check Alcotest.(list string) "A301 may-OOB" [ "A301" ] (codes prog);
+  let prog =
+    simple
+      ~outputs:[ Ir.output "y" V.tint ]
+      ~states:[ Ir.state "buf" vec3 (V.Vec [| V.Int 0; V.Int 0; V.Int 0 |]) ]
+      Ir.[ assign_out "y" (index (sv "buf") (ci 7)) ]
+  in
+  check Alcotest.bool "A302 always-OOB" true (List.mem "A302" (codes prog))
+
+(* --- widening: unbounded-ish state must terminate soundly -------------- *)
+
+let test_widening_sound () =
+  let prog =
+    simple
+      ~outputs:[ Ir.output "y" V.Tbool ]
+      ~states:[ Ir.state "c" V.tint (V.Int 0) ]
+      Ir.
+        [
+          assign_out "y" (cb false);
+          assign_state "c" (sv "c" +: ci 1);
+          if_ (sv "c" >: ci 500_000) [ assign_out "y" (cb true) ] [];
+        ]
+  in
+  let r = Analyzer.analyze prog in
+  check Alcotest.bool "widening applied" true (r.Analyzer.r_widenings > 0);
+  (* The counter really can exceed the threshold, so the branch must not
+     be proven dead. *)
+  check Alcotest.bool "growing counter branch not dead" true
+    (Analyzer.branch_reach r (0, Branch.Then) <> Analyzer.Never)
+
+(* --- engine: dead-objective skip --------------------------------------- *)
+
+(* x : int [0,10]; decision 0's then branch needs x > 20 — statically
+   dead; decision 1 is coverable both ways. *)
+let dead_demo =
+  let open Ir in
+  let prog =
+    renumber_decisions
+      {
+        name = "dead_demo";
+        inputs = [ input "x" (V.tint_range 0 10) ];
+        outputs = [ output "y" V.Tbool ];
+        states = [];
+        locals = [];
+        body =
+          [
+            assign_out "y" (cb false);
+            if_ (iv "x" >: ci 20) [ assign_out "y" (cb true) ] [];
+            if_ (iv "x" >: ci 5) [ assign_out "y" (cb true) ] [];
+          ];
+      }
+  in
+  type_check prog;
+  prog
+
+let tel_skipped = Telemetry.Counter.make "engine.objectives_skipped_dead"
+
+let tc_essence (r : Engine.run) =
+  List.map
+    (fun (tc : Stcg.Testcase.t) ->
+      (List.map Array.to_list tc.Stcg.Testcase.steps,
+       tc.Stcg.Testcase.new_branches))
+    r.Engine.r_testcases
+
+let steps_equal a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (sa, ba) (sb, bb) ->
+         ba = bb
+         && List.length sa = List.length sb
+         && List.for_all2
+              (fun ra rb ->
+                List.length ra = List.length rb
+                && List.for_all2 V.equal ra rb)
+              sa sb)
+       a b
+
+let test_engine_skip () =
+  Telemetry.enable ();
+  Telemetry.reset ();
+  let cfg analyze =
+    { Engine.default_config with Engine.budget = 60.0; seed = 11; analyze }
+  in
+  let plain = Engine.run ~config:(cfg false) dead_demo in
+  check Alcotest.int "no skip without analyze" 0
+    (Telemetry.Counter.total tel_skipped);
+  let analyzed = Engine.run ~config:(cfg true) dead_demo in
+  (* 1 dead branch + 1 dead condition value + 1 degenerate MCDC pair. *)
+  check Alcotest.int "skipped objective count" 3
+    (Telemetry.Counter.total tel_skipped);
+  let jb, jc, jm = Tracker.justified_counts analyzed.Engine.r_tracker in
+  check Alcotest.(triple int int int) "justified counts" (1, 1, 1)
+    (jb, jc, jm);
+  (* Justification shrinks the decision denominator: 4 branches -> 3. *)
+  let d = Tracker.decision analyzed.Engine.r_tracker in
+  check Alcotest.int "justified decision total" 3 d.Tracker.total;
+  check Alcotest.int "justified decision covered" 3 d.Tracker.covered;
+  (* With the dead objective justified the run provably saturates; the
+     plain run can never cover (0, Then) and must burn its budget. *)
+  check Alcotest.bool "analyzed run saturates" true
+    (analyzed.Engine.r_stop = Engine.Full_coverage);
+  check Alcotest.bool "plain run exhausts budget" true
+    (plain.Engine.r_stop = Engine.Budget_exhausted);
+  let dp = Tracker.decision plain.Engine.r_tracker in
+  check Alcotest.int "plain decision total" 4 dp.Tracker.total;
+  check Alcotest.int "plain decision covered" 3 dp.Tracker.covered;
+  (* Skipping dead objectives only removes Unsat solver calls, so both
+     runs synthesize the same test cases for the live objectives. *)
+  check Alcotest.bool "identical testcases" true
+    (steps_equal (tc_essence plain) (tc_essence analyzed));
+  Telemetry.reset ();
+  Telemetry.disable ()
+
+(* --- lint rendering ----------------------------------------------------- *)
+
+let test_lint_lines () =
+  check Alcotest.(list string) "clean model renders clean"
+    [ "t: clean" ]
+    (Lint.to_lines ~model:"t"
+       (Lint.run
+          (simple ~outputs:[ Ir.output "y" V.tint ]
+             Ir.[ assign_out "y" (ci 1) ])));
+  let lines = Lint.to_lines ~model:"AFC" (Lint.run (registry_prog "AFC")) in
+  check Alcotest.bool "AFC lint mentions A102" true
+    (List.exists
+       (fun l ->
+         String.length l >= 4
+         && (let has_sub s sub =
+               let n = String.length sub in
+               let rec go i =
+                 i + n <= String.length s
+                 && (String.sub s i n = sub || go (i + 1))
+               in
+               go 0
+             in
+             has_sub l "A102"))
+       lines)
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "registry goldens",
+        [
+          Alcotest.test_case "AFC dead branch" `Quick test_afc_dead;
+          Alcotest.test_case "NICProtocol dead transition" `Quick test_nic_dead;
+          Alcotest.test_case "LEDLC dead defaults" `Quick test_ledlc_dead;
+          Alcotest.test_case "TCP clean" `Quick test_tcp_clean;
+          Alcotest.test_case "all models total" `Quick test_registry_total;
+        ] );
+      ( "diagnostics",
+        [
+          Alcotest.test_case "constant guards" `Quick test_diag_const_guards;
+          Alcotest.test_case "switch reachability" `Quick test_diag_switch;
+          Alcotest.test_case "local lifetimes" `Quick test_diag_locals;
+          Alcotest.test_case "index ranges" `Quick test_diag_index;
+          Alcotest.test_case "lint rendering" `Quick test_lint_lines;
+        ] );
+      ( "soundness",
+        [ Alcotest.test_case "widening terminates soundly" `Quick
+            test_widening_sound ] );
+      ( "engine skip",
+        [ Alcotest.test_case "dead objective justified+skipped" `Quick
+            test_engine_skip ] );
+    ]

@@ -377,6 +377,83 @@ let prop_solver_sound =
         not !witness
       | Csp.Unknown -> true)
 
+(* --- Interval primitives: degenerate (point) operand exactness -------- *)
+
+module I = Solver.Interval
+
+let npoint ?(int = true) v = { I.nlo = v; nhi = v; nint = int }
+
+(* [nmod] on point operands must return the exact singleton matching
+   [Value.modulo] (MATLAB sign convention), for every sign combination.
+   Before the fix the generic one-sided range was returned, e.g.
+   (-7) mod 3 as [0,2] instead of the point 2. *)
+let test_interval_mod_points () =
+  List.iter
+    (fun (x, y) ->
+      let n = I.nmod (npoint (float_of_int x)) (npoint (float_of_int y)) in
+      let expected =
+        match Slim.Value.modulo (Slim.Value.Int x) (Slim.Value.Int y) with
+        | Slim.Value.Int r -> float_of_int r
+        | _ -> Alcotest.fail "modulo returned non-int"
+      in
+      check Alcotest.(pair (float 0.0) (float 0.0))
+        (Printf.sprintf "%d mod %d singleton" x y)
+        (expected, expected) (n.I.nlo, n.I.nhi))
+    [ (7, 3); (-7, 3); (7, -3); (-7, -3); (6, 3); (-6, 3); (0, 5); (0, -5) ]
+
+let test_interval_mod_real_points () =
+  List.iter
+    (fun (x, y) ->
+      let n = I.nmod (npoint ~int:false x) (npoint ~int:false y) in
+      let expected =
+        match Slim.Value.modulo (Slim.Value.Real x) (Slim.Value.Real y) with
+        | Slim.Value.Real r -> r
+        | _ -> Alcotest.fail "modulo returned non-real"
+      in
+      check Alcotest.(float 0.0)
+        (Printf.sprintf "%g mod %g lo" x y)
+        expected n.I.nlo;
+      check Alcotest.(float 0.0)
+        (Printf.sprintf "%g mod %g hi" x y)
+        expected n.I.nhi)
+    [ (7.5, 2.5); (-7.5, 2.0); (7.5, -2.0); (-0.5, -0.25) ]
+
+(* [nabs] on a point must be the exact point, including the negative
+   side (previously covered by the generic zero-straddle hull only when
+   the interval was wide). *)
+let test_interval_abs_points () =
+  List.iter
+    (fun v ->
+      let n = I.nabs (npoint ~int:false v) in
+      check Alcotest.(float 0.0) (Printf.sprintf "abs %g lo" v)
+        (Float.abs v) n.I.nlo;
+      check Alcotest.(float 0.0) (Printf.sprintf "abs %g hi" v)
+        (Float.abs v) n.I.nhi)
+    [ 3.5; -3.5; 0.0; -0.0; 1e-9; -1e300 ]
+
+(* Range soundness sweep: every concrete (a mod b) must land inside
+   [nmod] of the operand hulls, for divisor ranges of every sign. *)
+let test_interval_mod_range_sound () =
+  let hull lo hi = { I.nlo = float_of_int lo; nhi = float_of_int hi; nint = true } in
+  List.iter
+    (fun (alo, ahi, blo, bhi) ->
+      let n = I.nmod (hull alo ahi) (hull blo bhi) in
+      for a = alo to ahi do
+        for b = blo to bhi do
+          if b <> 0 then begin
+            let r =
+              match Slim.Value.modulo (Slim.Value.Int a) (Slim.Value.Int b) with
+              | Slim.Value.Int r -> float_of_int r
+              | _ -> Alcotest.fail "modulo returned non-int"
+            in
+            if not (n.I.nlo <= r && r <= n.I.nhi) then
+              Alcotest.failf "%d mod %d = %g outside [%g,%g]" a b r n.I.nlo
+                n.I.nhi
+          end
+        done
+      done)
+    [ (-9, 9, 1, 4); (-9, 9, -4, -1); (-9, 9, -3, 3); (0, 20, 5, 5) ]
+
 let () =
   Alcotest.run "solver"
     [
@@ -420,6 +497,17 @@ let () =
             test_mod_backward_pins_divisor;
           Alcotest.test_case "abs: sign-aware backward" `Quick
             test_abs_backward_sign;
+        ] );
+      ( "interval points",
+        [
+          Alcotest.test_case "mod: int point exact" `Quick
+            test_interval_mod_points;
+          Alcotest.test_case "mod: real point exact" `Quick
+            test_interval_mod_real_points;
+          Alcotest.test_case "abs: point exact" `Quick
+            test_interval_abs_points;
+          Alcotest.test_case "mod: range soundness sweep" `Quick
+            test_interval_mod_range_sound;
         ] );
       ("props", List.map QCheck_alcotest.to_alcotest [ prop_solver_sound ]);
     ]
