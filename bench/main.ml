@@ -216,7 +216,7 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let write_json ?telemetry path (results : (string * float) list) =
+let write_json ?telemetry ?(derived = []) path (results : (string * float) list) =
   let oc = open_out path in
   output_string oc "{\n";
   output_string oc (Fmt.str "  \"quick\": %b,\n" quick);
@@ -224,6 +224,14 @@ let write_json ?telemetry path (results : (string * float) list) =
      cores - 1) — wall-clock entries are only comparable at equal jobs *)
   output_string oc (Fmt.str "  \"jobs\": %d,\n" (Harness.Pool.default_jobs ()));
   output_string oc "  \"unit\": \"ns/run\",\n";
+  (* headline efficiency ratios of the end-to-end phases, promoted to
+     top-level fields so cross-PR tracking can diff them without digging
+     into the telemetry object: solve-cache hit rate, term-DAG dedup
+     ratio, HC4 memo intensity *)
+  List.iter
+    (fun (name, v) ->
+      output_string oc (Fmt.str "  \"%s\": %.6f,\n" (json_escape name) v))
+    derived;
   (* counter/histogram/span snapshot of the end-to-end phases (paper
      artifacts, wall-clock matrix, fuzz campaign); micro-benchmarks run
      after telemetry is reset and measure the disabled path *)
@@ -391,10 +399,11 @@ let () =
   let telemetry =
     if micro_only then None else Some (Telemetry.json_summary ())
   in
+  let derived = if micro_only then [] else Telemetry.derived_rates () in
   Telemetry.disable ();
   Telemetry.reset ();
   let results = micros @ wallclock @ analysis @ fuzz in
   (match json_path with
-   | Some path -> write_json ?telemetry path results
+   | Some path -> write_json ?telemetry ~derived path results
    | None -> ());
   Fmt.pr "@.done.@."

@@ -111,11 +111,21 @@ type state = {
           back-off the paper's Discussion calls for to stop "multiple
           solving for this type of branch" from eating the budget) *)
   solve_cache : (int * int, unit) Hashtbl.t;
-      (** (objective id, state uid) pairs that already failed to solve:
-          two nodes with equal snapshots give identical one-step answers,
-          so re-solving is skipped (the "duplicate solving" waste the
-          paper's Discussion flags).  State uids come from the tree's
-          intern table — no snapshot serialization. *)
+      (** (objective id, state signature) pairs that already failed to
+          solve: two nodes whose snapshots agree on every solver-relevant
+          state slot give identical one-step answers, so re-solving is
+          skipped (the "duplicate solving" waste the paper's Discussion
+          flags).  Signatures are hashcons ids of constant terms over
+          the relevant-slot projection (see [solve_signature]), so
+          distinct tree nodes with equal residual state hit the cache
+          even when irrelevant slots differ. *)
+  relevant_slots : bool array;
+      (** per declared state slot: can it influence a solve outcome?
+          ({!Explore.relevant_state_slots}) *)
+  sig_terms : (int, Solver.Term.t) Hashtbl.t;
+      (** state uid -> signature term.  The term itself is kept (not
+          just its id) so the weak hashcons table cannot reclaim it and
+          later hand its id to a different term mid-run. *)
   mutable mcdc_stamp : int;  (** tracker progress at last MCDC refresh *)
   mutable mcdc_cache : objective list;
   library : Exec.inputs Dynarr.t;  (** all solved inputs, oldest first *)
@@ -132,6 +142,46 @@ let intern_target st target =
     st.next_target_id <- id + 1;
     Hashtbl.replace st.target_ids target id;
     id
+
+(* Project a snapshot onto the solver-relevant state slots.  Short
+   snapshot arrays fall back to the declared initial value — the same
+   contract as [Sym_value.env_of_program], so env-equal states project
+   equal. *)
+let relevant_projection st snapshot =
+  let vals = ref [] in
+  List.iteri
+    (fun i ((_ : Ir.var), init) ->
+      if st.relevant_slots.(i) then begin
+        let value =
+          if i < Array.length snapshot then snapshot.(i) else init
+        in
+        vals := value :: !vals
+      end)
+    st.prog.Ir.states;
+  Array.of_list (List.rev !vals)
+
+(* Semantic solve-cache key for a tree node: the hashcons id of a
+   constant [Vec] term over the node's relevant-slot projection.  The
+   solve outcome for a given objective is a deterministic function of
+   that projection (the per-call solver RNG is seeded from the config
+   seed and the target decision only), so equal signatures guarantee
+   equal answers.  Memoized per state uid. *)
+let solve_signature st (node : State_tree.node) =
+  let uid = node.State_tree.state_uid in
+  match Hashtbl.find_opt st.sig_terms uid with
+  | Some t -> Solver.Term.id t
+  | None ->
+    let t =
+      if not st.cfg.state_aware then
+        (* state-blind ablation: the solver never reads the snapshot,
+           so every node shares one signature *)
+        Solver.Term.cbool false
+      else
+        Solver.Term.cst
+          (Slim.Value.Vec (relevant_projection st node.State_tree.state))
+    in
+    Hashtbl.replace st.sig_terms uid t;
+    Solver.Term.id t
 
 let objective_covered st obj =
   match obj.obj_target with
@@ -267,7 +317,7 @@ let state_aware_solving st =
           end
           else begin
             let node = State_tree.node st.tree id in
-            let cache_key = (obj.obj_key, node.State_tree.state_uid) in
+            let cache_key = (obj.obj_key, solve_signature st node) in
             if State_tree.is_solved node obj.obj_key then try_nodes (id + 1)
             else if Hashtbl.mem st.solve_cache cache_key then begin
               Telemetry.Counter.incr tel_cache_hits;
@@ -543,6 +593,8 @@ let run ?(config = default_config) prog =
       next_target_id = !next_target_id;
       cursors = Hashtbl.create 256;
       solve_cache = Hashtbl.create 4096;
+      relevant_slots = Explore.relevant_state_slots prog;
+      sig_terms = Hashtbl.create 1024;
       misses = Hashtbl.create 256;
       mcdc_stamp = -1;
       mcdc_cache = [];

@@ -214,7 +214,12 @@ let symexec ~seed ?(max_targets = 6) prog steps =
   let states = visited_states ex steps in
   let pick_state () = states.(Splitmix.int rng (Array.length states)) in
   let config =
-    { Symexec.Explore.max_paths = 64; node_budget = 4000; rng_seed = seed }
+    {
+      Symexec.Explore.max_paths = 64;
+      node_budget = 4000;
+      rng_seed = seed;
+      hc4_memo = true;
+    }
   in
   let refute_budget = 20 in
   let check_branch key =

@@ -96,7 +96,7 @@ let tel_result (res, (stats : stats)) =
   end;
   (res, stats)
 
-let solve ?(node_budget = default_budget) ?rng problem =
+let solve ?(node_budget = default_budget) ?(hc4_memo = true) ?rng problem =
   let rng =
     match rng with Some r -> r | None -> Random.State.make [| 0x57C6 |]
   in
@@ -149,9 +149,6 @@ let solve ?(node_budget = default_budget) ?rng problem =
         vars;
       !best
     in
-    let copy_store (store : Hc4.store) =
-      { store with Hc4.doms = Hashtbl.copy store.Hc4.doms }
-    in
     let rec dfs store =
       stats.nodes <- stats.nodes + 1;
       if stats.nodes > node_budget then raise Out_of_budget;
@@ -177,13 +174,13 @@ let solve ?(node_budget = default_budget) ?rng problem =
             if all_exact then Exhausted else Gave_up
           | Some (x, (l, r), _) -> (
             Telemetry.Counter.incr tel_splits;
-            let sl = copy_store store in
-            Hashtbl.replace sl.Hc4.doms x l;
+            let sl = Hc4.copy_store store in
+            Hc4.set_dom sl x l;
             match dfs sl with
             | Found a -> Found a
             | left_out -> (
-              let sr = copy_store store in
-              Hashtbl.replace sr.Hc4.doms x r;
+              let sr = Hc4.copy_store store in
+              Hc4.set_dom sr x r;
               match dfs sr with
               | Found a -> Found a
               | Exhausted ->
@@ -191,7 +188,8 @@ let solve ?(node_budget = default_budget) ?rng problem =
               | Gave_up -> Gave_up))))
     in
     let store =
-      Hc4.create_store (List.map (fun (x, ty) -> (x, Dom.of_ty ty)) vars)
+      Hc4.create_store ~memo:hc4_memo
+        (List.map (fun (x, ty) -> (x, Dom.of_ty ty)) vars)
     in
     tel_result
       (match dfs store with

@@ -29,8 +29,15 @@ type stats = {
 }
 
 val solve :
-  ?node_budget:int -> ?rng:Random.State.t -> problem -> result * stats
+  ?node_budget:int ->
+  ?hc4_memo:bool ->
+  ?rng:Random.State.t ->
+  problem ->
+  result * stats
 (** Default budget: 20_000 nodes.  The RNG only drives sampling
-    heuristics; pass a seeded state for reproducible runs. *)
+    heuristics; pass a seeded state for reproducible runs.
+    [hc4_memo] (default [true]) enables the HC4 projection memo; results
+    are bit-identical either way (the memo only skips provable no-ops),
+    so the flag exists purely as a test escape hatch. *)
 
 val pp_result : result Fmt.t

@@ -1,7 +1,18 @@
 (* HC4-style constraint propagation: forward interval evaluation and
    backward projection over solver terms.  All rules are conservative
    (over-approximating), so propagation never loses solutions; final
-   answers are confirmed by concrete evaluation in [Csp]. *)
+   answers are confirmed by concrete evaluation in [Csp].
+
+   Terms are hash-consed DAGs, so the same subterm reaches [fwd]/[bwd]
+   many times per round through different parents.  Both directions are
+   memoized per store, keyed on the term id and stamped with the store's
+   generation — a counter bumped on every domain narrowing, i.e. a
+   cheap identity for the current box.  A forward memo hit returns
+   exactly what recomputation against the unchanged box would; a
+   backward entry is recorded only when the call completed without
+   narrowing anything, so skipping it on the same box is a no-op by
+   construction.  Memoized and unmemoized propagation are therefore
+   bit-identical, which [create_store ~memo:false] exposes for tests. *)
 
 module Value = Slim.Value
 module Ir = Slim.Ir
@@ -9,24 +20,57 @@ module Ir = Slim.Ir
 type store = {
   doms : (string, Dom.t) Hashtbl.t;
   mutable changed : bool;
+  memo : bool;
+  mutable generation : int;  (* bumped on every narrowing *)
+  fwd_memo : (int, int * Dom.t) Hashtbl.t;  (* term id -> generation, dom *)
+  bwd_memo : (int * Dom.t, int) Hashtbl.t;
+      (* (term id, requirement) -> generation at which the call was a no-op *)
 }
 
-let create_store bindings =
+let create_store ?(memo = true) bindings =
   let doms = Hashtbl.create 16 in
   List.iter (fun (x, d) -> Hashtbl.replace doms x d) bindings;
-  { doms; changed = false }
+  {
+    doms;
+    changed = false;
+    memo;
+    generation = 0;
+    fwd_memo = Hashtbl.create (if memo then 64 else 1);
+    bwd_memo = Hashtbl.create (if memo then 64 else 1);
+  }
+
+(* Memo entries are only valid for the exact box they were computed
+   against, so a copy may keep them — but the copy gets fresh tables:
+   the branches diverge, and sharing mutable tables across stores whose
+   generations advance independently would let one branch's entries
+   shadow the other's.  Callers that mutate [doms] directly after
+   copying (the DFS split) must go through [set_dom] so the generation
+   advances past every cached stamp. *)
+let copy_store store =
+  {
+    store with
+    doms = Hashtbl.copy store.doms;
+    fwd_memo = Hashtbl.copy store.fwd_memo;
+    bwd_memo = Hashtbl.copy store.bwd_memo;
+  }
 
 let get store x =
   match Hashtbl.find_opt store.doms x with
   | Some d -> d
   | None -> Value.type_error "unknown solver variable %s" x
 
+(* Unconditional domain replacement (search splits): invalidates memos. *)
+let set_dom store x d =
+  Hashtbl.replace store.doms x d;
+  store.generation <- store.generation + 1
+
 let narrow store x d =
   let old = get store x in
   let d' = Dom.meet old d in
   if not (Dom.equal d' old) then begin
     Hashtbl.replace store.doms x d';
-    store.changed <- true
+    store.changed <- true;
+    store.generation <- store.generation + 1
   end
 
 (* Numeric intervals and three-valued booleans come from the shared
@@ -35,11 +79,31 @@ let narrow store x d =
    throughout this file. *)
 open Interval
 
+let tel_memo_hits = Telemetry.Counter.make "solver.hc4_memo_hits"
+
 (* --- forward evaluation ---------------------------------------------- *)
 
 (* Every term evaluates to a Dom. *)
 let rec fwd store (t : Term.t) : Dom.t =
-  match t with
+  match t.Term.node with
+  | Term.Cst _ | Term.Tvar _ -> fwd_node store t
+  | _ ->
+    if not store.memo then fwd_node store t
+    else begin
+      match Hashtbl.find_opt store.fwd_memo t.Term.id with
+      | Some (g, d) when g = store.generation ->
+        Telemetry.Counter.incr tel_memo_hits;
+        d
+      | _ ->
+        (* raising computations are not cached: they re-raise on the
+           next visit exactly as recomputation would *)
+        let d = fwd_node store t in
+        Hashtbl.replace store.fwd_memo t.Term.id (store.generation, d);
+        d
+    end
+
+and fwd_node store (t : Term.t) : Dom.t =
+  match t.Term.node with
   | Term.Cst (Value.Bool b) -> Dom.booln b
   | Term.Cst (Value.Int i) -> Dom.intn i i
   | Term.Cst (Value.Real r) -> Dom.realn r r
@@ -149,7 +213,24 @@ let negate_cmp = function
 
 (* Narrow the variables under [t] so that its value may lie in [req]. *)
 let rec bwd store (t : Term.t) (req : Dom.t) : unit =
-  match t with
+  match t.Term.node with
+  | Term.Cst _ | Term.Tvar _ -> bwd_node store t req
+  | _ ->
+    if not store.memo then bwd_node store t req
+    else begin
+      let key = (t.Term.id, req) in
+      match Hashtbl.find_opt store.bwd_memo key with
+      | Some g when g = store.generation -> Telemetry.Counter.incr tel_memo_hits
+      | _ ->
+        let g0 = store.generation in
+        bwd_node store t req;
+        (* record only completed no-op calls; a raising call never gets
+           here, a narrowing call fails the generation check *)
+        if store.generation = g0 then Hashtbl.replace store.bwd_memo key g0
+    end
+
+and bwd_node store (t : Term.t) (req : Dom.t) : unit =
+  match t.Term.node with
   | Term.Cst v -> if not (can_meet req (fwd store t)) then raise Dom.Empty else ignore v
   | Term.Tvar x -> narrow store x req
   | Term.Tnot e -> bwd store e (dom_of_b3 (b3_not (b3_of_dom req)))

@@ -1,7 +1,44 @@
 module Value = Slim.Value
 module Ir = Slim.Ir
 
-type t =
+(* Hash-consed DAG terms.  Every [t] is allocated through [make], which
+   consults a per-domain weak hashcons table: structurally equal terms
+   (after normalization) are the *same* node, so [equal] is physical
+   equality, [hash]/[size] are stored fields, and every consumer that
+   memoizes per-term can key on [id].
+
+   Domain safety: the table, like {!Sym_value}'s variable interner, is
+   domain-local ([Domain.DLS]) rather than a single mutex-guarded
+   global.  Term construction is the hottest allocation site in the
+   symbolic executor, and no term ever crosses a domain boundary (each
+   engine run / solver call / fuzz case is confined to one worker
+   domain; results carry [Value.t]s, never terms), so per-domain tables
+   give the same uniqueness guarantee without hot-path locking.
+   Consequence: ids are unique *per domain*; [equal]/[compare]/[id] are
+   only meaningful between terms built on the same domain — which is
+   every comparison the codebase performs.
+
+   Normalization at construction:
+   - constant folding, exactly as the tree constructors always did;
+   - commutative-operand ordering for [+], [*], [&&], [||], [=], [<>]:
+     operands are ordered by the deterministic structural hash, ties
+     broken by a full structural compare.  Crucially the order does
+     *not* depend on hashcons ids (which vary with allocation history),
+     so the same source guards normalize to the same shape in every
+     run, domain and process — the determinism gate for pooled runs.
+
+   The weak table lets the GC reclaim dead terms while uniqueness holds
+   for all live ones; ids are never reused either way (the counter only
+   grows), so an id-keyed cache can at worst miss, never alias. *)
+
+type t = {
+  id : int;  (* unique per domain, dense-ish, never reused *)
+  node : node;
+  hkey : int;  (* deterministic structural hash *)
+  tsize : int;  (* tree size, saturating at [size_sat_cap] *)
+}
+
+and node =
   | Cst of Value.t
   | Tvar of string
   | Tunop of Ir.unop * t
@@ -12,13 +49,156 @@ type t =
   | Tnot of t
   | Tite of t * t * t
 
-let cst v = Cst v
-let cbool b = Cst (Value.Bool b)
-let cint i = Cst (Value.Int i)
-let creal r = Cst (Value.Real r)
-let var name = Tvar name
+let view t = t.node
+let id t = t.id
+let hash t = t.hkey
+let equal a b = a == b
+let compare a b = Int.compare a.id b.id
 
-let is_const = function Cst v -> Some v | _ -> None
+(* --- structural hash and size ----------------------------------------- *)
+
+(* [Hashtbl.hash] is the non-seeded polymorphic hash: deterministic
+   across runs and processes, which the commutative ordering relies on.
+   Its bounded traversal of big [Value.Vec] constants only costs extra
+   collisions — the weak-set lookup compares structurally. *)
+let mix h d = ((h * 0x01000193) lxor d) land max_int
+
+let hash_node = function
+  | Cst v -> mix 0x11 (Hashtbl.hash v)
+  | Tvar x -> mix 0x22 (Hashtbl.hash x)
+  | Tunop (op, e) -> mix (mix 0x33 (Hashtbl.hash op)) e.hkey
+  | Tbinop (op, a, b) -> mix (mix (mix 0x44 (Hashtbl.hash op)) a.hkey) b.hkey
+  | Tcmp (op, a, b) -> mix (mix (mix 0x55 (Hashtbl.hash op)) a.hkey) b.hkey
+  | Tand (a, b) -> mix (mix 0x66 a.hkey) b.hkey
+  | Tor (a, b) -> mix (mix 0x77 a.hkey) b.hkey
+  | Tnot e -> mix 0x88 e.hkey
+  | Tite (c, a, b) -> mix (mix (mix 0x99 c.hkey) a.hkey) b.hkey
+
+(* Tree sizes of shared DAGs grow exponentially; saturate far above
+   every cap used by callers (all <= 60_000) so [size_capped cap t =
+   min cap (tree size)] exactly as the old streaming counter computed. *)
+let size_sat_cap = 1 lsl 30
+
+let sat a b =
+  let s = a + b in
+  if s >= size_sat_cap then size_sat_cap else s
+
+let size_node = function
+  | Cst _ | Tvar _ -> 1
+  | Tunop (_, e) | Tnot e -> sat 1 e.tsize
+  | Tbinop (_, a, b) | Tcmp (_, a, b) | Tand (a, b) | Tor (a, b) ->
+    sat 1 (sat a.tsize b.tsize)
+  | Tite (c, a, b) -> sat 1 (sat c.tsize (sat a.tsize b.tsize))
+
+(* --- the hashcons table ------------------------------------------------ *)
+
+module H = struct
+  type nonrec t = t
+
+  let hash t = t.hkey
+
+  (* Shallow structural equality: children are unique already, so
+     physical comparison suffices below the top node.  Constants use
+     [compare] so [nan] payloads stay well-behaved. *)
+  let equal a b =
+    match a.node, b.node with
+    | Cst u, Cst v -> Stdlib.compare u v = 0
+    | Tvar x, Tvar y -> String.equal x y
+    | Tunop (o1, e1), Tunop (o2, e2) -> o1 = o2 && e1 == e2
+    | Tbinop (o1, a1, b1), Tbinop (o2, a2, b2) ->
+      o1 = o2 && a1 == a2 && b1 == b2
+    | Tcmp (o1, a1, b1), Tcmp (o2, a2, b2) -> o1 = o2 && a1 == a2 && b1 == b2
+    | Tand (a1, b1), Tand (a2, b2) | Tor (a1, b1), Tor (a2, b2) ->
+      a1 == a2 && b1 == b2
+    | Tnot e1, Tnot e2 -> e1 == e2
+    | Tite (c1, a1, b1), Tite (c2, a2, b2) ->
+      c1 == c2 && a1 == a2 && b1 == b2
+    | _, _ -> false
+end
+
+module W = Weak.Make (H)
+
+type hstate = { tbl : W.t; mutable next_id : int }
+
+let hstate_key =
+  Domain.DLS.new_key (fun () -> { tbl = W.create 4096; next_id = 0 })
+
+(* Hit/node counts depend on GC timing (weak table) and on which runs
+   landed on this domain, so they are nondeterministic across worker
+   counts: excluded from the deterministic snapshot. *)
+let tel_nodes = Telemetry.Counter.make ~nondet:true "term.hashcons_nodes"
+let tel_hits = Telemetry.Counter.make ~nondet:true "term.hashcons_hits"
+
+let make node =
+  let hs = Domain.DLS.get hstate_key in
+  let cand =
+    { id = hs.next_id; node; hkey = hash_node node; tsize = size_node node }
+  in
+  let r = W.merge hs.tbl cand in
+  if r == cand then begin
+    hs.next_id <- hs.next_id + 1;
+    Telemetry.Counter.incr tel_nodes
+  end
+  else Telemetry.Counter.incr tel_hits;
+  r
+
+(* --- canonical commutative order --------------------------------------- *)
+
+let tag_rank = function
+  | Cst _ -> 0
+  | Tvar _ -> 1
+  | Tunop _ -> 2
+  | Tbinop _ -> 3
+  | Tcmp _ -> 4
+  | Tand _ -> 5
+  | Tor _ -> 6
+  | Tnot _ -> 7
+  | Tite _ -> 8
+
+(* Deterministic total order on term structure (never on ids). *)
+let rec compare_structural a b =
+  if a == b then 0
+  else
+    match a.node, b.node with
+    | Cst u, Cst v -> Stdlib.compare u v
+    | Tvar x, Tvar y -> String.compare x y
+    | Tunop (o1, e1), Tunop (o2, e2) ->
+      let c = Stdlib.compare o1 o2 in
+      if c <> 0 then c else compare_structural e1 e2
+    | Tbinop (o1, a1, b1), Tbinop (o2, a2, b2) ->
+      let c = Stdlib.compare o1 o2 in
+      if c <> 0 then c else compare_structural2 a1 b1 a2 b2
+    | Tcmp (o1, a1, b1), Tcmp (o2, a2, b2) ->
+      let c = Stdlib.compare o1 o2 in
+      if c <> 0 then c else compare_structural2 a1 b1 a2 b2
+    | Tand (a1, b1), Tand (a2, b2) | Tor (a1, b1), Tor (a2, b2) ->
+      compare_structural2 a1 b1 a2 b2
+    | Tnot e1, Tnot e2 -> compare_structural e1 e2
+    | Tite (c1, a1, b1), Tite (c2, a2, b2) ->
+      let c = compare_structural c1 c2 in
+      if c <> 0 then c else compare_structural2 a1 b1 a2 b2
+    | n1, n2 -> Int.compare (tag_rank n1) (tag_rank n2)
+
+and compare_structural2 a1 b1 a2 b2 =
+  let c = compare_structural a1 a2 in
+  if c <> 0 then c else compare_structural b1 b2
+
+let canon a b =
+  if a == b then (a, b)
+  else if a.hkey < b.hkey then (a, b)
+  else if a.hkey > b.hkey then (b, a)
+  else if compare_structural a b <= 0 then (a, b)
+  else (b, a)
+
+(* --- smart constructors ------------------------------------------------ *)
+
+let cst v = make (Cst v)
+let cbool b = cst (Value.Bool b)
+let cint i = cst (Value.Int i)
+let creal r = cst (Value.Real r)
+let var name = make (Tvar name)
+
+let is_const t = match t.node with Cst v -> Some v | _ -> None
 
 let eval_unop (op : Ir.unop) v =
   match op with
@@ -50,109 +230,141 @@ let eval_cmp (op : Ir.cmpop) a b =
   | Ir.Gt -> c () > 0
   | Ir.Ge -> c () >= 0
 
+let mk_unop op e = make (Tunop (op, e))
+
+(* [+] and [*] commute over every value combination the evaluator
+   accepts, and the HC4 projections for them are symmetric, so the
+   canonical operand order is semantically invisible. *)
+let mk_binop op a b =
+  match op with
+  | Ir.Add | Ir.Mul ->
+    let a, b = canon a b in
+    make (Tbinop (op, a, b))
+  | Ir.Sub | Ir.Div | Ir.Mod | Ir.Min | Ir.Max -> make (Tbinop (op, a, b))
+
+let mk_cmp op a b =
+  match op with
+  | Ir.Eq | Ir.Ne ->
+    let a, b = canon a b in
+    make (Tcmp (op, a, b))
+  | Ir.Lt | Ir.Le | Ir.Gt | Ir.Ge -> make (Tcmp (op, a, b))
+
 let unop op e =
-  match e with
-  | Cst v -> (try Cst (eval_unop op v) with Value.Type_error _ -> Tunop (op, e))
-  | _ -> Tunop (op, e)
+  match e.node with
+  | Cst v -> (try cst (eval_unop op v) with Value.Type_error _ -> mk_unop op e)
+  | _ -> mk_unop op e
 
 let binop op a b =
-  match a, b with
+  match a.node, b.node with
   | Cst va, Cst vb ->
-    (try Cst (eval_binop op va vb) with Value.Type_error _ -> Tbinop (op, a, b))
-  | _ -> Tbinop (op, a, b)
+    (try cst (eval_binop op va vb) with Value.Type_error _ -> mk_binop op a b)
+  | _ -> mk_binop op a b
 
 let cmp op a b =
-  match a, b with
+  match a.node, b.node with
   | Cst va, Cst vb ->
-    (try Cst (Value.Bool (eval_cmp op va vb))
-     with Value.Type_error _ -> Tcmp (op, a, b))
-  | _ -> Tcmp (op, a, b)
+    (try cst (Value.Bool (eval_cmp op va vb))
+     with Value.Type_error _ -> mk_cmp op a b)
+  | _ -> mk_cmp op a b
 
 let and_ a b =
-  match a, b with
-  | Cst (Value.Bool true), x | x, Cst (Value.Bool true) -> x
+  match a.node, b.node with
+  | Cst (Value.Bool true), _ -> b
+  | _, Cst (Value.Bool true) -> a
   | Cst (Value.Bool false), _ | _, Cst (Value.Bool false) -> cbool false
-  | _ -> Tand (a, b)
+  | _ ->
+    let a, b = canon a b in
+    make (Tand (a, b))
 
 let or_ a b =
-  match a, b with
-  | Cst (Value.Bool false), x | x, Cst (Value.Bool false) -> x
+  match a.node, b.node with
+  | Cst (Value.Bool false), _ -> b
+  | _, Cst (Value.Bool false) -> a
   | Cst (Value.Bool true), _ | _, Cst (Value.Bool true) -> cbool true
-  | _ -> Tor (a, b)
+  | _ ->
+    let a, b = canon a b in
+    make (Tor (a, b))
 
-let not_ = function
+let not_ e =
+  match e.node with
   | Cst (Value.Bool b) -> cbool (not b)
-  | Tnot e -> e
-  | e -> Tnot e
+  | Tnot inner -> inner
+  | _ -> make (Tnot e)
 
 let ite c t e =
-  match c with
+  match c.node with
   | Cst (Value.Bool true) -> t
   | Cst (Value.Bool false) -> e
-  | _ -> if t = e then t else Tite (c, t, e)
+  | _ -> if t == e then t else make (Tite (c, t, e))
 
 let conj = function
   | [] -> cbool true
   | t :: ts -> List.fold_left and_ t ts
 
+(* --- queries ------------------------------------------------------------ *)
+
 let vars t =
   let module S = Set.Make (String) in
-  let rec go acc = function
-    | Cst _ -> acc
-    | Tvar x -> S.add x acc
-    | Tunop (_, e) | Tnot e -> go acc e
-    | Tbinop (_, a, b) | Tcmp (_, a, b) | Tand (a, b) | Tor (a, b) ->
-      go (go acc a) b
-    | Tite (c, a, b) -> go (go (go acc c) a) b
+  let seen = Hashtbl.create 64 in
+  let rec go acc t =
+    if Hashtbl.mem seen t.id then acc
+    else begin
+      Hashtbl.add seen t.id ();
+      match t.node with
+      | Cst _ -> acc
+      | Tvar x -> S.add x acc
+      | Tunop (_, e) | Tnot e -> go acc e
+      | Tbinop (_, a, b) | Tcmp (_, a, b) | Tand (a, b) | Tor (a, b) ->
+        go (go acc a) b
+      | Tite (c, a, b) -> go (go (go acc c) a) b
+    end
   in
   S.elements (go S.empty t)
 
-let rec size = function
-  | Cst _ | Tvar _ -> 1
-  | Tunop (_, e) | Tnot e -> 1 + size e
-  | Tbinop (_, a, b) | Tcmp (_, a, b) | Tand (a, b) | Tor (a, b) ->
-    1 + size a + size b
-  | Tite (c, a, b) -> 1 + size c + size a + size b
+let size t = t.tsize
+let size_capped cap t = if t.tsize < cap then t.tsize else cap
 
-(* Terms built by multi-step state threading can be exponentially large
-   when walked as trees even though they are compact DAGs in memory;
-   [size_capped] stops counting at [cap] so callers can reject oversize
-   constraints in bounded time. *)
-let size_capped cap t =
-  let n = ref 0 in
-  let rec go t =
-    if !n < cap then begin
-      incr n;
-      match t with
-      | Cst _ | Tvar _ -> ()
-      | Tunop (_, e) | Tnot e -> go e
-      | Tbinop (_, a, b) | Tcmp (_, a, b) | Tand (a, b) | Tor (a, b) ->
-        go a;
-        go b
-      | Tite (c, a, b) ->
-        go c;
-        go a;
-        go b
-    end
-  in
-  go t;
-  !n
-
-let rec eval env = function
+let eval_node recur env = function
   | Cst v -> v
   | Tvar x -> env x
-  | Tunop (op, e) -> eval_unop op (eval env e)
-  | Tbinop (op, a, b) -> eval_binop op (eval env a) (eval env b)
-  | Tcmp (op, a, b) -> Value.Bool (eval_cmp op (eval env a) (eval env b))
+  | Tunop (op, e) -> eval_unop op (recur e)
+  | Tbinop (op, a, b) -> eval_binop op (recur a) (recur b)
+  | Tcmp (op, a, b) -> Value.Bool (eval_cmp op (recur a) (recur b))
   | Tand (a, b) ->
-    Value.Bool (Value.to_bool (eval env a) && Value.to_bool (eval env b))
+    Value.Bool (Value.to_bool (recur a) && Value.to_bool (recur b))
   | Tor (a, b) ->
-    Value.Bool (Value.to_bool (eval env a) || Value.to_bool (eval env b))
-  | Tnot e -> Value.Bool (not (Value.to_bool (eval env e)))
-  | Tite (c, a, b) ->
-    if Value.to_bool (eval env c) then eval env a else eval env b
+    Value.Bool (Value.to_bool (recur a) || Value.to_bool (recur b))
+  | Tnot e -> Value.Bool (not (Value.to_bool (recur e)))
+  | Tite (c, a, b) -> if Value.to_bool (recur c) then recur a else recur b
 
-let rec pp ppf = function
+(* Small terms evaluate by plain recursion; large (shared) ones memoize
+   per node so DAG evaluation is linear in unique nodes.  [env] must be
+   a pure function of its argument (every caller passes a map lookup);
+   failed evaluations are not cached, so a raising node raises again on
+   the next visit exactly as tree walking did. *)
+let eval env t =
+  if t.tsize <= 256 then
+    let rec go t = eval_node go env t.node in
+    go t
+  else begin
+    let tbl = Hashtbl.create 1024 in
+    let rec go t =
+      match t.node with
+      | Cst v -> v
+      | Tvar x -> env x
+      | _ -> (
+        match Hashtbl.find_opt tbl t.id with
+        | Some v -> v
+        | None ->
+          let v = eval_node go env t.node in
+          Hashtbl.add tbl t.id v;
+          v)
+    in
+    go t
+  end
+
+let rec pp ppf t =
+  match t.node with
   | Cst v -> Value.pp ppf v
   | Tvar x -> Fmt.string ppf x
   | Tunop (op, e) -> Fmt.pf ppf "%a(%a)" Ir.pp_unop op pp e
@@ -162,5 +374,3 @@ let rec pp ppf = function
   | Tor (a, b) -> Fmt.pf ppf "(%a || %a)" pp a pp b
   | Tnot e -> Fmt.pf ppf "!(%a)" pp e
   | Tite (c, a, b) -> Fmt.pf ppf "(%a ? %a : %a)" pp c pp a pp b
-
-let equal = ( = )

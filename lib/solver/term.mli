@@ -1,13 +1,33 @@
-(** Solver terms: scalar constraints over named decision variables.
+(** Solver terms: scalar constraints over named decision variables,
+    hash-consed into a DAG.
 
     Terms mirror the SLIM IR expression language minus [Index]: the
     symbolic executor eliminates array reads before constraints reach
     the solver (constant arrays fold; symbolic indices over constant
     arrays expand to [Tite] chains).  Smart constructors fold constants
     aggressively — this folding is what makes state-aware solving cheap,
-    because state variables arrive as constants. *)
+    because state variables arrive as constants.
 
-type t =
+    Every term is interned in a per-domain hashcons table, so
+    structurally equal terms (after normalization) are physically equal:
+    {!equal} is [==], {!hash}/{!size} are O(1) stored fields, and {!id}
+    is a never-reused per-domain identifier suitable as a memo key.
+    Construction additionally normalizes commutative operands ([+],
+    [*], [&&], [||], [=], [<>]) into a canonical order decided by the
+    deterministic structural hash ({!hash}) with {!compare_structural}
+    as tie-break — never by ids, so term shapes are identical across
+    runs, domains and worker counts.  Terms never cross domains (no
+    result type carries one), which is what makes the domain-local
+    table safe. *)
+
+type t = private {
+  id : int;  (** unique per domain; never reused *)
+  node : node;
+  hkey : int;  (** deterministic structural hash, {!hash} *)
+  tsize : int;  (** saturating tree size, {!size} *)
+}
+
+and node =
   | Cst of Slim.Value.t
   | Tvar of string
   | Tunop of Slim.Ir.unop * t
@@ -17,6 +37,8 @@ type t =
   | Tor of t * t
   | Tnot of t
   | Tite of t * t * t
+
+val view : t -> node
 
 val cst : Slim.Value.t -> t
 val cbool : bool -> t
@@ -38,19 +60,41 @@ val is_const : t -> Slim.Value.t option
 val conj : t list -> t
 
 val vars : t -> string list
-(** Free variables, sorted, without duplicates. *)
+(** Free variables, sorted, without duplicates; DAG traversal (each
+    shared node visited once). *)
 
 val size : t -> int
-(** Node count — used for virtual-time cost accounting. *)
+(** Tree node count (saturating far above every caller's cap) — used
+    for virtual-time cost accounting.  O(1). *)
 
 val size_capped : int -> t -> int
-(** Node count, but stops at the cap: terms threaded through many
-    symbolic steps can be exponentially large as trees even when they
-    are compact DAGs, and this keeps measuring them cheap. *)
+(** [min cap (size t)], exactly what the pre-DAG streaming counter
+    returned.  O(1). *)
 
 val eval : (string -> Slim.Value.t) -> t -> Slim.Value.t
 (** Concrete evaluation under a full assignment.  Raises
-    {!Slim.Value.Type_error} on ill-typed terms. *)
+    {!Slim.Value.Type_error} on ill-typed terms.  Large shared terms
+    evaluate once per unique node; the environment must be a pure
+    function of the variable name. *)
 
 val pp : t Fmt.t
+
 val equal : t -> t -> bool
+(** Physical equality — equivalent to structural equality (modulo
+    normalization) for terms built on the same domain. *)
+
+val compare : t -> t -> int
+(** Total order by {!id}: fast, but allocation-order dependent.  Use
+    {!compare_structural} when the order must be deterministic. *)
+
+val compare_structural : t -> t -> int
+(** Deterministic structural total order (never consults ids); the
+    tie-break of the canonical commutative-operand order. *)
+
+val hash : t -> int
+(** Stored deterministic structural hash; the primary key of the
+    canonical commutative-operand order. *)
+
+val id : t -> int
+(** The hashcons id: equal terms have equal ids (per domain), and ids
+    are never reused, so [(… , id t)] pairs are sound memo keys. *)

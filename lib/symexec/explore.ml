@@ -27,9 +27,15 @@ type outcome =
   | Unsat
   | Unknown
 
-type config = { max_paths : int; node_budget : int; rng_seed : int }
+type config = {
+  max_paths : int;
+  node_budget : int;
+  rng_seed : int;
+  hc4_memo : bool;
+}
 
-let default_config = { max_paths = 192; node_budget = 60_000; rng_seed = 1 }
+let default_config =
+  { max_paths = 192; node_budget = 60_000; rng_seed = 1; hc4_memo = true }
 
 (* A coverage objective the solver can aim at.  Branch targets are the
    paper's Algorithm 1; condition and vector targets extend the same
@@ -113,6 +119,14 @@ let outcome_constraint (outcome : Branch.outcome) (t : Term.t) ~case_labels =
   | Some _ -> `Not_taken
   | None -> `Constraint term
 
+(* Shared feasibility prefix for the sibling arms of one fork: the path
+   condition is propagated once per decision; each arm then only checks
+   its own branch constraint against a copy of the resulting box. *)
+type prefix =
+  | Pf_unsat  (** the path condition itself is contradictory *)
+  | Pf_any  (** empty or oversize prefix: no pruning information *)
+  | Pf_box of Solver.Hc4.store  (** propagated box for the prefix window *)
+
 type ctx = {
   cost : cost;
   vars : (string * Value.ty) list ref;
@@ -124,6 +138,13 @@ type ctx = {
   target : target;
   target_decision : int;
   rng : Random.State.t;
+  hc4_memo : bool;
+  mutable prefix_cache :
+    (Term.t list * (string * Value.ty) list * prefix) option;
+      (** last propagated prefix, keyed by physical identity of the
+          path-condition list and of the variable list — consecutive
+          decisions that add no constraint (and no unrolled-step
+          variables) share one propagation *)
   mutable remaining_nodes : int;
   mutable paths_left : int;
   mutable saw_unknown : bool;
@@ -156,7 +177,7 @@ let try_solve ctx pc =
       min ctx.remaining_nodes (max 50 (4_000_000 / max 1 size))
     in
     let result, stats =
-      Csp.solve ~node_budget ~rng:ctx.rng
+      Csp.solve ~node_budget ~hc4_memo:ctx.hc4_memo ~rng:ctx.rng
         { Csp.p_vars = !(ctx.vars); p_constraint = constraint_ }
     in
     ctx.remaining_nodes <- ctx.remaining_nodes - stats.Csp.nodes;
@@ -185,46 +206,74 @@ let spend_path ctx =
 let infeasible pc =
   List.exists (fun t -> Term.is_const t = Some (Value.Bool false)) pc
 
-(* Cheap interval-propagation feasibility check for a fork arm: prunes
-   arms whose path condition is already contradictory (e.g. [bank = 0]
-   from an earlier decision against [bank = 2] here), which keeps walks
-   over ladders of decisions on the same inputs linear instead of
-   exponential. *)
-let quick_feasible_check ctx pc =
-  match pc with
-  | [] -> true
-  | [ t ] -> Term.is_const t <> Some (Value.Bool false)
-  | _ ->
-    infeasible pc = false
-    &&
-    (* Bound the check to the most recent constraints: refuting a subset
-       refutes the whole, and ladder contradictions live between nearby
-       conjuncts, so a small window keeps the per-fork cost constant on
-       deep (multi-step) paths. *)
-    let window =
-      let rec take k = function
-        | t :: rest when k > 0 -> t :: take (k - 1) rest
-        | _ -> []
-      in
-      take 10 pc
-    in
-    (* deep multi-step terms make even propagation expensive: treat
-       oversize windows as feasible rather than walk them *)
-    if
-      List.exists (fun t -> Term.size_capped 2_000 t >= 2_000) window
-    then true
-    else begin
-      let store =
-        Solver.Hc4.create_store
-          (List.map (fun (x, ty) -> (x, Solver.Dom.of_ty ty)) !(ctx.vars))
-      in
-      match Solver.Hc4.propagate ~max_rounds:3 store (Term.conj window) with
-      | `Ok -> true
-      | `Unsat -> false
-    end
+(* Cheap interval-propagation feasibility for fork arms: prunes arms
+   whose path condition is already contradictory (e.g. [bank = 0] from
+   an earlier decision against [bank = 2] here), which keeps walks over
+   ladders of decisions on the same inputs linear instead of
+   exponential.  The propagation is bounded to the most recent
+   constraints: refuting a subset refutes the whole, and ladder
+   contradictions live between nearby conjuncts, so a small window
+   keeps the per-fork cost constant on deep (multi-step) paths.
 
-let quick_feasible ctx pc =
-  let feasible = quick_feasible_check ctx pc in
+   The window over the shared path condition is propagated once per
+   decision ([fork_prefix], cached across consecutive constraint-free
+   decisions via [prefix_cache]); every sibling arm then propagates
+   only its own branch constraint on a copy of the prefix box
+   ([arm_feasible]) instead of redoing the prefix from scratch. *)
+let prefix_window = 9
+
+let fork_prefix ctx pc =
+  match ctx.prefix_cache with
+  | Some (cached_pc, cached_vars, p)
+    when cached_pc == pc && cached_vars == !(ctx.vars) ->
+    p
+  | _ ->
+    let p =
+      match pc with
+      | [] -> Pf_any
+      | _ when infeasible pc -> Pf_unsat
+      | _ ->
+        let window =
+          let rec take k = function
+            | t :: rest when k > 0 -> t :: take (k - 1) rest
+            | _ -> []
+          in
+          take prefix_window pc
+        in
+        (* deep multi-step terms make even propagation expensive: treat
+           oversize prefixes as unconstraining rather than walk them *)
+        if List.exists (fun t -> Term.size_capped 2_000 t >= 2_000) window
+        then Pf_any
+        else begin
+          let store =
+            Solver.Hc4.create_store ~memo:ctx.hc4_memo
+              (List.map (fun (x, ty) -> (x, Solver.Dom.of_ty ty)) !(ctx.vars))
+          in
+          match Solver.Hc4.propagate ~max_rounds:3 store (Term.conj window) with
+          | `Ok -> Pf_box store
+          | `Unsat -> Pf_unsat
+        end
+    in
+    ctx.prefix_cache <- Some (pc, !(ctx.vars), p);
+    p
+
+(* [c_opt] is the arm's own branch constraint, [None] for arms taken
+   concretely (which add nothing to the path condition). *)
+let arm_feasible _ctx prefix c_opt =
+  let feasible =
+    match prefix, c_opt with
+    | Pf_unsat, _ -> false
+    | (Pf_any | Pf_box _), None -> true
+    | Pf_any, Some _ -> true
+    | Pf_box box, Some c ->
+      if Term.size_capped 2_000 c >= 2_000 then true
+      else begin
+        let store = Solver.Hc4.copy_store box in
+        match Solver.Hc4.propagate ~max_rounds:3 store c with
+        | `Ok -> true
+        | `Unsat -> false
+      end
+  in
   if not feasible then Telemetry.Counter.incr tel_prunes;
   feasible
 
@@ -278,19 +327,20 @@ let rec walk ctx (stmts : Ir.stmt list) env pc k =
         let arm outcome =
           let body = if outcome = Branch.Then then then_ else else_ in
           match outcome_constraint outcome t ~case_labels:[] with
-          | `Taken -> Some (body, pc)
+          | `Taken -> Some (body, pc, None)
           | `Not_taken -> None
-          | `Constraint c -> Some (body, c :: pc)
+          | `Constraint c -> Some (body, c :: pc, Some c)
         in
-        let enter outcome (body, pc) =
+        let enter outcome body pc =
           if ctx.target = Branch_target (id, outcome) then hit_target ctx pc
           else walk ctx body env pc continue_
         in
         match required_outcome ctx id with
         | Some req -> (
           match arm req with
-          | Some ((_, pc') as a) ->
-            if quick_feasible ctx pc' then enter req a
+          | Some (body, pc', c_opt) ->
+            if arm_feasible ctx (fork_prefix ctx pc) c_opt then
+              enter req body pc'
           | None -> ())
         | None ->
           (* explore the target-relevant arm first when at the target
@@ -306,14 +356,15 @@ let rec walk ctx (stmts : Ir.stmt list) env pc k =
               | Some (Branch.Case _ | Branch.Default) | None ->
                 [ Branch.Then; Branch.Else ])
           in
+          let prefix = fork_prefix ctx pc in
           List.iter
             (fun outcome ->
               match arm outcome with
               | None -> ()
-              | Some ((_, pc') as a) ->
-                if quick_feasible ctx pc' then begin
+              | Some (body, pc', c_opt) ->
+                if arm_feasible ctx prefix c_opt then begin
                   spend_path ctx;
-                  enter outcome a
+                  enter outcome body pc'
                 end)
             order))
     | Ir.Switch { id; scrut; cases; default } -> (
@@ -330,19 +381,20 @@ let rec walk ctx (stmts : Ir.stmt list) env pc k =
           | Branch.Then | Branch.Else -> default
         in
         match outcome_constraint outcome t ~case_labels:labels with
-        | `Taken -> Some (body, pc)
+        | `Taken -> Some (body, pc, None)
         | `Not_taken -> None
-        | `Constraint c -> Some (body, c :: pc)
+        | `Constraint c -> Some (body, c :: pc, Some c)
       in
-      let enter outcome (body, pc) =
+      let enter outcome body pc =
         if ctx.target = Branch_target (id, outcome) then hit_target ctx pc
         else walk ctx body env pc continue_
       in
       match required_outcome ctx id with
       | Some req -> (
         match arm req with
-        | Some ((_, pc') as a) ->
-          if quick_feasible ctx pc' then enter req a
+        | Some (body, pc', c_opt) ->
+          if arm_feasible ctx (fork_prefix ctx pc) c_opt then
+            enter req body pc'
         | None -> ())
       | None ->
         let all = List.map (fun l -> Branch.Case l) labels @ [ Branch.Default ] in
@@ -355,14 +407,15 @@ let rec walk ctx (stmts : Ir.stmt list) env pc k =
             | Some o when List.mem o all -> o :: List.filter (fun x -> x <> o) all
             | Some _ | None -> all)
         in
+        let prefix = fork_prefix ctx pc in
         List.iter
           (fun outcome ->
             match arm outcome with
             | None -> ()
-            | Some ((_, pc') as a) ->
-              if quick_feasible ctx pc' then begin
+            | Some (body, pc', c_opt) ->
+              if arm_feasible ctx prefix c_opt then begin
                 spend_path ctx;
-                enter outcome a
+                enter outcome body pc'
               end)
           order))
 
@@ -376,6 +429,8 @@ let make_ctx cfg ex target ~vars ~multi =
     target;
     target_decision = target_decision_of target;
     rng = Random.State.make [| cfg.rng_seed; target_decision_of target |];
+    hc4_memo = cfg.hc4_memo;
+    prefix_cache = None;
     remaining_nodes = cfg.node_budget;
     paths_left = cfg.max_paths;
     saw_unknown = false;
@@ -518,3 +573,87 @@ let solve_branch_multi ?(config = default_config) prog ~horizon ~target =
        (Sat inputs, ctx.cost)
      | exception Path_budget -> (Unknown, ctx.cost)
      | exception SV.Sym_error _ -> (Unknown, ctx.cost))
+
+(* --- state relevance -------------------------------------------------- *)
+
+module VSet = Set.Make (struct
+  type t = Ir.scope * string
+
+  let compare = compare
+end)
+
+let rec expr_vars acc (e : Ir.expr) =
+  match e with
+  | Ir.Const _ -> acc
+  | Ir.Var (s, n) -> VSet.add (s, n) acc
+  | Ir.Unop (_, a) -> expr_vars acc a
+  | Ir.Binop (_, a, b) | Ir.Cmp (_, a, b) | Ir.And (a, b) | Ir.Or (a, b) ->
+    expr_vars (expr_vars acc a) b
+  | Ir.Ite (c, a, b) -> expr_vars (expr_vars (expr_vars acc c) a) b
+  | Ir.Index (a, i) -> expr_vars (expr_vars acc a) i
+
+(* Variables read by index positions anywhere under [e]: their values
+   pick array elements and decide concrete out-of-bounds aborts, so
+   they influence solve outcomes even when the surrounding expression
+   never reaches a guard. *)
+let rec index_vars acc (e : Ir.expr) =
+  match e with
+  | Ir.Const _ | Ir.Var _ -> acc
+  | Ir.Unop (_, a) -> index_vars acc a
+  | Ir.Binop (_, a, b) | Ir.Cmp (_, a, b) | Ir.And (a, b) | Ir.Or (a, b) ->
+    index_vars (index_vars acc a) b
+  | Ir.Ite (c, a, b) -> index_vars (index_vars (index_vars acc c) a) b
+  | Ir.Index (a, i) -> index_vars (expr_vars acc i) a
+
+let rec lvalue_base = function
+  | Ir.Lvar (s, n) -> (s, n)
+  | Ir.Lindex (l, _) -> lvalue_base l
+
+let rec lvalue_index_vars acc = function
+  | Ir.Lvar _ -> acc
+  | Ir.Lindex (l, i) ->
+    lvalue_index_vars (index_vars (expr_vars acc i) i) l
+
+let relevant_state_slots (prog : Ir.program) : bool array =
+  (* seeds: everything a guard or scrutinee reads, plus every variable
+     read in index position anywhere *)
+  let assigns = ref [] in
+  let rec scan acc (s : Ir.stmt) =
+    match s with
+    | Ir.Assign (lhs, e) ->
+      let deps = lvalue_index_vars (expr_vars VSet.empty e) lhs in
+      assigns := (lvalue_base lhs, deps) :: !assigns;
+      lvalue_index_vars (index_vars acc e) lhs
+    | Ir.If { cond; then_; else_; _ } ->
+      let acc = expr_vars acc cond in
+      List.fold_left scan (List.fold_left scan acc then_) else_
+    | Ir.Switch { scrut; cases; default; _ } ->
+      let acc = expr_vars acc scrut in
+      let acc =
+        List.fold_left
+          (fun acc (_, body) -> List.fold_left scan acc body)
+          acc cases
+      in
+      List.fold_left scan acc default
+  in
+  let seeds = List.fold_left scan VSet.empty prog.Ir.body in
+  (* flow-insensitive closure: an assignment to a relevant variable
+     makes everything its right-hand side (and lvalue indices) reads
+     relevant too.  Control dependences need no extra step — every
+     guard variable is already a seed. *)
+  let relevant = ref seeds in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (base, deps) ->
+        if VSet.mem base !relevant && not (VSet.subset deps !relevant) then begin
+          relevant := VSet.union deps !relevant;
+          changed := true
+        end)
+      !assigns
+  done;
+  Array.of_list
+    (List.map
+       (fun ((v : Ir.var), _init) -> VSet.mem (Ir.State, v.Ir.name) !relevant)
+       prog.Ir.states)

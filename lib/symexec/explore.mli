@@ -32,6 +32,9 @@ type config = {
   max_paths : int;  (** fork budget per query *)
   node_budget : int;  (** total solver node budget per query *)
   rng_seed : int;
+  hc4_memo : bool;
+      (** enable the HC4 projection memo (default [true]); results are
+          bit-identical either way — test escape hatch only *)
 }
 
 val default_config : config
@@ -80,3 +83,12 @@ val solve_branch_multi :
   outcome * cost
 (** Multi-step from the initial model state.  [Unsat] means "not
     coverable within [horizon] steps". *)
+
+val relevant_state_slots : Slim.Ir.program -> bool array
+(** One flag per declared state variable (positional, the
+    {!Slim.Exec.state} slot order): [false] means the slot provably
+    cannot influence any {!solve_target} outcome — it never flows into
+    a guard, scrutinee or index position.  Conservative (flow-
+    insensitive backward slice), so [true] is always safe.  The engine
+    uses this to key its solve cache on the projection of the state
+    snapshot onto relevant slots. *)

@@ -26,20 +26,41 @@ let scalar = function
   | Scalar t -> t
   | Arr _ -> sym_error "expected scalar symbolic value, got array"
 
-module Env_map = Map.Make (struct
-  type t = Ir.scope * string
+(* Environments are keyed by interned integer ids for [(scope, name)]
+   pairs rather than the pairs themselves: [bind]/[find] sit on the
+   symbolic-execution hot path and polymorphic compare over a
+   constructor + string pair is measurably slower than [Int.compare].
+   The intern table is per-domain (same idiom as the term hashcons and
+   the cursor/target interning in [lib/core]): ids are only meaningful
+   within a domain, and environments never cross domains. *)
+type intern = {
+  keys : (Ir.scope * string, int) Hashtbl.t;
+  mutable next : int;
+}
 
-  let compare = compare
-end)
+let intern_key : intern Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { keys = Hashtbl.create 64; next = 0 })
+
+let intern scope name =
+  let it = Domain.DLS.get intern_key in
+  match Hashtbl.find_opt it.keys (scope, name) with
+  | Some id -> id
+  | None ->
+    let id = it.next in
+    it.next <- id + 1;
+    Hashtbl.replace it.keys (scope, name) id;
+    id
+
+module Env_map = Map.Make (Int)
 
 type env = sval Env_map.t
 
 let empty_env = Env_map.empty
 
-let bind env scope name v = Env_map.add (scope, name) v env
+let bind env scope name v = Env_map.add (intern scope name) v env
 
 let find env scope name =
-  match Env_map.find_opt (scope, name) env with
+  match Env_map.find_opt (intern scope name) env with
   | Some v -> v
   | None -> sym_error "unbound %s variable %s" (Ir.scope_name scope) name
 

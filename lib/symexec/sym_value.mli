@@ -14,7 +14,9 @@ type sval =
   | Arr of sval array
 
 type env
-(** Persistent (functional) environment: forking a path is O(1). *)
+(** Persistent (functional) environment: forking a path is O(1).
+    Keys are [(scope, name)] pairs interned to per-domain integer ids,
+    so lookups compare ints rather than hashing strings. *)
 
 exception Sym_error of string
 

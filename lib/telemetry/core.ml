@@ -356,6 +356,30 @@ let snapshot ?(nondet = false) () =
   in
   { sn_counters = counters; sn_histograms = histograms }
 
+(* Headline efficiency ratios derived from the full (nondet-inclusive)
+   snapshot — the numbers the bench tracks across PRs.  A rate is only
+   reported when its denominator is positive.  [hits_per_attempt] keeps
+   the historical hits/attempts definition (a hit is not an attempt, so
+   it can exceed 1); [hit_rate] is the bounded hits/(hits+probes)
+   form. *)
+let derived_rates () =
+  let full = snapshot ~nondet:true () in
+  let get n = Option.value ~default:0 (List.assoc_opt n full.sn_counters) in
+  let rate num den = if den <= 0 then None else Some (float num /. float den) in
+  let cache_hits = get "engine.solve_cache_hits" in
+  let attempts = get "engine.solve_attempts" in
+  let hc_hits = get "term.hashcons_hits" in
+  let hc_nodes = get "term.hashcons_nodes" in
+  List.filter_map
+    (fun (name, v) -> Option.map (fun v -> (name, v)) v)
+    [
+      ("engine.solve_cache_hit_rate", rate cache_hits (cache_hits + attempts));
+      ("engine.solve_cache_hits_per_attempt", rate cache_hits attempts);
+      ( "solver.hc4_memo_hits_per_round",
+        rate (get "solver.hc4_memo_hits") (get "solver.hc4_rounds") );
+      ("term.hashcons_dedup_ratio", rate hc_hits (hc_hits + hc_nodes));
+    ]
+
 (* The deterministic part only, rendered for byte-comparison across
    worker counts: counters and histograms, no wall-clock anywhere. *)
 let render_deterministic () =
@@ -398,6 +422,14 @@ let render_summary () =
     Buffer.add_string buf
       (Text_table.render ~header:[ "counter"; "total" ]
          (List.map (fun (n, v) -> [ n; string_of_int v ]) sched))
+  end;
+  let rates = derived_rates () in
+  if rates <> [] then begin
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf "derived rates\n";
+    Buffer.add_string buf
+      (Text_table.render ~header:[ "rate"; "value" ]
+         (List.map (fun (n, v) -> [ n; Fmt.str "%.4f" v ]) rates))
   end;
   let spans = span_totals () in
   if spans <> [] then begin
@@ -454,6 +486,11 @@ let json_summary ?(spans = true) () =
                \"p90\": %d, \"p99\": %d}"
               (json_escape n) s.h_count s.h_sum s.h_max s.h_p50 s.h_p90 s.h_p99)
           full.sn_histograms));
+  pf ", \"derived\": {%s}"
+    (String.concat ", "
+       (List.map
+          (fun (n, v) -> Printf.sprintf "\"%s\": %.6f" (json_escape n) v)
+          (derived_rates ())));
   if spans then
     pf ", \"spans\": {%s}"
       (String.concat ", "

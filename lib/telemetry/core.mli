@@ -85,6 +85,12 @@ val snapshot : ?nondet:bool -> unit -> snapshot
 (** Aggregate counters and histograms.  [nondet] (default [false])
     includes the scheduler-dependent instruments. *)
 
+val derived_rates : unit -> (string * float) list
+(** Headline efficiency ratios computed from the full snapshot —
+    solve-cache hit rate, term hashcons dedup ratio, HC4 memo hits per
+    round.  A rate is omitted while its denominator is zero.  Surfaced
+    by {!render_summary} and {!json_summary} (key ["derived"]). *)
+
 val span_records : unit -> span_record list
 (** All completed spans, ordered by (domain, start time). *)
 
@@ -96,11 +102,12 @@ val render_deterministic : unit -> string
     any [--jobs] value over the same work. *)
 
 val render_summary : unit -> string
-(** {!render_deterministic} plus scheduling counters and wall-clock span
-    totals, clearly sectioned. *)
+(** {!render_deterministic} plus scheduling counters, derived rates and
+    wall-clock span totals, clearly sectioned. *)
 
 val json_summary : ?spans:bool -> unit -> string
 (** One JSON object: [{"counters": {...}, "histograms": {...},
-    "spans": {...}}] — includes nondeterministic instruments. *)
+    "derived": {...}, "spans": {...}}] — includes nondeterministic
+    instruments. *)
 
 val json_escape : string -> string

@@ -145,6 +145,40 @@ let test_state_aware_ablation () =
   check Alcotest.bool "state-aware >= state-blind" true
     (decision_pct aware >= decision_pct blind)
 
+let test_hc4_memo_identity () =
+  (* HC4 projection memoization is a pure cache: with the memo disabled
+     through the solver-config escape hatch, the engine must emit a
+     testcase-identical suite. *)
+  let memo_off base =
+    {
+      base with
+      Engine.solver = { base.Engine.solver with Symexec.Explore.hc4_memo = false };
+    }
+  in
+  List.iter
+    (fun prog ->
+      let on = Engine.run ~config:(config ~seed:11 ()) prog in
+      let off = Engine.run ~config:(memo_off (config ~seed:11 ())) prog in
+      check Alcotest.int "same number of test cases"
+        (List.length on.Engine.r_testcases)
+        (List.length off.Engine.r_testcases);
+      check (Alcotest.float 1e-9) "same final virtual time"
+        (Stcg.Vclock.now on.Engine.r_clock)
+        (Stcg.Vclock.now off.Engine.r_clock);
+      List.iter2
+        (fun (a : Testcase.t) (b : Testcase.t) ->
+          check Alcotest.int "same length" (Testcase.length a)
+            (Testcase.length b);
+          check Alcotest.bool "same origin" true
+            (a.Testcase.origin = b.Testcase.origin);
+          List.iter2
+            (fun sa sb ->
+              check Alcotest.bool "same step inputs" true
+                (Slim.Exec.values_equal sa sb))
+            a.Testcase.steps b.Testcase.steps)
+        on.Engine.r_testcases off.Engine.r_testcases)
+    [ multi_prog; mini_cputask ]
+
 let test_unsorted_branches_still_work () =
   let run =
     Engine.run
@@ -266,6 +300,7 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_deterministic;
           Alcotest.test_case "ablation: state-aware" `Quick test_state_aware_ablation;
           Alcotest.test_case "ablation: unsorted" `Quick test_unsorted_branches_still_work;
+          Alcotest.test_case "hc4 memo identity" `Quick test_hc4_memo_identity;
           Alcotest.test_case "timeline monotone" `Quick test_timeline_monotone;
           Alcotest.test_case "budget respected" `Quick test_budget_respected;
           Alcotest.test_case "hybrid random-first" `Quick test_random_first_hybrid;
