@@ -101,28 +101,71 @@ let harness_wallclock () =
      number *)
   let wc_seeds = if smoke then [ 1 ] else [ 1; 2 ] in
   let wc_models = Some [ "CPUTask"; "AFC" ] in
-  let par_jobs = max 2 (Harness.Pool.default_jobs ()) in
-  let time_table3 jobs =
+  let time_table3 ?(oversubscribe = false) jobs =
     let t0 = Unix.gettimeofday () in
     let _, text =
-      Harness.Experiment.table3 ~budget:wc_budget ~seeds:wc_seeds
-        ?models:wc_models ~jobs ()
+      if oversubscribe then
+        Harness.Pool.with_pool ~jobs ~oversubscribe:true (fun pool ->
+            Harness.Experiment.table3 ~budget:wc_budget ~seeds:wc_seeds
+              ?models:wc_models ~pool ())
+      else
+        Harness.Experiment.table3 ~budget:wc_budget ~seeds:wc_seeds
+          ?models:wc_models ~jobs ()
     in
     (Unix.gettimeofday () -. t0, text)
   in
   if not smoke then
     ignore (time_table3 1) (* warm up model compilation and allocator *);
   let seq_s, seq_text = time_table3 1 in
-  let par_s, par_text = time_table3 par_jobs in
-  if not (String.equal seq_text par_text) then
-    failwith "harness wall-clock: parallel table3 diverged from sequential";
-  let speedup = seq_s /. par_s in
-  Fmt.pr "table3 smoke matrix: jobs=1 %.2fs, jobs=%d %.2fs  (%.2fx, merge deterministic)@."
-    seq_s par_jobs par_s speedup;
+  let par2_s, par2_text = time_table3 2 in
+  let par4_s, par4_text = time_table3 4 in
+  if not (String.equal seq_text par2_text && String.equal seq_text par4_text)
+  then failwith "harness wall-clock: parallel table3 diverged from sequential";
+  (* the same jobs=2 matrix with the core-count clamp bypassed: on a
+     machine with >= 2 cores this matches the clamped number, on fewer
+     cores it exposes the oversubscription tax the clamp avoids — and
+     either way it populates the pool.* scheduling telemetry that the
+     --json snapshot records for jobs > 1 *)
+  let over2_s, over2_text = time_table3 ~oversubscribe:true 2 in
+  if not (String.equal seq_text over2_text) then
+    failwith "harness wall-clock: oversubscribed table3 diverged";
+  (* sharded multi-process contract on the same matrix: two stripes,
+     merged in the wrong order, must rebuild the sequential bytes *)
+  let spec =
+    Harness.Shard.spec ~budget:wc_budget ~seeds:wc_seeds ?models:wc_models
+      Harness.Shard.Table3
+  in
+  let p0 = Harness.Shard.run_partial ~jobs:1 ~shard:(0, 2) spec in
+  let p1 = Harness.Shard.run_partial ~jobs:1 ~shard:(1, 2) spec in
+  (match Harness.Shard.merge_strings [ p1; p0 ] with
+   | Harness.Shard.M_table3 (_, text) ->
+     if not (String.equal text seq_text) then
+       failwith "harness wall-clock: sharded merge diverged from sequential"
+   | _ -> failwith "harness wall-clock: merge returned the wrong artifact");
+  let eff2 = Harness.Pool.effective_jobs 2 in
+  let speedup = seq_s /. par2_s in
+  Fmt.pr
+    "table3 smoke matrix: jobs=1 %.2fs, jobs=2 %.2fs (%d effective), jobs=4 \
+     %.2fs, jobs=2 unclamped %.2fs  (%.2fx at jobs=2; merge and shards \
+     deterministic)@."
+    seq_s par2_s eff2 par4_s over2_s speedup;
+  (* regression gate (runs under `dune runtest` via the smoke alias):
+     requesting parallelism must never cost wall-clock versus serial —
+     that is exactly the 0.4x anti-speedup this clamp exists to
+     prevent.  1.25x covers scheduler noise on loaded CI machines. *)
+  if par2_s > seq_s *. 1.25 then
+    failwith
+      (Fmt.str
+         "parallel regression: jobs=2 wall-clock %.2fs exceeds serial %.2fs \
+          beyond 1.25x tolerance"
+         par2_s seq_s);
   [
     ("harness: table3 wall-clock (jobs=1)", seq_s *. 1e9);
-    (Fmt.str "harness: table3 wall-clock (jobs=%d)" par_jobs, par_s *. 1e9);
+    ("harness: table3 wall-clock (jobs=2)", par2_s *. 1e9);
+    ("harness: table3 wall-clock (jobs=4)", par4_s *. 1e9);
+    ("harness: table3 wall-clock (jobs=2, unclamped)", over2_s *. 1e9);
     ("harness: table3 parallel speedup (x)", speedup);
+    ("harness: effective workers at jobs=2", float_of_int eff2);
   ]
 
 (* --- static analysis ---------------------------------------------------- *)
@@ -221,8 +264,12 @@ let write_json ?telemetry ?(derived = []) path (results : (string * float) list)
   output_string oc "{\n";
   output_string oc (Fmt.str "  \"quick\": %b,\n" quick);
   (* worker-domain count the harness artifacts ran with (STCG_JOBS or
-     cores - 1) — wall-clock entries are only comparable at equal jobs *)
+     cores - 1) — wall-clock entries are only comparable at equal jobs —
+     and what that request clamps to on this machine's core count *)
   output_string oc (Fmt.str "  \"jobs\": %d,\n" (Harness.Pool.default_jobs ()));
+  output_string oc
+    (Fmt.str "  \"jobs_effective\": %d,\n"
+       (Harness.Pool.effective_jobs (Harness.Pool.default_jobs ())));
   output_string oc "  \"unit\": \"ns/run\",\n";
   (* headline efficiency ratios of the end-to-end phases, promoted to
      top-level fields so cross-PR tracking can diff them without digging
@@ -391,7 +438,14 @@ let () =
      do not inherit GC state from the end-to-end phases; telemetry is
      then switched on for those phases and snapshotted into the json *)
   let micros = micro_benchmarks () in
-  if not micro_only then Telemetry.enable ();
+  if not micro_only then begin
+    Telemetry.enable ();
+    (* the bench never exports a Chrome trace, so keep only per-name
+       span aggregates: full record retention costs O(completed spans)
+       shared-major-heap memory (tens of MB over a full artifact sweep),
+       which is pure stop-the-world GC pressure under jobs > 1 *)
+    Telemetry.set_span_retention `Aggregate
+  end;
   if not micro_only then paper_artifacts ();
   let wallclock = if micro_only then [] else harness_wallclock () in
   let analysis = if micro_only then [] else analysis_bench () in

@@ -68,10 +68,35 @@ let seeds_for tool seeds = match tool with SLDV -> [ 1 ] | _ -> seeds
    private pool for this experiment ([?jobs] workers).  Sharing one pool
    across a whole bench run keeps the worker domains warm instead of
    respawning them per artifact. *)
-let pmap ?pool ?jobs f items =
+let pmap ?pool ?jobs ?cost f items =
   match pool with
-  | Some p -> Pool.map p f items
-  | None -> Pool.parallel_map ?jobs f items
+  | Some p -> Pool.map p ?cost f items
+  | None -> Pool.with_pool ?jobs (fun p -> Pool.map p ?cost f items)
+
+(* Deterministic relative cost of one job, for the pool's
+   longest-expected-first scheduling: branch count is the best static
+   proxy for how much exploring/solving a run does, and the STCG
+   variants do roughly an order of magnitude more solver work per
+   branch than the random baselines.  Only scheduling reads these —
+   results and merge order never depend on them. *)
+let tool_cost_weight = function
+  | STCG | STCG_hybrid -> 8
+  | SimCoTest -> 3
+  | SLDV -> 1
+
+let entry_cost (e : Registry.entry) =
+  1 + Slim.Branch.count (e.Registry.program ())
+
+(* Deterministic shard stripe over an indexed job list: job [j] belongs
+   to shard [j mod count].  Striping (rather than contiguous blocks)
+   spreads every model's heavyweight cells across the shards. *)
+let stripe_filter stripe indexed =
+  match stripe with
+  | None -> indexed
+  | Some (index, count) ->
+    if count < 1 || index < 0 || index >= count then
+      invalid_arg "Experiment: shard stripe must satisfy 0 <= i < n";
+    List.filter (fun (i, _) -> i mod count = index) indexed
 
 (* Hoist the per-model lazy construction + slot compilation out of the
    workers: force each program and its compiled handle once on the
@@ -195,14 +220,29 @@ let table2 () =
 
 let pct_str x = Fmt.str "%.0f%%" x
 
-let table3 ?budget ?(seeds = [ 1; 2; 3; 4; 5 ]) ?models ?pool ?jobs () =
+(* The canonical (model, tool, seed) job matrix and the per-job outcome
+   record are first-class so that a sharded run can execute any stripe
+   of the matrix and a later merge can rebuild the exact table: the
+   renderer only ever sees [t3_cell]s in matrix order, whether they
+   came from this process, another worker domain, or a partial-results
+   file written by another machine. *)
+
+let t3_tools = [ SLDV; SimCoTest; STCG ]
+let t3_default_seeds = [ 1; 2; 3; 4; 5 ]
+
+type t3_cell = {
+  t3_decision : float;
+  t3_condition : float;
+  t3_mcdc : float;
+  t3_tests : int;
+}
+
+let table3_matrix ?(seeds = t3_default_seeds) ?models () =
   let entries =
     match models with
     | None -> Registry.entries
     | Some names -> List.filter_map Registry.find names
   in
-  let tools = [ SLDV; SimCoTest; STCG ] in
-  precompile entries;
   (* the full (model, tool, seed) matrix, in canonical row order *)
   let matrix =
     List.concat_map
@@ -210,18 +250,60 @@ let table3 ?budget ?(seeds = [ 1; 2; 3; 4; 5 ]) ?models ?pool ?jobs () =
         List.concat_map
           (fun tool ->
             List.map (fun seed -> (entry, tool, seed)) (seeds_for tool seeds))
-          tools)
+          t3_tools)
       entries
   in
-  let runs =
+  (entries, matrix)
+
+let table3_njobs ?seeds ?models () =
+  List.length (snd (table3_matrix ?seeds ?models ()))
+
+let t3_cell_of_run (r : Run_result.t) =
+  {
+    t3_decision = Run_result.decision_pct r;
+    t3_condition = Run_result.condition_pct r;
+    t3_mcdc = Run_result.mcdc_pct r;
+    t3_tests = List.length r.Run_result.testcases;
+  }
+
+let table3_cells ?budget ?seeds ?models ?pool ?jobs ?stripe () =
+  let entries, matrix = table3_matrix ?seeds ?models () in
+  precompile entries;
+  let indexed = stripe_filter stripe (List.mapi (fun i j -> (i, j)) matrix) in
+  let cells =
     pmap ?pool ?jobs
-      (fun ((entry : Registry.entry), tool, seed) ->
-        run_tool ?budget ~seed tool entry)
-      matrix
+      ~cost:(fun (_, ((e : Registry.entry), t, _)) ->
+        tool_cost_weight t * entry_cost e)
+      (fun (_, ((entry : Registry.entry), tool, seed)) ->
+        t3_cell_of_run (run_tool ?budget ~seed tool entry))
+      indexed
   in
-  (* deterministic merge: results are in matrix order, so grouping by
+  List.map2 (fun (i, _) c -> (i, c)) indexed cells
+
+let average_of_cells ~tool (entry : Registry.entry) cells =
+  let n = float (List.length cells) in
+  let mean f = List.fold_left (fun acc c -> acc +. f c) 0.0 cells /. n in
+  {
+    a_model = entry.Registry.name;
+    a_tool = tool;
+    a_decision = mean (fun c -> c.t3_decision);
+    a_condition = mean (fun c -> c.t3_condition);
+    a_mcdc = mean (fun c -> c.t3_mcdc);
+    a_tests = mean (fun c -> float c.t3_tests);
+    a_runs = List.length cells;
+  }
+
+let table3_of_cells ?budget ?seeds ?models cells =
+  let entries, matrix = table3_matrix ?seeds ?models () in
+  if List.length cells <> List.length matrix then
+    invalid_arg
+      (Fmt.str "Experiment.table3_of_cells: %d cells for a %d-job matrix"
+         (List.length cells) (List.length matrix));
+  let tools = t3_tools in
+  let seeds = Option.value seeds ~default:t3_default_seeds in
+  (* deterministic merge: cells are in matrix order, so grouping by
      (model, tool) consumes each cell's seeds in seed order *)
-  let tagged = List.combine matrix runs in
+  let tagged = List.combine matrix cells in
   let rows =
     List.concat_map
       (fun (entry : Registry.entry) ->
@@ -235,7 +317,7 @@ let table3 ?budget ?(seeds = [ 1; 2; 3; 4; 5 ]) ?models ?pool ?jobs () =
                   else None)
                 tagged
             in
-            average_of_runs ~tool entry cell)
+            average_of_cells ~tool entry cell)
           tools)
       entries
   in
@@ -319,6 +401,10 @@ let table3 ?budget ?(seeds = [ 1; 2; 3; 4; 5 ]) ?models ?pool ?jobs () =
       (match budget with Some b -> Fmt.str "%.0fs" b | None -> "3600s")
       table )
 
+let table3 ?budget ?seeds ?models ?pool ?jobs () =
+  let cells = table3_cells ?budget ?seeds ?models ?pool ?jobs () in
+  table3_of_cells ?budget ?seeds ?models (List.map snd cells)
+
 (* --- Figure 3 --------------------------------------------------------- *)
 
 let fig3 () =
@@ -357,78 +443,110 @@ let fig3 () =
 
 (* --- Figure 4 --------------------------------------------------------- *)
 
-let csv_of_result (r : Run_result.t) =
+(* Same shard-friendly split as Table III: one (model, tool) job per
+   panel curve, a slim per-job outcome record, and a renderer that only
+   consumes outcomes in matrix order. *)
+
+let f4_tools = [ STCG; SLDV; SimCoTest ]
+
+type f4_curve = {
+  f4_tool : string;  (* the tool's self-reported name, for the CSV dump *)
+  f4_timeline : (float * float) list;
+  f4_markers : (float * Testcase.origin) list;
+}
+
+let fig4_matrix ?models () =
+  let entries =
+    match models with
+    | None -> Registry.entries
+    | Some names -> List.filter_map Registry.find names
+  in
+  let matrix =
+    List.concat_map
+      (fun entry -> List.map (fun tool -> (entry, tool)) f4_tools)
+      entries
+  in
+  (entries, matrix)
+
+let fig4_njobs ?models () = List.length (snd (fig4_matrix ?models ()))
+
+let fig4_curves ?(budget = 3600.0) ?(seed = 1) ?models ?pool ?jobs ?stripe () =
+  let entries, matrix = fig4_matrix ?models () in
+  precompile entries;
+  let indexed = stripe_filter stripe (List.mapi (fun i j -> (i, j)) matrix) in
+  let curves =
+    pmap ?pool ?jobs
+      ~cost:(fun (_, ((e : Registry.entry), t)) ->
+        tool_cost_weight t * entry_cost e)
+      (fun (_, ((entry : Registry.entry), tool)) ->
+        let r = run_tool ~budget ~seed tool entry in
+        {
+          f4_tool = r.Run_result.tool;
+          f4_timeline = r.Run_result.timeline;
+          f4_markers = r.Run_result.markers;
+        })
+      indexed
+  in
+  List.map2 (fun (i, _) c -> (i, c)) indexed curves
+
+let csv_of_curve (c : f4_curve) =
   let buf = Buffer.create 512 in
   Buffer.add_string buf "tool,time_s,decision_pct\n";
   List.iter
     (fun (t, p) ->
-      Buffer.add_string buf (Fmt.str "%s,%.1f,%.2f\n" r.Run_result.tool t p))
-    r.Run_result.timeline;
+      Buffer.add_string buf (Fmt.str "%s,%.1f,%.2f\n" c.f4_tool t p))
+    c.f4_timeline;
   Buffer.contents buf
 
-let fig4 ?(budget = 3600.0) ?(seed = 1) ?models ?pool ?jobs () =
-  let entries =
-    match models with
-    | None -> Registry.entries
-    | Some names ->
-      List.filter_map Registry.find names
-  in
-  precompile entries;
-  (* one (model, tool) job per panel curve; merged back per model in
-     enumeration order below *)
-  let matrix =
-    List.concat_map
-      (fun entry -> List.map (fun tool -> (entry, tool)) [ STCG; SLDV; SimCoTest ])
-      entries
-  in
-  let runs =
-    pmap ?pool ?jobs
-      (fun ((entry : Registry.entry), tool) -> run_tool ~budget ~seed tool entry)
-      matrix
-  in
-  let result_of (entry : Registry.entry) tool =
+let fig4_of_curves ?(budget = 3600.0) ?models curves =
+  let entries, matrix = fig4_matrix ?models () in
+  if List.length curves <> List.length matrix then
+    invalid_arg
+      (Fmt.str "Experiment.fig4_of_curves: %d curves for a %d-job matrix"
+         (List.length curves) (List.length matrix));
+  let curve_of (entry : Registry.entry) tool =
     let rec find = function
       | [] -> assert false
       | (((e : Registry.entry), t), r) :: rest ->
         if e.Registry.name = entry.Registry.name && t = tool then r
         else find rest
     in
-    find (List.combine matrix runs)
+    find (List.combine matrix curves)
   in
   let panels = Buffer.create 4096 in
   let csvs = ref [] in
   List.iter
     (fun (entry : Registry.entry) ->
-      let stcg = result_of entry STCG in
-      let sldv = result_of entry SLDV in
-      let sct = result_of entry SimCoTest in
-      let markers_of (r : Run_result.t) =
+      let stcg = curve_of entry STCG in
+      let sldv = curve_of entry SLDV in
+      let sct = curve_of entry SimCoTest in
+      let markers_of (c : f4_curve) =
         List.map
           (fun (t, origin) ->
             ( t,
               match origin with
               | Testcase.Solved -> '^'  (* paper's triangle *)
               | Testcase.Random_exec -> 'o' (* paper's diamond *) ))
-          r.Run_result.markers
+          c.f4_markers
       in
       let series =
         [
           {
             Ascii_plot.s_label = "STCG (^ solved, o random)";
             s_glyph = '*';
-            s_points = stcg.Run_result.timeline;
+            s_points = stcg.f4_timeline;
             s_markers = markers_of stcg;
           };
           {
             Ascii_plot.s_label = "SLDV";
             s_glyph = '#';
-            s_points = sldv.Run_result.timeline;
+            s_points = sldv.f4_timeline;
             s_markers = [];
           };
           {
             Ascii_plot.s_label = "SimCoTest";
             s_glyph = '.';
-            s_points = sct.Run_result.timeline;
+            s_points = sct.f4_timeline;
             s_markers = [];
           };
         ]
@@ -437,49 +555,68 @@ let fig4 ?(budget = 3600.0) ?(seed = 1) ?models ?pool ?jobs () =
         (Fmt.str "\n--- %s : decision coverage vs time ---\n"
            entry.Registry.name);
       Buffer.add_string panels (Ascii_plot.render ~x_max:budget series);
-      let csv =
-        csv_of_result stcg ^ csv_of_result sldv ^ csv_of_result sct
-      in
+      let csv = csv_of_curve stcg ^ csv_of_curve sldv ^ csv_of_curve sct in
       csvs := (entry.Registry.name, csv) :: !csvs)
     entries;
   (Buffer.contents panels, List.rev !csvs)
 
+let fig4 ?budget ?seed ?models ?pool ?jobs () =
+  let curves = fig4_curves ?budget ?seed ?models ?pool ?jobs () in
+  fig4_of_curves ?budget ?models (List.map snd curves)
+
 (* --- Ablations --------------------------------------------------------- *)
 
-let ablations ?(budget = 3600.0) ?(seeds = [ 1; 2; 3 ]) ?models ?pool ?jobs () =
-  let variants =
-    [
-      ("STCG (full)", fun c -> c);
-      ( "no depth sort",
-        fun c -> { c with Engine.sort_branches = false } );
-      ( "state symbolic (not constant)",
-        fun c -> { c with Engine.state_aware = false } );
-      ( "no random fallback",
-        fun c -> { c with Engine.random_fallback = false } );
-      ("random-first hybrid", fun c -> { c with Engine.random_first = true });
-    ]
-  in
-  let models =
-    match models with Some ms -> ms | None -> [ "CPUTask"; "TCP" ]
-  in
+let ab_variants : (string * (Engine.config -> Engine.config)) list =
+  [
+    ("STCG (full)", fun c -> c);
+    ("no depth sort", fun c -> { c with Engine.sort_branches = false });
+    ( "state symbolic (not constant)",
+      fun c -> { c with Engine.state_aware = false } );
+    ( "no random fallback",
+      fun c -> { c with Engine.random_fallback = false } );
+    ("random-first hybrid", fun c -> { c with Engine.random_first = true });
+  ]
+
+let ab_default_seeds = [ 1; 2; 3 ]
+let ab_default_models = [ "CPUTask"; "TCP" ]
+
+type ab_cell = { ab_decision : float; ab_time : float }
+
+let ablations_matrix ?(seeds = ab_default_seeds) ?models () =
+  let models = match models with Some ms -> ms | None -> ab_default_models in
   let entries = List.filter_map Registry.find models in
-  precompile entries;
-  (* one job per (model, variant, seed); both reported metrics come from
-     the same run (runs are deterministic, so this also halves the work
-     the old per-metric re-execution did) *)
   let matrix =
     List.concat_map
       (fun mname ->
         List.concat_map
-          (fun (label, tweak) -> List.map (fun seed -> (mname, label, tweak, seed)) seeds)
-          variants)
+          (fun (label, _tweak) ->
+            List.map (fun seed -> (mname, label, seed)) seeds)
+          ab_variants)
       models
   in
-  let metrics =
+  (models, entries, matrix)
+
+let ablations_njobs ?seeds ?models () =
+  let _, _, matrix = ablations_matrix ?seeds ?models () in
+  List.length matrix
+
+(* one job per (model, variant, seed); both reported metrics come from
+   the same run (runs are deterministic, so this also halves the work
+   the old per-metric re-execution did) *)
+let ablations_cells ?(budget = 3600.0) ?seeds ?models ?pool ?jobs ?stripe () =
+  let _, entries, matrix = ablations_matrix ?seeds ?models () in
+  precompile entries;
+  let indexed = stripe_filter stripe (List.mapi (fun i j -> (i, j)) matrix) in
+  let cells =
     pmap ?pool ?jobs
-      (fun (mname, _label, tweak, seed) ->
+      ~cost:(fun (_, (mname, _, _)) ->
+        match Registry.find mname with
+        | Some e -> tool_cost_weight STCG * entry_cost e
+        | None -> 1)
+      (fun (_, (mname, label, seed)) ->
         let entry = Option.get (Registry.find mname) in
         let prog = entry.Registry.program () in
+        let tweak = List.assoc label ab_variants in
         let config = tweak { Engine.default_config with Engine.seed; budget } in
         let run = Engine.run ~config prog in
         let decision = Tracker.pct (Tracker.decision run.Engine.r_tracker) in
@@ -488,10 +625,19 @@ let ablations ?(budget = 3600.0) ?(seeds = [ 1; 2; 3 ]) ?models ?pool ?jobs () =
           | Engine.Full_coverage -> Stcg.Vclock.now run.Engine.r_clock
           | Engine.Budget_exhausted -> budget
         in
-        (decision, time_to_full))
-      matrix
+        { ab_decision = decision; ab_time = time_to_full })
+      indexed
   in
-  let tagged = List.combine matrix metrics in
+  List.map2 (fun (i, _) c -> (i, c)) indexed cells
+
+let ablations_of_cells ?(budget = 3600.0) ?(seeds = ab_default_seeds) ?models
+    cells =
+  let models, _, matrix = ablations_matrix ~seeds ?models () in
+  if List.length cells <> List.length matrix then
+    invalid_arg
+      (Fmt.str "Experiment.ablations_of_cells: %d cells for a %d-job matrix"
+         (List.length cells) (List.length matrix));
+  let tagged = List.combine matrix cells in
   let rows =
     List.concat_map
       (fun mname ->
@@ -499,7 +645,7 @@ let ablations ?(budget = 3600.0) ?(seeds = [ 1; 2; 3 ]) ?models ?pool ?jobs () =
           (fun (label, _tweak) ->
             let cell =
               List.filter_map
-                (fun ((m, l, _, _), metric) ->
+                (fun ((m, l, _), metric) ->
                   if m = mname && l = label then Some metric else None)
                 tagged
             in
@@ -510,10 +656,10 @@ let ablations ?(budget = 3600.0) ?(seeds = [ 1; 2; 3 ]) ?models ?pool ?jobs () =
             [
               mname;
               label;
-              Fmt.str "%.1f%%" (mean fst);
-              Fmt.str "%.0fs" (mean snd);
+              Fmt.str "%.1f%%" (mean (fun c -> c.ab_decision));
+              Fmt.str "%.0fs" (mean (fun c -> c.ab_time));
             ])
-          variants)
+          ab_variants)
       models
   in
   Fmt.str "Ablations (avg over %d seeds; time = virtual time to full coverage, budget %.0fs)\n%s"
@@ -521,3 +667,7 @@ let ablations ?(budget = 3600.0) ?(seeds = [ 1; 2; 3 ]) ?models ?pool ?jobs () =
     (Text_table.render
        ~header:[ "Model"; "Variant"; "Decision"; "Time-to-done" ]
        rows)
+
+let ablations ?budget ?seeds ?models ?pool ?jobs () =
+  let cells = ablations_cells ?budget ?seeds ?models ?pool ?jobs () in
+  ablations_of_cells ?budget ?seeds ?models (List.map snd cells)

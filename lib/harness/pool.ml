@@ -1,13 +1,18 @@
 exception Nested_pool
 
 (* [pool.jobs]/[pool.batches] count the same work for any worker count,
-   so they are deterministic; [pool.steals] depends on scheduling and is
+   so they are deterministic; everything that depends on how the
+   scheduler spread the work ([pool.steals], per-worker busy time,
+   initial queue depths, the effective worker count) is [~nondet] and
    excluded from determinism checks.  The [pool.job] span gives per-
-   domain busy time. *)
+   domain busy time per job. *)
 let tel_jobs = Telemetry.Counter.make "pool.jobs"
 let tel_batches = Telemetry.Counter.make "pool.batches"
 let tel_steals = Telemetry.Counter.make ~nondet:true "pool.steals"
 let tel_sp_job = Telemetry.Span.make "pool.job"
+let tel_busy = Telemetry.Histogram.make ~nondet:true "pool.worker_busy_ms"
+let tel_qdepth = Telemetry.Histogram.make ~nondet:true "pool.queue_depth"
+let tel_workers = Telemetry.Histogram.make ~nondet:true "pool.effective_workers"
 
 (* Set while a domain (worker or the caller mid-[map]) is executing pool
    jobs; guards against nested parallelism. *)
@@ -20,6 +25,41 @@ let default_jobs () =
      | Some n when n >= 1 -> n
      | Some _ | None -> max 1 (Domain.recommended_domain_count () - 1))
   | None -> max 1 (Domain.recommended_domain_count () - 1)
+
+(* More worker domains than cores is pure loss in OCaml 5: the runs are
+   CPU-bound, and every minor collection is a stop-the-world handshake
+   across *all* domains, so an oversubscribed domain turns each minor GC
+   into an OS scheduling round-trip.  (Measured on a 1-core container:
+   jobs=2 ran the table3 matrix 2.3x *slower* than jobs=1.)  Requested
+   parallelism is therefore clamped to the hardware by default;
+   [~oversubscribe:true] (or STCG_OVERSUBSCRIBE=1) keeps the requested
+   count — tests use it to exercise real cross-domain scheduling on any
+   machine. *)
+let oversubscribe_env () = Sys.getenv_opt "STCG_OVERSUBSCRIBE" = Some "1"
+
+let effective_jobs ?(oversubscribe = false) requested =
+  let requested = max 1 requested in
+  if oversubscribe || oversubscribe_env () then requested
+  else min requested (max 1 (Domain.recommended_domain_count ()))
+
+let default_minor_heap_mb () =
+  match Sys.getenv_opt "STCG_MINOR_HEAP_MB" with
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some n when n >= 1 -> Some n
+     | Some _ | None -> None)
+  | None -> None
+
+(* Larger per-domain minor heaps make minor collections — and with them
+   the cross-domain stop-the-world handshakes — proportionally rarer.
+   Best effort: a runtime that cannot resize simply keeps its current
+   size. *)
+let apply_minor_heap = function
+  | None -> ()
+  | Some mb ->
+    let words = mb * (1024 * 1024 / (Sys.word_size / 8)) in
+    (try Gc.set { (Gc.get ()) with Gc.minor_heap_size = words }
+     with _ -> ())
 
 (* One worker's slice of a batch: a deque of job indices.  The owner
    pops at [lo]; thieves pop at [hi - 1].  A plain mutex per deque is
@@ -40,7 +80,9 @@ type batch = {
 }
 
 type t = {
-  jobs : int;
+  requested : int;  (* the parallelism the caller asked for *)
+  workers : int;  (* domains actually used, incl. the caller; clamped *)
+  minor_heap_mb : int option;
   lock : Mutex.t;  (* protects every mutable field below *)
   work : Condition.t;  (* a batch was submitted, or shutdown *)
   finished : Condition.t;  (* b_remaining hit 0 *)
@@ -50,7 +92,8 @@ type t = {
   mutable domains : unit Domain.t list;
 }
 
-let size t = t.jobs
+let size t = t.requested
+let workers t = t.workers
 
 let take_own d =
   Mutex.lock d.d_lock;
@@ -98,6 +141,9 @@ let next_job b w =
    Every drained job decrements [b_remaining]; the worker that hits 0
    wakes the submitter. *)
 let drain t b w =
+  let busy_t0 =
+    if Telemetry.enabled () then Telemetry.Monotonic_clock.now_ns () else 0L
+  in
   let rec loop () =
     match next_job b w with
     | None -> ()
@@ -109,10 +155,17 @@ let drain t b w =
       Mutex.unlock t.lock;
       loop ()
   in
-  loop ()
+  loop ();
+  if Telemetry.enabled () then
+    Telemetry.Histogram.observe tel_busy
+      (Int64.to_int
+         (Int64.div
+            (Telemetry.Monotonic_clock.elapsed_ns ~since:busy_t0)
+            1_000_000L))
 
 let worker t w () =
   Domain.DLS.set in_worker true;
+  apply_minor_heap t.minor_heap_mb;
   let last = ref 0 in
   let running = ref true in
   while !running do
@@ -134,11 +187,19 @@ let worker t w () =
     end
   done
 
-let create ?jobs () =
-  let jobs = max 1 (Option.value jobs ~default:(default_jobs ())) in
+let create ?jobs ?oversubscribe ?minor_heap_mb () =
+  let requested = max 1 (Option.value jobs ~default:(default_jobs ())) in
+  let workers = effective_jobs ?oversubscribe requested in
+  let minor_heap_mb =
+    match minor_heap_mb with
+    | Some _ as m -> m
+    | None -> default_minor_heap_mb ()
+  in
   let t =
     {
-      jobs;
+      requested;
+      workers;
+      minor_heap_mb;
       lock = Mutex.create ();
       work = Condition.create ();
       finished = Condition.create ();
@@ -148,8 +209,10 @@ let create ?jobs () =
       domains = [];
     }
   in
+  (* worker domains only matter when a parallel batch can run at all *)
+  if workers > 1 then apply_minor_heap minor_heap_mb;
   (* the caller is worker 0; spawn the rest *)
-  t.domains <- List.init (jobs - 1) (fun i -> Domain.spawn (worker t (i + 1)));
+  t.domains <- List.init (workers - 1) (fun i -> Domain.spawn (worker t (i + 1)));
   t
 
 let shutdown t =
@@ -161,39 +224,60 @@ let shutdown t =
   t.domains <- [];
   List.iter Domain.join ds
 
-let with_pool ?jobs f =
-  let t = create ?jobs () in
+let with_pool ?jobs ?oversubscribe ?minor_heap_mb f =
+  let t = create ?jobs ?oversubscribe ?minor_heap_mb () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
+let mk_deque idx =
+  { d_lock = Mutex.create (); d_idx = idx; d_lo = 0; d_hi = Array.length idx }
+
 (* Split [0 .. njobs-1] into [n] contiguous blocks (front-loaded when
-   it does not divide evenly). *)
+   it does not divide evenly): preserves submission locality when no
+   cost model is given. *)
 let partition njobs n =
   let q = njobs / n and r = njobs mod n in
   Array.init n (fun w ->
       let lo = (w * q) + min w r in
       let len = q + if w < r then 1 else 0 in
-      {
-        d_lock = Mutex.create ();
-        d_idx = Array.init len (fun k -> lo + k);
-        d_lo = 0;
-        d_hi = len;
-      })
+      mk_deque (Array.init len (fun k -> lo + k)))
 
-let map t f items_list =
+(* Deal a cost-descending job order round-robin across the workers:
+   every owner pops its heaviest job first and the expected load is
+   balanced, so one heavyweight cell no longer serializes the tail of
+   the batch.  Scheduling only — results are still merged by original
+   job index, so output is unchanged. *)
+let partition_by_cost items njobs n cost =
+  let order = Array.init njobs (fun i -> i) in
+  let costs = Array.map (fun it -> cost it) items in
+  Array.sort
+    (fun i j ->
+      match compare costs.(j) costs.(i) with 0 -> compare i j | c -> c)
+    order;
+  Array.init n (fun w ->
+      let len = (njobs - w + n - 1) / n in
+      mk_deque (Array.init len (fun k -> order.(w + (k * n)))))
+
+let map t ?cost f items_list =
   if Domain.DLS.get in_worker then raise Nested_pool;
   let items = Array.of_list items_list in
   let njobs = Array.length items in
   if njobs = 0 then []
-  else if t.jobs = 1 || njobs = 1 then begin
+  else if t.workers = 1 || njobs = 1 then begin
     (* the exact sequential path: same domain, same evaluation order,
        exceptions propagate untouched.  Jobs are still counted and
-       spanned so telemetry totals match the parallel path. *)
+       spanned so telemetry totals match the parallel path, and
+       [in_worker] is still set so nested parallelism is rejected on
+       every machine, not only where the clamp leaves > 1 worker. *)
     Telemetry.Counter.incr tel_batches;
-    List.map
-      (fun x ->
-        Telemetry.Counter.incr tel_jobs;
-        Telemetry.Span.with_ tel_sp_job (fun () -> f x))
-      items_list
+    Domain.DLS.set in_worker true;
+    Fun.protect
+      ~finally:(fun () -> Domain.DLS.set in_worker false)
+      (fun () ->
+        List.map
+          (fun x ->
+            Telemetry.Counter.incr tel_jobs;
+            Telemetry.Span.with_ tel_sp_job (fun () -> f x))
+          items_list)
   end
   else begin
     Telemetry.Counter.incr tel_batches;
@@ -213,9 +297,20 @@ let map t f items_list =
         aborted := true;
         Mutex.unlock t.lock
     in
+    let deques =
+      match cost with
+      | None -> partition njobs t.workers
+      | Some c -> partition_by_cost items njobs t.workers c
+    in
+    if Telemetry.enabled () then begin
+      Telemetry.Histogram.observe tel_workers t.workers;
+      Array.iter
+        (fun d -> Telemetry.Histogram.observe tel_qdepth (d.d_hi - d.d_lo))
+        deques
+    end;
     let b =
       {
-        b_deques = partition njobs t.jobs;
+        b_deques = deques;
         b_run = run;
         b_aborted = aborted;
         b_remaining = njobs;
@@ -271,5 +366,9 @@ let map_chunked t ~chunk f items =
     in
     List.concat (map t (List.map f) (chunks [] [] 0 items))
   end
-let parallel_map ?jobs f items = with_pool ?jobs (fun t -> map t f items)
-let parallel_run_all ?jobs thunks = with_pool ?jobs (fun t -> run_all t thunks)
+
+let parallel_map ?jobs ?oversubscribe ?cost f items =
+  with_pool ?jobs ?oversubscribe (fun t -> map t ?cost f items)
+
+let parallel_run_all ?jobs ?oversubscribe thunks =
+  with_pool ?jobs ?oversubscribe (fun t -> run_all t thunks)

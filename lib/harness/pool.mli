@@ -13,11 +13,23 @@
     Determinism contract: {!map} returns results in input order,
     regardless of how jobs were scheduled across domains.  Callers that
     merge in job-index order therefore produce byte-identical output
-    for any worker count — [jobs = 1] runs the exact sequential
-    [List.map] path in the calling domain, spawning no domains at all.
+    for any worker count — when only one worker is effective, {!map}
+    runs the exact sequential [List.map] path in the calling domain,
+    spawning no domains at all.
+
+    Oversubscription clamp: requested parallelism is clamped to
+    [Domain.recommended_domain_count ()] ({!effective_jobs}).  OCaml 5
+    minor collections are stop-the-world across every domain, so a
+    domain beyond the core count turns each minor GC into an OS
+    scheduling round-trip — on a 1-core container, jobs=2 measured
+    2.3x {e slower} than jobs=1 before the clamp.  Pass
+    [~oversubscribe:true] (or set STCG_OVERSUBSCRIBE=1) to force the
+    requested count anyway, e.g. to exercise real cross-domain
+    scheduling in tests on any machine.
 
     The submitting domain participates as a worker during {!map}, so a
-    pool of [jobs = n] uses [n - 1] spawned domains plus the caller.
+    pool of [n] effective workers uses [n - 1] spawned domains plus the
+    caller.
 
     Worker-count selection ({!default_jobs}): the [STCG_JOBS]
     environment variable if set to a positive integer, otherwise
@@ -32,35 +44,63 @@ val default_jobs : unit -> int
 (** [STCG_JOBS] if set and positive, else
     [max 1 (Domain.recommended_domain_count () - 1)]. *)
 
+val effective_jobs : ?oversubscribe:bool -> int -> int
+(** The worker count a pool created with [jobs = n] actually uses:
+    [min n (Domain.recommended_domain_count ())], at least 1 — unless
+    [oversubscribe] (or STCG_OVERSUBSCRIBE=1), which keeps [n]. *)
+
 type t
 (** A pool handle.  Workers idle on a condition variable between
     batches; {!shutdown} joins them.  One batch at a time: concurrent
     {!map} calls on the same pool are a programming error
     ([Invalid_argument]). *)
 
-val create : ?jobs:int -> unit -> t
-(** [create ?jobs ()] spawns [jobs - 1] worker domains
+val create : ?jobs:int -> ?oversubscribe:bool -> ?minor_heap_mb:int -> unit -> t
+(** [create ?jobs ()] spawns [effective_jobs jobs - 1] worker domains
     ([jobs] defaults to {!default_jobs}; values < 1 are clamped to 1).
-    [jobs = 1] spawns nothing. *)
+    A single effective worker spawns nothing.
+
+    [minor_heap_mb] (default: the [STCG_MINOR_HEAP_MB] environment
+    variable, else the runtime default) resizes the minor heap of the
+    caller and of every worker domain.  Larger minor heaps make minor
+    collections — and with them OCaml 5's cross-domain stop-the-world
+    handshakes — proportionally rarer, which is the main scaling tax of
+    allocation-heavy jobs.  Best effort; ignored by runtimes that
+    cannot resize. *)
 
 val size : t -> int
-(** The worker count [jobs] the pool was created with (including the
-    calling domain). *)
+(** The worker count [jobs] the pool was requested with (including the
+    calling domain), before the oversubscription clamp. *)
+
+val workers : t -> int
+(** The effective worker count: [effective_jobs (size t)] as resolved
+    at {!create} time.  [workers t = 1] means every {!map} runs the
+    sequential path. *)
 
 val shutdown : t -> unit
 (** Signal and join all worker domains.  Idempotent.  Must not be
     called while a {!map} is in flight. *)
 
-val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+val with_pool :
+  ?jobs:int -> ?oversubscribe:bool -> ?minor_heap_mb:int -> (t -> 'a) -> 'a
 (** [with_pool ?jobs f] runs [f] on a fresh pool and guarantees
     {!shutdown}, also on exception. *)
 
-val map : t -> ('a -> 'b) -> 'a list -> 'b list
+val map : t -> ?cost:('a -> int) -> ('a -> 'b) -> 'a list -> 'b list
 (** [map pool f items] applies [f] to every item, in parallel, and
     returns the results in input order.  If any [f] raises, remaining
     unstarted jobs are abandoned, in-flight jobs finish, the workers
     are quiesced, and the exception of the lowest-indexed failed job is
-    re-raised in the caller (with its backtrace). *)
+    re-raised in the caller (with its backtrace).
+
+    [cost] is a deterministic relative-duration estimate used for
+    scheduling only: jobs are dealt to the workers in cost-descending
+    order (ties broken by job index) so each worker starts with its
+    heaviest job and expected load is balanced — a wildly uneven batch
+    no longer ends with one worker grinding through a heavyweight tail
+    alone.  Results, their order, and the failure contract are
+    unaffected; a bad estimate can only cost speed.  Ignored on the
+    sequential path. *)
 
 val run_all : t -> (unit -> 'a) list -> 'a list
 (** [run_all pool thunks = map pool (fun f -> f ()) thunks]. *)
@@ -74,7 +114,10 @@ val map_chunked : t -> chunk:int -> ('a -> 'b) -> 'a list -> 'b list
     of the lowest-indexed failed chunk is re-raised (items within a
     chunk run left to right, stopping at the first raise). *)
 
-val parallel_map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+val parallel_map :
+  ?jobs:int -> ?oversubscribe:bool -> ?cost:('a -> int) -> ('a -> 'b) ->
+  'a list -> 'b list
 (** One-shot convenience: {!with_pool} around {!map}. *)
 
-val parallel_run_all : ?jobs:int -> (unit -> 'a) list -> 'a list
+val parallel_run_all :
+  ?jobs:int -> ?oversubscribe:bool -> (unit -> 'a) list -> 'a list

@@ -399,47 +399,52 @@ let compile (prog : Ir.program) : t =
 (* --- per-program handle memo ------------------------------------------- *)
 
 (* Keyed by physical equality: programs are built once (model constructors,
-   registry entries) and then reused, so [==] is both correct and free.  The
-   move-to-front list keeps the common "one or two live programs" case O(1)
-   and bounds memory for long registry sweeps. *)
-let memo_capacity = 32
-let memo : (Ir.program * t) list ref = ref []
+   registry entries) and then reused, so [==] is both correct and free.
 
-(* The move-to-front list mutates on every lookup (hits included), and
-   handles are resolved from worker domains when the harness runs its
-   job matrix in parallel — so the whole cache operation is a critical
-   section.  Compilation happens under the lock too: it is fast
-   (~60µs), and letting two domains race to compile the same program
-   would only duplicate work.  The returned handle itself is immutable
-   after construction (its index Hashtbls are never written past
-   [compile]) and freely shareable across domains. *)
+   The memo is an immutable snapshot array behind an [Atomic.t], so the
+   hit path — taken on every compile-handle resolution, including from
+   every worker domain of a parallel job matrix — is a lock-free bounded
+   scan with no mutation at all: no move-to-front, no [List.length]
+   walk, no critical section to contend on.  Misses take the lock,
+   re-check the latest snapshot (two domains racing on the same program
+   compile it once), compile, and publish a new snapshot with the fresh
+   entry in front, evicting the oldest entry beyond [memo_capacity]
+   (O(capacity) copy on the cold path only).  The returned handle itself
+   is immutable after construction (its index Hashtbls are never written
+   past [compile]) and freely shareable across domains. *)
+let memo_capacity = 32
+let memo : (Ir.program * t) array Atomic.t = Atomic.make [||]
 let memo_lock = Mutex.create ()
 
-let handle (prog : Ir.program) : t =
-  let rec find acc = function
-    | [] -> None
-    | ((p, h) as entry) :: rest ->
-      if p == prog then begin
-        memo := entry :: List.rev_append acc rest;
-        Some h
-      end
-      else find (entry :: acc) rest
+let memo_find (snap : (Ir.program * t) array) (prog : Ir.program) =
+  let n = Array.length snap in
+  let rec go i =
+    if i >= n then None
+    else begin
+      let p, h = Array.unsafe_get snap i in
+      if p == prog then Some h else go (i + 1)
+    end
   in
-  Mutex.lock memo_lock;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock memo_lock)
-    (fun () ->
-      match find [] !memo with
-      | Some h -> h
-      | None ->
-        let h = compile prog in
-        let kept =
-          if List.length !memo >= memo_capacity then
-            List.filteri (fun i _ -> i < memo_capacity - 1) !memo
-          else !memo
-        in
-        memo := (prog, h) :: kept;
-        h)
+  go 0
+
+let handle (prog : Ir.program) : t =
+  match memo_find (Atomic.get memo) prog with
+  | Some h -> h
+  | None ->
+    Mutex.lock memo_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock memo_lock)
+      (fun () ->
+        let snap = Atomic.get memo in
+        match memo_find snap prog with
+        | Some h -> h
+        | None ->
+          let h = compile prog in
+          let keep = min (Array.length snap) (memo_capacity - 1) in
+          let snap' = Array.make (keep + 1) (prog, h) in
+          Array.blit snap 0 snap' 1 keep;
+          Atomic.set memo snap';
+          h)
 
 (* --- accessors --------------------------------------------------------- *)
 

@@ -217,13 +217,24 @@ type span_record = {
 }
 
 module Span = struct
+  type agg = { mutable ag_count : int; mutable ag_total_ns : int64 }
+
   type sink = {
     sk_domain : int;
     mutable sk_depth : int;
-    mutable sk_records : span_record list;  (* newest first *)
+    mutable sk_records : span_record list;  (* newest first; [`Records] only *)
+    sk_aggs : (string, agg) Hashtbl.t;  (* per-name totals; always on *)
   }
 
   let sinks : sink list ref = ref []
+
+  (* [`Records] keeps one heap record per completed span — needed by the
+     Chrome trace exporter, but a long run accumulates millions of
+     records whose promotion to the shared major heap is measurable GC
+     pressure under jobs > 1.  [`Aggregate] only bumps the per-domain
+     (count, total ns) cell, which is all {!span_totals} (and thus the
+     --stats summary and the bench JSON) ever reads. *)
+  let retention : [ `Records | `Aggregate ] ref = ref `Records
 
   let sink_key : sink Domain.DLS.key =
     Domain.DLS.new_key (fun () ->
@@ -232,6 +243,7 @@ module Span = struct
             sk_domain = (Domain.self () :> int);
             sk_depth = 0;
             sk_records = [];
+            sk_aggs = Hashtbl.create 32;
           }
         in
         Mutex.lock registry_lock;
@@ -254,19 +266,30 @@ module Span = struct
         ~finally:(fun () ->
           let dur = Monotonic_clock.elapsed_ns ~since:start in
           sk.sk_depth <- depth;
-          sk.sk_records <-
-            {
-              sr_name = t.name;
-              sr_note = (match note with Some f -> Some (f ()) | None -> None);
-              sr_domain = sk.sk_domain;
-              sr_start_ns = start;
-              sr_dur_ns = dur;
-              sr_depth = depth;
-            }
-            :: sk.sk_records)
+          (match Hashtbl.find_opt sk.sk_aggs t.name with
+           | Some a ->
+             a.ag_count <- a.ag_count + 1;
+             a.ag_total_ns <- Int64.add a.ag_total_ns dur
+           | None ->
+             Hashtbl.replace sk.sk_aggs t.name
+               { ag_count = 1; ag_total_ns = dur });
+          if !retention = `Records then
+            sk.sk_records <-
+              {
+                sr_name = t.name;
+                sr_note = (match note with Some f -> Some (f ()) | None -> None);
+                sr_domain = sk.sk_domain;
+                sr_start_ns = start;
+                sr_dur_ns = dur;
+                sr_depth = depth;
+              }
+              :: sk.sk_records)
         f
     end
 end
+
+let set_span_retention mode = Span.retention := mode
+let span_retention () = !Span.retention
 
 let span_records () =
   Mutex.lock registry_lock;
@@ -282,21 +305,28 @@ let span_records () =
       | c -> c)
     all
 
+(* Totals come from the always-maintained per-domain aggregate cells, so
+   they are identical whichever retention mode is active. *)
 let span_totals () =
   let tbl : (string, int ref * int64 ref) Hashtbl.t = Hashtbl.create 32 in
+  Mutex.lock registry_lock;
   List.iter
-    (fun r ->
-      let count, total =
-        match Hashtbl.find_opt tbl r.sr_name with
-        | Some cell -> cell
-        | None ->
-          let cell = (ref 0, ref 0L) in
-          Hashtbl.replace tbl r.sr_name cell;
-          cell
-      in
-      incr count;
-      total := Int64.add !total r.sr_dur_ns)
-    (span_records ());
+    (fun (sk : Span.sink) ->
+      Hashtbl.iter
+        (fun name (a : Span.agg) ->
+          let count, total =
+            match Hashtbl.find_opt tbl name with
+            | Some cell -> cell
+            | None ->
+              let cell = (ref 0, ref 0L) in
+              Hashtbl.replace tbl name cell;
+              cell
+          in
+          count := !count + a.ag_count;
+          total := Int64.add !total a.ag_total_ns)
+        sk.Span.sk_aggs)
+    !Span.sinks;
+  Mutex.unlock registry_lock;
   Hashtbl.fold (fun name (c, t) acc -> (name, !c, !t) :: acc) tbl []
   |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
 
@@ -322,7 +352,8 @@ let reset () =
   List.iter
     (fun (sk : Span.sink) ->
       sk.sk_records <- [];
-      sk.sk_depth <- 0)
+      sk.sk_depth <- 0;
+      Hashtbl.reset sk.sk_aggs)
     !Span.sinks;
   Mutex.unlock registry_lock
 

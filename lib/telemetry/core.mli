@@ -24,6 +24,18 @@ val reset : unit -> unit
 (** Zero every cell and drop all span records.  Only call while no
     other domain is using the instruments (between pool batches). *)
 
+val set_span_retention : [ `Records | `Aggregate ] -> unit
+(** [`Records] (the default) keeps one record per completed span — the
+    Chrome trace exporter needs them.  [`Aggregate] only maintains the
+    per-name (count, total ns) cells behind {!span_totals}: a long run
+    then retains O(span names) instead of O(spans) memory, which
+    removes measurable shared-major-heap pressure under [jobs > 1].
+    Callers that never export a trace (bench, [--stats] without
+    [--trace]) should switch to [`Aggregate] right after {!enable}.
+    Like {!enable}, meant to be set before worker domains spawn. *)
+
+val span_retention : unit -> [ `Records | `Aggregate ]
+
 module Counter : sig
   type t
 

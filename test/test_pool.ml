@@ -30,7 +30,7 @@ let test_map_ordering () =
         Alcotest.(list int)
         (Fmt.str "map order, jobs=%d" jobs)
         expected
-        (Pool.parallel_map ~jobs f items))
+        (Pool.parallel_map ~jobs ~oversubscribe:true f items))
     [ 1; 2; 4; 7 ]
 
 let test_empty_and_singleton () =
@@ -58,7 +58,7 @@ let test_run_all () =
     Alcotest.(list int)
     "run_all order"
     (List.init 10 (fun i -> 10 * i))
-    (Pool.parallel_run_all ~jobs:3 thunks)
+    (Pool.parallel_run_all ~jobs:3 ~oversubscribe:true thunks)
 
 let test_exception_propagation () =
   List.iter
@@ -68,12 +68,12 @@ let test_exception_propagation () =
         (Failure "boom")
         (fun () ->
           ignore
-            (Pool.parallel_map ~jobs
+            (Pool.parallel_map ~jobs ~oversubscribe:true
                (fun i -> if i = 5 then failwith "boom" else i)
                (List.init 10 Fun.id))))
     [ 1; 4 ];
   (* the pool survives a failed batch: same pool usable afterwards *)
-  Pool.with_pool ~jobs:2 (fun p ->
+  Pool.with_pool ~jobs:2 ~oversubscribe:true (fun p ->
       (try ignore (Pool.map p (fun () -> failwith "once") [ () ])
        with Failure _ -> ());
       check
@@ -82,15 +82,23 @@ let test_exception_propagation () =
         (Pool.map p Fun.id [ 1; 2 ]))
 
 let test_nested_use_rejected () =
+  (* rejected on the (possibly clamped) default path... *)
   Alcotest.check_raises "nested parallel_map is an error" Pool.Nested_pool
     (fun () ->
       ignore
         (Pool.parallel_map ~jobs:2
            (fun _ -> Pool.parallel_map ~jobs:2 Fun.id [ 1; 2 ])
+           [ 1; 2; 3; 4 ]));
+  (* ...and from a genuine worker domain *)
+  Alcotest.check_raises "nested under real domains too" Pool.Nested_pool
+    (fun () ->
+      ignore
+        (Pool.parallel_map ~jobs:2 ~oversubscribe:true
+           (fun _ -> Pool.parallel_map ~jobs:2 Fun.id [ 1; 2 ])
            [ 1; 2; 3; 4 ]))
 
 let test_pool_reuse () =
-  Pool.with_pool ~jobs:3 (fun p ->
+  Pool.with_pool ~jobs:3 ~oversubscribe:true (fun p ->
       check Alcotest.int "size" 3 (Pool.size p);
       let a = Pool.map p (fun i -> i + 1) (List.init 20 Fun.id) in
       let b = Pool.map p (fun i -> i * 2) (List.init 20 Fun.id) in
@@ -106,7 +114,7 @@ let test_map_chunked_matches_map () =
   let expected = List.map f items in
   List.iter
     (fun jobs ->
-      Pool.with_pool ~jobs (fun p ->
+      Pool.with_pool ~jobs ~oversubscribe:true (fun p ->
           List.iter
             (fun chunk ->
               check
@@ -143,7 +151,7 @@ let test_map_chunked_effect_count () =
 let test_map_chunked_exception () =
   List.iter
     (fun jobs ->
-      Pool.with_pool ~jobs (fun p ->
+      Pool.with_pool ~jobs ~oversubscribe:true (fun p ->
           Alcotest.check_raises
             (Fmt.str "failure surfaces, jobs=%d" jobs)
             (Failure "chunk-boom")
@@ -162,13 +170,58 @@ let test_map_chunked_exception () =
 let test_default_jobs_positive () =
   check Alcotest.bool "default_jobs >= 1" true (Pool.default_jobs () >= 1)
 
+let test_effective_jobs_clamp () =
+  check Alcotest.int "oversubscribe keeps the request" 8
+    (Pool.effective_jobs ~oversubscribe:true 8);
+  check Alcotest.bool "clamped to the core count" true
+    (Pool.effective_jobs 64 <= max 1 (Domain.recommended_domain_count ()));
+  check Alcotest.int "requests below 1 clamp to 1" 1 (Pool.effective_jobs 0);
+  Pool.with_pool ~jobs:3 (fun p ->
+      check Alcotest.int "size reports the request" 3 (Pool.size p);
+      check Alcotest.int "workers reports the clamp" (Pool.effective_jobs 3)
+        (Pool.workers p));
+  Pool.with_pool ~jobs:3 ~oversubscribe:true (fun p ->
+      check Alcotest.int "oversubscribed pool keeps 3 workers" 3
+        (Pool.workers p))
+
+(* jobs=8 with the clamp bypassed, so real cross-domain scheduling runs
+   on any machine; adversarially uneven job durations (a few huge jobs
+   scattered through a tail of tiny ones) plus the cost model, repeated
+   on one pool — the merged results must be the sequential list every
+   round. *)
+let test_stress_oversubscribed_uneven () =
+  let items = List.init 150 Fun.id in
+  let weight i = if i mod 29 = 3 then 150_000 else 200 + (i * 13 mod 977) in
+  let f i =
+    let acc = ref 0 in
+    for k = 1 to weight i do
+      acc := !acc + (k land 15)
+    done;
+    (i, !acc)
+  in
+  let expected = List.map f items in
+  Pool.with_pool ~jobs:8 ~oversubscribe:true (fun p ->
+      for round = 1 to 3 do
+        check
+          Alcotest.(list (pair int int))
+          (Fmt.str "stress round %d (cost-ordered)" round)
+          expected
+          (Pool.map p ~cost:weight f items)
+      done;
+      check
+        Alcotest.(list (pair int int))
+        "stress without cost model" expected (Pool.map p f items))
+
 (* The harness-level guarantee the whole refactor exists for: the same
    job matrix merged in job-index order gives byte-identical artifacts
    whatever the worker count. *)
 let test_table3_determinism () =
   let run jobs =
-    Harness.Experiment.table3 ~budget:30.0 ~seeds:[ 1; 2 ]
-      ~models:[ "CPUTask"; "AFC" ] ~jobs ()
+    (* oversubscribed pool so jobs=4 runs four real domains even on a
+       smaller machine — the clamp must never be what makes this pass *)
+    Pool.with_pool ~jobs ~oversubscribe:true (fun pool ->
+        Harness.Experiment.table3 ~budget:30.0 ~seeds:[ 1; 2 ]
+          ~models:[ "CPUTask"; "AFC" ] ~pool ())
   in
   let rows1, text1 = run 1 in
   let rows4, text4 = run 4 in
@@ -207,6 +260,10 @@ let () =
           Alcotest.test_case "map_chunked exception propagation" `Quick
             test_map_chunked_exception;
           Alcotest.test_case "default jobs" `Quick test_default_jobs_positive;
+          Alcotest.test_case "effective jobs clamp" `Quick
+            test_effective_jobs_clamp;
+          Alcotest.test_case "oversubscribed uneven stress" `Quick
+            test_stress_oversubscribed_uneven;
         ] );
       ( "determinism",
         [

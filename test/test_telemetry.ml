@@ -277,14 +277,42 @@ let test_span_nesting () =
   check Alcotest.int "outer total count" 2 (count "test.outer");
   check Alcotest.int "inner total count" 3 (count "test.inner")
 
+let test_span_retention_aggregate () =
+  with_telemetry @@ fun () ->
+  check Alcotest.bool "records is the default" true
+    (Telemetry.span_retention () = `Records);
+  Telemetry.set_span_retention `Aggregate;
+  Fun.protect
+    ~finally:(fun () -> Telemetry.set_span_retention `Records)
+    (fun () ->
+      let sp = Telemetry.Span.make "test.retained" in
+      for _ = 1 to 10 do
+        Telemetry.Span.with_ sp (fun () -> ())
+      done;
+      (* aggregate mode retains O(names), not O(spans): no records, but
+         the same (count, total) the records would have produced *)
+      check Alcotest.int "no records retained" 0
+        (List.length (Telemetry.span_records ()));
+      let count, total =
+        List.fold_left
+          (fun acc (name, c, t) ->
+            if name = "test.retained" then (c, t) else acc)
+          (0, 0L) (Telemetry.span_totals ())
+      in
+      check Alcotest.int "aggregate count" 10 count;
+      check Alcotest.bool "aggregate total accumulates" true (total >= 0L))
+
 (* --- determinism across worker counts ----------------------------------- *)
 
 let table3_smoke ~jobs =
   Telemetry.reset ();
   Telemetry.enable ();
   let _, text =
-    Harness.Experiment.table3 ~budget:20.0 ~seeds:[ 1; 2 ]
-      ~models:[ "CPUTask" ] ~jobs ()
+    (* oversubscribed pool: jobs=4 must mean four real domains even
+       where the core-count clamp would fold this back to sequential *)
+    Harness.Pool.with_pool ~jobs ~oversubscribe:true (fun pool ->
+        Harness.Experiment.table3 ~budget:20.0 ~seeds:[ 1; 2 ]
+          ~models:[ "CPUTask" ] ~pool ())
   in
   let det = Telemetry.render_deterministic () in
   Telemetry.disable ();
@@ -343,7 +371,11 @@ let () =
           Alcotest.test_case "nondet excluded" `Quick test_nondet_excluded;
         ] );
       ( "spans",
-        [ Alcotest.test_case "nesting" `Quick test_span_nesting ] );
+        [
+          Alcotest.test_case "nesting" `Quick test_span_nesting;
+          Alcotest.test_case "aggregate retention" `Quick
+            test_span_retention_aggregate;
+        ] );
       ( "determinism",
         [
           Alcotest.test_case "table3 jobs=1 vs jobs=4" `Slow
