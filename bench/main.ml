@@ -245,6 +245,52 @@ let fuzz_campaign () =
     (Fmt.str "fuzz: campaign wall-clock (%d cases, jobs=1)" count, dt *. 1e9);
   ]
 
+(* --- textual model format ----------------------------------------------- *)
+
+(* Print/parse throughput of the .stcg textual format over a
+   fuzz-generated corpus, with round-trip equality asserted as a gate —
+   the bench doubles as a randomized regression test, and ns/model is
+   tracked in the BENCH json.  The corpus is derived from the same
+   case addressing the fuzzer uses, so every model replays exactly. *)
+let text_bench () =
+  section "text: .stcg print/parse throughput";
+  let count = if smoke then 60 else 300 in
+  let sources =
+    List.init count (fun i ->
+        let model, _, _ = Fuzzer.Campaign.case_gen ~seed:0 ~max_steps:8 i in
+        Text.Source.of_spec model)
+  in
+  let t0 = Unix.gettimeofday () in
+  let texts = List.map Text.Printer.print sources in
+  let t_print = Unix.gettimeofday () -. t0 in
+  let t1 = Unix.gettimeofday () in
+  let parsed =
+    List.map
+      (fun text ->
+        match Text.Parser.parse_string text with
+        | Ok src -> src
+        | Error e ->
+          failwith ("text bench: " ^ Text.Syntax.error_to_string e))
+      texts
+  in
+  let t_parse = Unix.gettimeofday () -. t1 in
+  List.iter2
+    (fun a b ->
+      if not (Text.Source.equal a b) then
+        failwith "text bench: round-trip inequality")
+    sources parsed;
+  let bytes = List.fold_left (fun acc t -> acc + String.length t) 0 texts in
+  let per phase = phase /. float_of_int count in
+  Fmt.pr
+    "corpus: %d models, %d KiB | print %.0f models/s | parse %.0f models/s@."
+    count (bytes / 1024)
+    (float_of_int count /. t_print)
+    (float_of_int count /. t_parse);
+  [
+    (Fmt.str "text: print ns/model (corpus %d)" count, per t_print *. 1e9);
+    (Fmt.str "text: parse ns/model (corpus %d)" count, per t_parse *. 1e9);
+  ]
+
 (* --- micro-benchmarks --------------------------------------------------- *)
 
 let json_escape s =
@@ -450,13 +496,14 @@ let () =
   let wallclock = if micro_only then [] else harness_wallclock () in
   let analysis = if micro_only then [] else analysis_bench () in
   let fuzz = if micro_only then [] else fuzz_campaign () in
+  let text = if micro_only then [] else text_bench () in
   let telemetry =
     if micro_only then None else Some (Telemetry.json_summary ())
   in
   let derived = if micro_only then [] else Telemetry.derived_rates () in
   Telemetry.disable ();
   Telemetry.reset ();
-  let results = micros @ wallclock @ analysis @ fuzz in
+  let results = micros @ wallclock @ analysis @ fuzz @ text in
   (match json_path with
    | Some path -> write_json ?telemetry ~derived path results
    | None -> ());

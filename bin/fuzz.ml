@@ -64,6 +64,37 @@ let corpus_arg =
   in
   Arg.(value & opt (some string) None & info [ "corpus" ] ~docv:"DIR" ~doc)
 
+let export_arg =
+  let doc =
+    "Also dump every generated model to $(docv)/seed$(i,S)-case$(i,NNNNNN).stcg \
+     (created if absent) in the textual model format, so a campaign doubles \
+     as a corpus builder for $(b,stcg campaign)."
+  in
+  Arg.(value & opt (some string) None & info [ "export" ] ~docv:"DIR" ~doc)
+
+let export_models dir ~seed ~count ~max_steps =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let exported = ref 0 in
+  for i = 0 to count - 1 do
+    let model, _steps, _inputs =
+      Fuzzer.Campaign.case_gen ~seed ~max_steps i
+    in
+    match Text.Printer.print (Text.Source.of_spec model) with
+    | text ->
+      let path =
+        Filename.concat dir (Printf.sprintf "seed%d-case%06d.stcg" seed i)
+      in
+      let oc = open_out_bin path in
+      output_string oc text;
+      close_out oc;
+      incr exported
+    | exception exn ->
+      (* a model the printer rejects is reported, not fatal: the
+         campaign already judges the case itself *)
+      Fmt.epr "export: case %d not printable: %s@." i (Printexc.to_string exn)
+  done;
+  Fmt.pr "export: wrote %d models to %s@." !exported dir
+
 let replay_arg =
   let doc =
     "Replay a corpus file instead of running a campaign: regenerate each \
@@ -95,7 +126,8 @@ let replay_corpus path =
       !failed;
     if !failed > 0 then exit 1
 
-let run_campaign seed count max_steps oracles jobs chunk json stats corpus =
+let run_campaign seed count max_steps oracles jobs chunk json stats corpus
+    export =
   let oracles =
     match List.concat oracles with [] -> Fuzzer.Oracle.all | l -> l
   in
@@ -109,6 +141,9 @@ let run_campaign seed count max_steps oracles jobs chunk json stats corpus =
     exit 2
   end;
   if stats then Telemetry.enable ();
+  (match export with
+   | Some dir -> export_models dir ~seed ~count ~max_steps
+   | None -> ());
   let summary =
     Fuzzer.Campaign.run ~oracles ~jobs ~chunk ~seed ~count ~max_steps ()
   in
@@ -134,11 +169,13 @@ let run_campaign seed count max_steps oracles jobs chunk json stats corpus =
    | None -> ());
   if Fuzzer.Campaign.failures summary > 0 then exit 1
 
-let main seed count max_steps oracles jobs chunk json stats corpus replay =
+let main seed count max_steps oracles jobs chunk json stats corpus export
+    replay =
   match replay with
   | Some path -> replay_corpus path
   | None ->
     run_campaign seed count max_steps oracles jobs chunk json stats corpus
+      export
 
 let cmd =
   let doc = "Random-model fuzzing with differential oracles." in
@@ -147,6 +184,6 @@ let cmd =
     Term.(
       const main $ seed_arg $ count_arg $ max_steps_arg $ oracle_arg
       $ jobs_arg $ chunk_arg $ json_arg $ stats_arg $ corpus_arg
-      $ replay_arg)
+      $ export_arg $ replay_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -479,6 +479,134 @@ let replay_cmd =
        ~doc:"Independently re-measure the coverage of an exported test suite.")
     Term.(const run $ model_arg $ file_arg $ telemetry_term)
 
+(* --- textual model format (.stcg) -------------------------------------- *)
+
+let stcg_files_arg =
+  Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE"
+       ~doc:"Textual model file(s) in the .stcg format.")
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let dump_cmd =
+  let run model =
+    let entry = find_model model in
+    print_string
+      (Text.Printer.print (Text.Source.of_registry entry.Models.Registry.source))
+  in
+  Cmd.v
+    (Cmd.info "dump"
+       ~doc:"Print a benchmark model in the textual .stcg format (the golden \
+             files under test/goldens are this command's output).")
+    Term.(const run $ model_arg)
+
+let parse_cmd =
+  let run files =
+    let failed = ref false in
+    List.iter
+      (fun f ->
+        match Text.Parser.parse_file f with
+        | Ok src ->
+          Fmt.pr "%s: %s %s@." f (Text.Source.kind_name src)
+            (Text.Source.name src)
+        | Error e ->
+          failed := true;
+          Fmt.epr "%s@." (Text.Syntax.error_to_string ~file:f e))
+      files;
+    if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "parse"
+       ~doc:"Parse .stcg files and report their kind, or diagnostics with \
+             stable error codes and line:column positions.  Exit 1 on any \
+             parse failure.")
+    Term.(const run $ stcg_files_arg)
+
+let fmt_cmd =
+  let run write check files =
+    let failed = ref false in
+    let dirty = ref false in
+    List.iter
+      (fun f ->
+        match Text.Parser.parse_file f with
+        | Error e ->
+          failed := true;
+          Fmt.epr "%s@." (Text.Syntax.error_to_string ~file:f e)
+        | Ok src ->
+          let canon = Text.Printer.print src in
+          if write || check then begin
+            let same = read_file f = canon in
+            if not same then begin
+              dirty := true;
+              if write then begin
+                let oc = open_out_bin f in
+                output_string oc canon;
+                close_out oc;
+                Fmt.epr "stcg fmt: rewrote %s@." f
+              end
+              else Fmt.epr "stcg fmt: %s is not canonical@." f
+            end
+          end
+          else print_string canon)
+      files;
+    if !failed || (check && !dirty) then exit 1
+  in
+  let write_arg =
+    Arg.(value & flag
+         & info [ "write"; "w" ] ~doc:"Rewrite the files in place.")
+  in
+  let check_arg =
+    Arg.(value & flag
+         & info [ "check" ]
+             ~doc:"Print nothing; exit 1 if any file is not in canonical \
+                   form.")
+  in
+  Cmd.v
+    (Cmd.info "fmt"
+       ~doc:"Reprint .stcg files in canonical form (to stdout by default).")
+    Term.(const run $ write_arg $ check_arg $ stcg_files_arg)
+
+let campaign_cmd =
+  let run dir tool budget seed jobs results tel =
+    let finish = telemetry_setup tel in
+    let tool = parse_tool tool in
+    let r =
+      Text.Campaign.run ~tool ~budget ~seed ?jobs ?results_dir:results
+        ~log:(fun s -> Fmt.epr "%s@." s)
+        dir
+    in
+    Fmt.epr "stcg campaign: %d executed, %d cached@." r.Text.Campaign.executed
+      r.Text.Campaign.cached;
+    print_string r.Text.Campaign.summary;
+    finish ();
+    if r.Text.Campaign.failed > 0 then exit 1
+  in
+  let dir_arg =
+    Arg.(required & pos 0 (some dir) None & info [] ~docv:"DIR"
+         ~doc:"Directory of .stcg model files.")
+  in
+  let results_arg =
+    Arg.(value & opt (some string) None
+         & info [ "results" ] ~docv:"DIR"
+             ~doc:"Result-store directory (default: $(i,DIR)/results).  One \
+                   self-describing JSON file per model; re-invoking the \
+                   campaign skips models whose stored result matches the \
+                   configuration, so an interrupted campaign resumes where \
+                   it stopped.")
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:"Run one tool over every .stcg model in a directory, with a \
+             resumable per-model result store.  The summary is \
+             byte-identical whether the campaign ran in one go or was \
+             interrupted and resumed.  Exit 1 if any model fails to parse \
+             or run.")
+    Term.(const run $ dir_arg $ tool_arg $ budget_arg $ seed_arg $ jobs_arg
+          $ results_arg $ telemetry_term)
+
 let () =
   let doc = "STCG: state-aware test case generation (DAC'23 reproduction)" in
   let info = Cmd.info "stcg" ~version:"1.0.0" ~doc in
@@ -488,4 +616,5 @@ let () =
           [
             list_models_cmd; run_cmd; table1_cmd; table2_cmd; table3_cmd;
             fig3_cmd; fig4_cmd; ablations_cmd; merge_cmd; lint_cmd; replay_cmd;
+            dump_cmd; parse_cmd; fmt_cmd; campaign_cmd;
           ]))

@@ -69,6 +69,20 @@ let shrunk_failure ~shrink_checks ~still_fails ~index ~oracle ~message model
     f_repro = Fmt.str "%a" Gen.pp_repro (o.Shrink.r_model, o.Shrink.r_inputs);
   }
 
+let case_gen ~seed ~max_steps i =
+  let cs = case_seed ~seed i in
+  let rng = Splitmix.create cs in
+  let model_rng = Splitmix.split rng in
+  let input_rng = Splitmix.split rng in
+  let size = 8 + Splitmix.int rng 16 in
+  let steps = 1 + Splitmix.int rng (max 1 max_steps) in
+  let model = Gen.gen_model model_rng ~size in
+  (* copy the input stream so the thunk replays identically however
+     often it is called (corpus export re-derives the same inputs) *)
+  ( model,
+    steps,
+    fun prog -> Gen.gen_inputs (Splitmix.copy input_rng) prog ~steps )
+
 let tel_cases = Telemetry.Counter.make "fuzz.cases"
 let tel_failures = Telemetry.Counter.make "fuzz.failures"
 let tel_sp_case = Telemetry.Span.make "fuzz.case"
@@ -78,12 +92,7 @@ let run_case ?(oracles = Oracle.all) ?(shrink_checks = 400) ~seed ~max_steps i =
   Telemetry.Span.with_ tel_sp_case ~note:(fun () -> string_of_int i)
   @@ fun () ->
   let cs = case_seed ~seed i in
-  let rng = Splitmix.create cs in
-  let model_rng = Splitmix.split rng in
-  let input_rng = Splitmix.split rng in
-  let size = 8 + Splitmix.int rng 16 in
-  let steps = 1 + Splitmix.int rng (max 1 max_steps) in
-  let model = Gen.gen_model model_rng ~size in
+  let model, steps, gen_inputs = case_gen ~seed ~max_steps i in
   match Gen.program_of model with
   | exception exn ->
     (* the generator promises well-typed models: a compile failure is a
@@ -107,7 +116,7 @@ let run_case ?(oracles = Oracle.all) ?(shrink_checks = 400) ~seed ~max_steps i =
         (shrunk_failure ~shrink_checks ~still_fails ~index:i ~oracle:"build"
            ~message model []) )
   | prog ->
-    let inputs = Gen.gen_inputs input_rng prog ~steps in
+    let inputs = gen_inputs prog in
     let verdicts = Oracle.run ~which:oracles ~seed:cs prog inputs in
     let ex = Exec.handle prog in
     let case =

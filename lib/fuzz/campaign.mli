@@ -48,6 +48,19 @@ val case_seed : seed:int -> int -> int
 (** Per-case seed for case [i]: a SplitMix-style mix of the campaign
     seed and the index, so neighbouring indices share no structure. *)
 
+val case_gen :
+  seed:int ->
+  max_steps:int ->
+  int ->
+  Gen.model_spec * int * (Slim.Ir.program -> (string * Slim.Value.t) list list)
+(** [case_gen ~seed ~max_steps i] draws case [i]'s model, step count
+    and input generator — exactly the random draws {!run_case} makes
+    before judging, exposed so corpus tooling (the [.stcg] exporter,
+    the text round-trip suite, the bench harness) can materialize the
+    same cases without running any oracle.  The returned input thunk
+    is pure: it replays the same input rows however often it is
+    called. *)
+
 val run_case :
   ?oracles:string list ->
   ?shrink_checks:int ->

@@ -6,10 +6,19 @@ type paper_row = { p_sldv : float * float * float;
                    p_simcotest : float * float * float;
                    p_stcg : float * float * float }
 
+(* The shape a model was authored in, before compilation to the step
+   program — what the textual .stcg format serializes.  Thunked like
+   [program]: sources are built on demand. *)
+type source =
+  | Src_diagram of (unit -> Slim.Model.t)
+  | Src_chart of (unit -> Stateflow.Chart.t)
+  | Src_program of (unit -> Slim.Ir.program)
+
 type entry = {
   name : string;
   description : string;
   program : unit -> Slim.Ir.program;
+  source : source;  (** the model as authored (diagram/chart/raw IR) *)
   paper_branches : int;  (** Table II "#Branch" *)
   paper_blocks : int;  (** Table II "#Block" *)
   paper : paper_row;  (** Table III *)
@@ -21,6 +30,7 @@ let entries =
       name = "CPUTask";
       description = Cputask.description;
       program = Cputask.program;
+      source = Src_program Cputask.program_uncached;
       paper_branches = 107;
       paper_blocks = 275;
       paper =
@@ -34,6 +44,7 @@ let entries =
       name = "AFC";
       description = Afc.description;
       program = Afc.program;
+      source = Src_diagram Afc.model;
       paper_branches = 35;
       paper_blocks = 125;
       paper =
@@ -47,6 +58,7 @@ let entries =
       name = "TWC";
       description = Twc.description;
       program = Twc.program;
+      source = Src_chart Twc.chart;
       paper_branches = 80;
       paper_blocks = 214;
       paper =
@@ -60,6 +72,7 @@ let entries =
       name = "NICProtocol";
       description = Nicprotocol.description;
       program = Nicprotocol.program;
+      source = Src_chart Nicprotocol.chart;
       paper_branches = 46;
       paper_blocks = 294;
       paper =
@@ -73,6 +86,7 @@ let entries =
       name = "UTPC";
       description = Utpc.description;
       program = Utpc.program;
+      source = Src_diagram Utpc.model;
       paper_branches = 92;
       paper_blocks = 214;
       paper =
@@ -86,6 +100,7 @@ let entries =
       name = "LANSwitch";
       description = Lanswitch.description;
       program = Lanswitch.program;
+      source = Src_program Lanswitch.program_uncached;
       paper_branches = 131;
       paper_blocks = 570;
       paper =
@@ -99,6 +114,7 @@ let entries =
       name = "LEDLC";
       description = Ledlc.description;
       program = Ledlc.program;
+      source = Src_program Ledlc.program_uncached;
       paper_branches = 94;
       paper_blocks = 270;
       paper =
@@ -112,6 +128,7 @@ let entries =
       name = "TCP";
       description = Tcp.description;
       program = Tcp.program;
+      source = Src_program Tcp.program_uncached;
       paper_branches = 146;
       paper_blocks = 330;
       paper =

@@ -1,0 +1,37 @@
+(* A model as authored: the three source shapes the registry and the
+   fuzz generator produce, and exactly what a .stcg file stores. *)
+
+type t =
+  | Diagram of Slim.Model.t
+  | Chart of Stateflow.Chart.t
+  | Program of Slim.Ir.program
+
+let name = function
+  | Diagram m -> m.Slim.Model.m_name
+  | Chart c -> c.Stateflow.Chart.ch_name
+  | Program p -> p.Slim.Ir.name
+
+let kind_name = function
+  | Diagram _ -> "diagram"
+  | Chart _ -> "chart"
+  | Program _ -> "program"
+
+let program_of = function
+  | Diagram m -> Slim.Compile.to_program m
+  | Chart c -> Stateflow.Sf_compile.to_program c
+  | Program p -> p
+
+(* Structural equality via polymorphic compare: sources are pure data
+   (no closures), and [compare] treats nan = nan, which is what a
+   round-trip check needs. *)
+let equal a b = Stdlib.compare a b = 0
+
+let of_registry (src : Models.Registry.source) =
+  match src with
+  | Models.Registry.Src_diagram f -> Diagram (f ())
+  | Models.Registry.Src_chart f -> Chart (f ())
+  | Models.Registry.Src_program f -> Program (f ())
+
+let of_spec = function
+  | Fuzzer.Gen.M_diagram s -> Diagram (Fuzzer.Gen.to_model s)
+  | Fuzzer.Gen.M_chart c -> Chart (Fuzzer.Gen.chart_of_spec c)

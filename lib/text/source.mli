@@ -1,0 +1,27 @@
+(** A model as authored — the three source shapes a [.stcg] file can
+    hold: a SLIM block diagram, a standalone Stateflow-like chart, or a
+    raw step program. *)
+
+type t =
+  | Diagram of Slim.Model.t
+  | Chart of Stateflow.Chart.t
+  | Program of Slim.Ir.program
+
+val name : t -> string
+val kind_name : t -> string
+(** ["diagram" | "chart" | "program"]. *)
+
+val program_of : t -> Slim.Ir.program
+(** Compile to the executable step program ({!Slim.Compile} /
+    {!Stateflow.Sf_compile}; raw programs pass through).  May raise
+    {!Slim.Model.Invalid_model}, {!Stateflow.Chart.Invalid_chart} or
+    {!Slim.Ir.Ill_typed} on sources built outside {!Parser}. *)
+
+val equal : t -> t -> bool
+(** Structural equality (nan-tolerant: [compare] based). *)
+
+val of_registry : Models.Registry.source -> t
+(** Build the source of a registry benchmark model. *)
+
+val of_spec : Fuzzer.Gen.model_spec -> t
+(** View a fuzz-generated model spec as a printable source. *)
