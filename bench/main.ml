@@ -291,6 +291,76 @@ let text_bench () =
     (Fmt.str "text: parse ns/model (corpus %d)" count, per t_parse *. 1e9);
   ]
 
+(* --- falsification ------------------------------------------------------ *)
+
+(* Monitoring cost of the sliding-window STL robustness monitor over a
+   trace corpus generated by the falsification signal generator at a
+   fixed seed, with the naive O(n*w) reference measured alongside so
+   the BENCH json tracks the deque win as ns/step.  A fixed-seed
+   campaign over the built-in requirement table doubles as a gate:
+   every seeded-faulty requirement must come back FALSIFIED. *)
+let falsify_bench () =
+  section "falsify: STL robustness monitoring";
+  let steps = if smoke then 64 else 256 in
+  let per_req = if smoke then 4 else 16 in
+  let reqs = Spec.Requirements.table in
+  let corpus =
+    List.concat_map
+      (fun (r : Spec.Requirements.req) ->
+        match Models.Registry.find r.Spec.Requirements.r_model with
+        | None -> []
+        | Some (e : Models.Registry.entry) ->
+          let exec = Slim.Exec.handle (e.Models.Registry.program ()) in
+          let plan =
+            Spec.Signal.plan exec ~shape:Spec.Signal.Piecewise_constant ~steps
+              ~segments:6
+          in
+          let rng = Spec.Prng.create 0xBE7C in
+          List.init per_req (fun _ ->
+              ( Spec.Search.witness_trace ~plan
+                  (Spec.Signal.random_params plan rng),
+                r.Spec.Requirements.r_formula )))
+      reqs
+  in
+  let total_steps =
+    List.fold_left (fun a (t, _) -> a + Spec.Monitor.length t) 0 corpus
+  in
+  let t0 = Unix.gettimeofday () in
+  List.iter (fun (t, f) -> ignore (Spec.Monitor.robustness_signal t f)) corpus;
+  let t_fast = Unix.gettimeofday () -. t0 in
+  let t1 = Unix.gettimeofday () in
+  List.iter
+    (fun (t, f) ->
+      for at = 0 to Spec.Monitor.length t - 1 do
+        ignore (Spec.Monitor.robustness_naive ~at t f)
+      done)
+    corpus;
+  let t_naive = Unix.gettimeofday () -. t1 in
+  let cfg = Spec.Falsify.default_config ~seed:1 in
+  let rows = Spec.Falsify.campaign cfg reqs in
+  List.iter
+    (fun (r : Spec.Falsify.row) ->
+      if r.Spec.Falsify.f_fault && not r.Spec.Falsify.f_falsified then
+        failwith
+          (Fmt.str "falsify bench: seeded fault %s/%s not falsified"
+             r.Spec.Falsify.f_model r.Spec.Falsify.f_req))
+    rows;
+  let falsified =
+    List.length (List.filter (fun r -> r.Spec.Falsify.f_falsified) rows)
+  in
+  let per_step dt = dt /. float_of_int total_steps *. 1e9 in
+  Fmt.pr
+    "corpus: %d traces, %d steps | monitor %.0f ns/step (deque) vs %.0f \
+     ns/step (naive) | campaign %d/%d falsified@."
+    (List.length corpus) total_steps (per_step t_fast) (per_step t_naive)
+    falsified (List.length rows);
+  [
+    (Fmt.str "falsify: monitor ns/step (deque, %d-step traces)" steps,
+     per_step t_fast);
+    (Fmt.str "falsify: monitor ns/step (naive, %d-step traces)" steps,
+     per_step t_naive);
+  ]
+
 (* --- micro-benchmarks --------------------------------------------------- *)
 
 let json_escape s =
@@ -497,13 +567,14 @@ let () =
   let analysis = if micro_only then [] else analysis_bench () in
   let fuzz = if micro_only then [] else fuzz_campaign () in
   let text = if micro_only then [] else text_bench () in
+  let falsify = if micro_only then [] else falsify_bench () in
   let telemetry =
     if micro_only then None else Some (Telemetry.json_summary ())
   in
   let derived = if micro_only then [] else Telemetry.derived_rates () in
   Telemetry.disable ();
   Telemetry.reset ();
-  let results = micros @ wallclock @ analysis @ fuzz @ text in
+  let results = micros @ wallclock @ analysis @ fuzz @ text @ falsify in
   (match json_path with
    | Some path -> write_json ?telemetry ~derived path results
    | None -> ());

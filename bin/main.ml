@@ -494,13 +494,24 @@ let read_file path =
 let dump_cmd =
   let run model =
     let entry = find_model model in
-    print_string
-      (Text.Printer.print (Text.Source.of_registry entry.Models.Registry.source))
+    let doc =
+      {
+        Text.Document.source =
+          Text.Source.of_registry entry.Models.Registry.source;
+        spec =
+          List.map
+            (fun (r : Spec.Requirements.req) ->
+              (r.Spec.Requirements.r_name, r.Spec.Requirements.r_formula))
+            (Spec.Requirements.for_model entry.Models.Registry.name);
+      }
+    in
+    print_string (Text.Printer.print_document doc)
   in
   Cmd.v
     (Cmd.info "dump"
-       ~doc:"Print a benchmark model in the textual .stcg format (the golden \
-             files under test/goldens are this command's output).")
+       ~doc:"Print a benchmark model in the textual .stcg format, including \
+             its built-in requirement table as a (spec ...) section (the \
+             golden files under test/goldens are this command's output).")
     Term.(const run $ model_arg)
 
 let parse_cmd =
@@ -508,10 +519,17 @@ let parse_cmd =
     let failed = ref false in
     List.iter
       (fun f ->
-        match Text.Parser.parse_file f with
-        | Ok src ->
-          Fmt.pr "%s: %s %s@." f (Text.Source.kind_name src)
-            (Text.Source.name src)
+        match Text.Parser.parse_document_file f with
+        | Ok doc ->
+          let src = doc.Text.Document.source in
+          let reqs = List.length doc.Text.Document.spec in
+          if reqs = 0 then
+            Fmt.pr "%s: %s %s@." f (Text.Source.kind_name src)
+              (Text.Source.name src)
+          else
+            Fmt.pr "%s: %s %s (%d requirement%s)@." f
+              (Text.Source.kind_name src) (Text.Source.name src) reqs
+              (if reqs = 1 then "" else "s")
         | Error e ->
           failed := true;
           Fmt.epr "%s@." (Text.Syntax.error_to_string ~file:f e))
@@ -520,9 +538,10 @@ let parse_cmd =
   in
   Cmd.v
     (Cmd.info "parse"
-       ~doc:"Parse .stcg files and report their kind, or diagnostics with \
-             stable error codes and line:column positions.  Exit 1 on any \
-             parse failure.")
+       ~doc:"Parse .stcg files (including any (spec ...) requirement \
+             section) and report their kind, or diagnostics with stable \
+             error codes and line:column positions.  Exit 1 on any parse \
+             failure.")
     Term.(const run $ stcg_files_arg)
 
 let fmt_cmd =
@@ -531,12 +550,12 @@ let fmt_cmd =
     let dirty = ref false in
     List.iter
       (fun f ->
-        match Text.Parser.parse_file f with
+        match Text.Parser.parse_document_file f with
         | Error e ->
           failed := true;
           Fmt.epr "%s@." (Text.Syntax.error_to_string ~file:f e)
-        | Ok src ->
-          let canon = Text.Printer.print src in
+        | Ok doc ->
+          let canon = Text.Printer.print_document doc in
           if write || check then begin
             let same = read_file f = canon in
             if not same then begin
@@ -568,6 +587,90 @@ let fmt_cmd =
     (Cmd.info "fmt"
        ~doc:"Reprint .stcg files in canonical form (to stdout by default).")
     Term.(const run $ write_arg $ check_arg $ stcg_files_arg)
+
+let falsify_cmd =
+  let run model seed jobs steps segments shape samples descent tel =
+    let finish = telemetry_setup tel in
+    let shape =
+      match Spec.Signal.shape_of_name shape with
+      | Some s -> s
+      | None ->
+        Fmt.epr "falsify: unknown shape %S (expected pwc or pwl)@." shape;
+        exit 2
+    in
+    let cfg =
+      {
+        (Spec.Falsify.default_config ~seed) with
+        steps;
+        segments;
+        shape;
+        samples;
+        descent;
+      }
+    in
+    let reqs =
+      match model with
+      | None -> Spec.Requirements.table
+      | Some m -> (
+        let entry = find_model m in
+        match Spec.Requirements.for_model entry.Models.Registry.name with
+        | [] ->
+          Fmt.epr "falsify: no requirements for model %s@."
+            entry.Models.Registry.name;
+          exit 2
+        | reqs -> reqs)
+    in
+    let rows = Spec.Falsify.campaign ?jobs cfg reqs in
+    print_string (Spec.Falsify.render cfg rows);
+    finish ();
+    let real_violation =
+      List.exists
+        (fun (r : Spec.Falsify.row) ->
+          r.Spec.Falsify.f_falsified && not r.Spec.Falsify.f_fault)
+        rows
+    in
+    if real_violation then exit 1
+  in
+  let model_opt_arg =
+    Arg.(value & opt (some string) None
+         & info [ "model"; "m" ] ~docv:"MODEL"
+             ~doc:"Restrict the campaign to one model's requirements \
+                   (default: the whole built-in table).")
+  in
+  let steps_arg =
+    Arg.(value & opt int 48
+         & info [ "steps" ] ~docv:"N" ~doc:"Trace length per search.")
+  in
+  let segments_arg =
+    Arg.(value & opt int 6
+         & info [ "segments" ] ~docv:"N"
+             ~doc:"Signal-generator segments per input variable.")
+  in
+  let shape_arg =
+    Arg.(value & opt string "pwc"
+         & info [ "shape" ] ~docv:"SHAPE"
+             ~doc:"Input signal shape: pwc (piecewise-constant) or pwl \
+                   (piecewise-linear).")
+  in
+  let samples_arg =
+    Arg.(value & opt int 32
+         & info [ "samples" ] ~docv:"N"
+             ~doc:"Random samples per requirement before local descent.")
+  in
+  let descent_arg =
+    Arg.(value & opt int 64
+         & info [ "descent" ] ~docv:"N"
+             ~doc:"Local-descent proposals per requirement.")
+  in
+  Cmd.v
+    (Cmd.info "falsify"
+       ~doc:"Robustness-guided falsification: search input signals that \
+             violate the built-in STL requirement table.  Output is \
+             byte-identical for any --jobs value at a fixed seed.  Exit 1 \
+             when a non-seeded requirement is falsified.")
+    Term.(const run $ model_opt_arg $ seed_arg $ jobs_arg $ steps_arg
+          $ segments_arg $ shape_arg $ samples_arg $ descent_arg
+          $ telemetry_term)
 
 let campaign_cmd =
   let run dir tool budget seed jobs results tel =
@@ -616,5 +719,5 @@ let () =
           [
             list_models_cmd; run_cmd; table1_cmd; table2_cmd; table3_cmd;
             fig3_cmd; fig4_cmd; ablations_cmd; merge_cmd; lint_cmd; replay_cmd;
-            dump_cmd; parse_cmd; fmt_cmd; campaign_cmd;
+            dump_cmd; parse_cmd; fmt_cmd; campaign_cmd; falsify_cmd;
           ]))

@@ -2,7 +2,7 @@ open Slim
 
 type verdict = Pass | Fail of string
 
-let all = [ "exec"; "coverage"; "symexec"; "solver"; "analysis" ]
+let all = [ "exec"; "coverage"; "symexec"; "solver"; "analysis"; "spec" ]
 
 let fail fmt = Fmt.kstr (fun m -> Fail m) fmt
 
@@ -528,6 +528,126 @@ let analysis prog steps =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Oracle 6: spec-monitor differential                                 *)
+
+(* Execute the case's input rows to get an output trace, generate
+   random STL formulas over the program's scalar outputs, and require
+   (a) the sliding-window monitor to agree with the naive reference
+   monitor bit-for-bit at every evaluation step, and (b) the
+   robustness sign to agree with the independent boolean semantics
+   whenever nonzero.  Traces containing non-finite samples are skipped:
+   NaN deliberately breaks the deque/fold equivalence (incomparable
+   under <), so the bit-for-bit contract only covers finite traces. *)
+
+let spec_mon ~seed prog steps =
+  let ex = Exec.handle prog in
+  let scalar_outs =
+    Array.to_list (Exec.output_vars ex)
+    |> List.filter_map (fun (v : Ir.var) ->
+           match v.ty with
+           | Value.Tvec _ -> None
+           | _ -> Some v.name)
+  in
+  if scalar_outs = [] then Pass
+  else begin
+    (* keep the prefix before any runtime error: a partial trace is
+       still a trace *)
+    let rec exec_go st acc = function
+      | [] -> List.rev acc
+      | row :: rest -> (
+        match Exec.run_step ex st (Exec.inputs_of_list ex row) with
+        | out, st' -> exec_go st' (out :: acc) rest
+        | exception Exec.Eval_error _ -> List.rev acc)
+    in
+    let outs = exec_go (Exec.initial_state ex) [] steps in
+    if outs = [] then Pass
+    else begin
+      let trace = Spec.Monitor.of_run ex outs in
+      let finite =
+        List.for_all
+          (fun (_, col) -> Array.for_all Float.is_finite col)
+          (Spec.Monitor.columns trace)
+      in
+      if not finite then Pass
+      else begin
+        let n = Spec.Monitor.length trace in
+        let rng = Splitmix.create (seed lxor 0x57EC) in
+        let open Spec.Stl in
+        let rec gen_sig depth =
+          if depth = 0 || Splitmix.int rng 3 = 0 then
+            if Splitmix.bool rng then Sig (Splitmix.choose rng scalar_outs)
+            else Const (float_of_int (Splitmix.int_in rng (-50) 50))
+          else
+            let a = gen_sig (depth - 1) and b = gen_sig (depth - 1) in
+            match Splitmix.int rng 7 with
+            | 0 -> Add (a, b)
+            | 1 -> Sub (a, b)
+            | 2 -> Mul (a, b)
+            | 3 -> Neg a
+            | 4 -> Abs a
+            | 5 -> Min (a, b)
+            | _ -> Max (a, b)
+        in
+        let gen_cmp () =
+          Splitmix.choose rng [ Le; Lt; Ge; Gt; Eq ]
+        in
+        let gen_bounds () =
+          let a = Splitmix.int rng 7 in
+          (a, a + Splitmix.int rng 9)
+        in
+        let rec gen_formula depth =
+          if depth = 0 || Splitmix.int rng 4 = 0 then
+            Atom (gen_cmp (), gen_sig 2, gen_sig 2)
+          else
+            let f = gen_formula (depth - 1) in
+            match Splitmix.int rng 7 with
+            | 0 -> Not f
+            | 1 -> And (f, gen_formula (depth - 1))
+            | 2 -> Or (f, gen_formula (depth - 1))
+            | 3 -> Implies (f, gen_formula (depth - 1))
+            | 4 ->
+              let a, b = gen_bounds () in
+              Always (a, b, f)
+            | 5 ->
+              let a, b = gen_bounds () in
+              Eventually (a, b, f)
+            | _ ->
+              let a, b = gen_bounds () in
+              Until (a, b, f, gen_formula (depth - 1))
+        in
+        let rec check_formula i =
+          if i >= 5 then Pass
+          else begin
+            let f = gen_formula 3 in
+            let fast = Spec.Monitor.robustness_signal trace f in
+            let rec check_step t =
+              if t >= n then check_formula (i + 1)
+              else
+                let naive = Spec.Monitor.robustness_naive ~at:t trace f in
+                if
+                  Int64.bits_of_float fast.(t) <> Int64.bits_of_float naive
+                then
+                  fail
+                    "formula %s: step %d: deque monitor %h disagrees with reference %h"
+                    (Spec.Stl.to_string f) t fast.(t) naive
+                else if fast.(t) <> 0.0
+                        && Float.is_finite fast.(t)
+                        && Spec.Monitor.sat ~at:t trace f <> (fast.(t) > 0.0)
+                then
+                  fail
+                    "formula %s: step %d: robustness %h sign disagrees with boolean semantics"
+                    (Spec.Stl.to_string f) t fast.(t)
+                else check_step (t + 1)
+            in
+            check_step 0
+          end
+        in
+        check_formula 0
+      end
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let guard name f =
   match f () with
@@ -559,6 +679,7 @@ let run ~which ~seed prog steps =
           | "symexec" -> timed (fun () -> symexec ~seed prog steps)
           | "solver" -> timed (fun () -> solver ~seed prog steps)
           | "analysis" -> timed (fun () -> analysis prog steps)
+          | "spec" -> timed (fun () -> spec_mon ~seed prog steps)
           | _ -> Fail ("unknown oracle " ^ name)
         in
         Some (name, v))

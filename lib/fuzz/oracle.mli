@@ -1,4 +1,4 @@
-(** The four differential oracles.
+(** The differential oracles.
 
     Each oracle takes a compiled-from-spec {!Slim.Ir.program} plus a
     name-keyed input sequence and returns a verdict.  They are pure
@@ -29,13 +29,20 @@
       static analyzer classifies as [Dead] may ever be covered by a
       concrete execution whose inputs conform to their declared
       domains.  A dynamic hit on a dead objective is an analyzer bug
-      and is minimized like any other failure. *)
+      and is minimized like any other failure.
+    - [spec_mon] — {!Spec.Monitor} differential: over the executed
+      output trace and random STL formulas, the sliding-window monitor
+      must agree with the naive reference monitor {b bit-for-bit} at
+      every step, and nonzero robustness signs must agree with the
+      independent boolean semantics.  Traces with non-finite samples
+      are skipped (NaN is incomparable, which breaks the deque/fold
+      equivalence by design). *)
 
 type verdict = Pass | Fail of string
 
 val all : string list
 (** Oracle names, in canonical order: ["exec"; "coverage"; "symexec";
-    "solver"; "analysis"]. *)
+    "solver"; "analysis"; "spec"]. *)
 
 val exec_diff :
   Slim.Ir.program -> (string * Slim.Value.t) list list -> verdict
@@ -59,6 +66,9 @@ val solver :
 
 val analysis :
   Slim.Ir.program -> (string * Slim.Value.t) list list -> verdict
+
+val spec_mon :
+  seed:int -> Slim.Ir.program -> (string * Slim.Value.t) list list -> verdict
 
 val run :
   which:string list ->

@@ -1,0 +1,242 @@
+(* Two robustness monitors over the same clamped-window semantics:
+
+   - the production monitor computes per-subformula robustness *arrays*
+     bottom-up, with a monotone deque giving O(n) windowed min/max;
+   - the reference monitor recomputes a single evaluation point straight
+     from the definition, O(n·w) per temporal level.
+
+   They must agree bit-for-bit (the fuzz oracle checks exactly that), so
+   every float reduction below uses the same two combinators with the
+   same argument order and the same tie convention (keep the earlier
+   operand; note -0.0 and 0.0 compare equal, so ties keep bits stable in
+   both directions).  The deque pops on *strict* comparison, which makes
+   its front the earliest minimal element — the same element a
+   fold-left over the window would keep. *)
+
+let c_rob_evals = Telemetry.Counter.make "spec.robustness_evals"
+let sp_monitor = Telemetry.Span.make "spec.monitor"
+
+type trace = { n : int; cols : (string * float array) list }
+
+let of_columns cols =
+  match cols with
+  | [] -> invalid_arg "Monitor.of_columns: no columns"
+  | (_, c0) :: rest ->
+    let n = Array.length c0 in
+    if n = 0 then invalid_arg "Monitor.of_columns: empty columns";
+    List.iter
+      (fun (name, c) ->
+        if Array.length c <> n then
+          invalid_arg
+            (Printf.sprintf "Monitor.of_columns: column %S has length %d, expected %d"
+               name (Array.length c) n))
+      rest;
+    { n; cols }
+
+let length t = t.n
+let columns t = t.cols
+
+let column t name =
+  match List.assoc_opt name t.cols with
+  | Some c -> c
+  | None -> invalid_arg (Printf.sprintf "Monitor.column: unknown signal %S" name)
+
+let of_run exec outs =
+  let n = List.length outs in
+  if n = 0 then invalid_arg "Monitor.of_run: empty run";
+  let vars = Slim.Exec.output_vars exec in
+  let cols = ref [] in
+  Array.iteri
+    (fun slot (v : Slim.Ir.var) ->
+      match v.ty with
+      | Slim.Value.Tvec _ -> ()
+      | _ ->
+        let col = Array.make n 0.0 in
+        List.iteri (fun t row -> col.(t) <- Slim.Value.to_real row.(slot)) outs;
+        cols := (v.name, col) :: !cols)
+    vars;
+  of_columns (List.rev !cols)
+
+(* --- shared float conventions ------------------------------------------- *)
+
+let min2 a b = if b < a then b else a
+let max2 a b = if b > a then b else a
+let clamp_hi n i = if i > n - 1 then n - 1 else i
+
+let atom_rob op l r =
+  match (op : Stl.cmp) with
+  | Le | Lt -> r -. l
+  | Ge | Gt -> l -. r
+  | Eq -> -.Float.abs (l -. r)
+
+(* --- signal expressions -------------------------------------------------- *)
+
+let rec eval_sig t step (e : Stl.sig_expr) =
+  match e with
+  | Sig name -> (column t name).(step)
+  | Const f -> f
+  | Add (a, b) -> eval_sig t step a +. eval_sig t step b
+  | Sub (a, b) -> eval_sig t step a -. eval_sig t step b
+  | Mul (a, b) -> eval_sig t step a *. eval_sig t step b
+  | Neg e -> -.eval_sig t step e
+  | Abs e -> Float.abs (eval_sig t step e)
+  | Min (a, b) -> min2 (eval_sig t step a) (eval_sig t step b)
+  | Max (a, b) -> max2 (eval_sig t step a) (eval_sig t step b)
+
+(* --- production monitor: bottom-up robustness arrays --------------------- *)
+
+(* Windowed fold over clamped windows [min(t+a,n-1), min(t+b,n-1)] with a
+   monotone deque of indices.  Both window ends are nondecreasing in t, so
+   each index enters and leaves the deque once: O(n) total.  [worse] is the
+   strict pop test ((>) for min, (<) for max). *)
+let window_fold arr a b ~worse =
+  let n = Array.length arr in
+  let out = Array.make n 0.0 in
+  let dq = Array.make n 0 in
+  let front = ref 0 and back = ref 0 in
+  let filled = ref 0 in
+  for t = 0 to n - 1 do
+    let lo = clamp_hi n (t + a) and hi = clamp_hi n (t + b) in
+    while !filled <= hi do
+      let v = arr.(!filled) in
+      while !back > !front && worse arr.(dq.(!back - 1)) v do decr back done;
+      dq.(!back) <- !filled;
+      incr back;
+      incr filled
+    done;
+    while dq.(!front) < lo do incr front done;
+    out.(t) <- arr.(dq.(!front))
+  done;
+  out
+
+let window_min arr a b = window_fold arr a b ~worse:(fun x v -> x > v)
+let window_max arr a b = window_fold arr a b ~worse:(fun x v -> x < v)
+
+let rec rob_signal t (f : Stl.formula) =
+  let n = t.n in
+  match f with
+  | Atom (op, l, r) ->
+    Array.init n (fun step -> atom_rob op (eval_sig t step l) (eval_sig t step r))
+  | Not f -> Array.map (fun x -> -.x) (rob_signal t f)
+  | And (f, g) -> Array.map2 min2 (rob_signal t f) (rob_signal t g)
+  | Or (f, g) -> Array.map2 max2 (rob_signal t f) (rob_signal t g)
+  | Implies (f, g) ->
+    Array.map2 max2 (Array.map (fun x -> -.x) (rob_signal t f)) (rob_signal t g)
+  | Always (a, b, f) -> window_min (rob_signal t f) a b
+  | Eventually (a, b, f) -> window_max (rob_signal t f) a b
+  | Until (a, b, f, g) ->
+    let fa = rob_signal t f and ga = rob_signal t g in
+    let out = Array.make n 0.0 in
+    for step = 0 to n - 1 do
+      let lo = clamp_hi n (step + a) and hi = clamp_hi n (step + b) in
+      let runmin = ref infinity in
+      for s = step to lo - 1 do
+        runmin := min2 !runmin fa.(s)
+      done;
+      let acc = ref neg_infinity in
+      for tau = lo to hi do
+        runmin := min2 !runmin fa.(tau);
+        acc := max2 !acc (min2 !runmin ga.(tau))
+      done;
+      out.(step) <- !acc
+    done;
+    out
+
+let robustness_signal t f =
+  Telemetry.Span.with_ sp_monitor (fun () ->
+      Telemetry.Counter.incr c_rob_evals;
+      rob_signal t f)
+
+let robustness ?(at = 0) t f =
+  if at < 0 || at >= t.n then invalid_arg "Monitor.robustness: step out of range";
+  (robustness_signal t f).(at)
+
+(* --- reference monitor: pointwise recursion ------------------------------ *)
+
+let rec naive t step (f : Stl.formula) =
+  let n = t.n in
+  match f with
+  | Atom (op, l, r) -> atom_rob op (eval_sig t step l) (eval_sig t step r)
+  | Not f -> -.naive t step f
+  | And (f, g) -> min2 (naive t step f) (naive t step g)
+  | Or (f, g) -> max2 (naive t step f) (naive t step g)
+  | Implies (f, g) -> max2 (-.naive t step f) (naive t step g)
+  | Always (a, b, f) ->
+    let lo = clamp_hi n (step + a) and hi = clamp_hi n (step + b) in
+    let acc = ref infinity in
+    for tau = lo to hi do
+      acc := min2 !acc (naive t tau f)
+    done;
+    !acc
+  | Eventually (a, b, f) ->
+    let lo = clamp_hi n (step + a) and hi = clamp_hi n (step + b) in
+    let acc = ref neg_infinity in
+    for tau = lo to hi do
+      acc := max2 !acc (naive t tau f)
+    done;
+    !acc
+  | Until (a, b, f, g) ->
+    let lo = clamp_hi n (step + a) and hi = clamp_hi n (step + b) in
+    let acc = ref neg_infinity in
+    for tau = lo to hi do
+      let m = ref infinity in
+      for s = step to tau do
+        m := min2 !m (naive t s f)
+      done;
+      acc := max2 !acc (min2 !m (naive t tau g))
+    done;
+    !acc
+
+let robustness_naive ?(at = 0) t f =
+  if at < 0 || at >= t.n then invalid_arg "Monitor.robustness_naive: step out of range";
+  naive t at f
+
+(* --- qualitative semantics ----------------------------------------------- *)
+
+let atom_sat op l r =
+  match (op : Stl.cmp) with
+  | Le -> l <= r
+  | Lt -> l < r
+  | Ge -> l >= r
+  | Gt -> l > r
+  | Eq -> l = r
+
+let rec bool_at t step (f : Stl.formula) =
+  let n = t.n in
+  match f with
+  | Atom (op, l, r) -> atom_sat op (eval_sig t step l) (eval_sig t step r)
+  | Not f -> not (bool_at t step f)
+  | And (f, g) -> bool_at t step f && bool_at t step g
+  | Or (f, g) -> bool_at t step f || bool_at t step g
+  | Implies (f, g) -> (not (bool_at t step f)) || bool_at t step g
+  | Always (a, b, f) ->
+    let lo = clamp_hi n (step + a) and hi = clamp_hi n (step + b) in
+    let ok = ref true in
+    for tau = lo to hi do
+      if not (bool_at t tau f) then ok := false
+    done;
+    !ok
+  | Eventually (a, b, f) ->
+    let lo = clamp_hi n (step + a) and hi = clamp_hi n (step + b) in
+    let ok = ref false in
+    for tau = lo to hi do
+      if bool_at t tau f then ok := true
+    done;
+    !ok
+  | Until (a, b, f, g) ->
+    let lo = clamp_hi n (step + a) and hi = clamp_hi n (step + b) in
+    let ok = ref false in
+    for tau = lo to hi do
+      if (not !ok) && bool_at t tau g then begin
+        let all = ref true in
+        for s = step to tau do
+          if not (bool_at t s f) then all := false
+        done;
+        if !all then ok := true
+      end
+    done;
+    !ok
+
+let sat ?(at = 0) t f =
+  if at < 0 || at >= t.n then invalid_arg "Monitor.sat: step out of range";
+  bool_at t at f

@@ -1,0 +1,53 @@
+(** Robustness monitoring over finite step traces.
+
+    A trace is a set of equal-length named float columns, one per scalar
+    model output, indexed by step.  {!robustness} is the production
+    monitor: it computes the robustness signal of every temporal
+    subformula in one pass using monotone deques, so a window of any
+    width costs O(n) per [always]/[eventually] (and O(n·w) for
+    [until]).  {!robustness_naive} recomputes each point from the
+    definition; the two are kept {b bit-for-bit} identical — same float
+    fold order, same tie conventions — and differenced by the fuzz
+    oracle and the test suite.
+
+    Both monitors use the clamped-window finite-trace semantics
+    documented in {!Stl}. *)
+
+type trace
+
+val of_columns : (string * float array) list -> trace
+(** Build a trace from named columns.  Raises [Invalid_argument] if the
+    list is empty, a column is empty, or lengths disagree. *)
+
+val length : trace -> int
+val columns : trace -> (string * float array) list
+
+val column : trace -> string -> float array
+(** Raises [Invalid_argument] on unknown names — {!Stl.validate} against
+    the model interface up front to get a diagnosable error instead. *)
+
+val of_run : Slim.Exec.t -> Slim.Exec.outputs list -> trace
+(** Columns for every {b scalar} output of the compiled model (booleans
+    read as 0/1, vectors skipped), one row per step.  Raises
+    [Invalid_argument] on an empty run. *)
+
+(** {1 Monitors} *)
+
+val robustness : ?at:int -> trace -> Stl.formula -> float
+(** Quantitative robustness at step [at] (default 0), computed with the
+    sliding-window monitor.  Instrumented under the [spec.monitor]
+    span. *)
+
+val robustness_signal : trace -> Stl.formula -> float array
+(** The full per-step robustness signal ([robustness ~at:t] for every
+    [t]) at the cost of one monitor pass. *)
+
+val robustness_naive : ?at:int -> trace -> Stl.formula -> float
+(** Reference monitor: direct recursion over the definition at one
+    evaluation point, O(n·w) per temporal operator per point.  Equal to
+    {!robustness} bit-for-bit on traces of finite floats. *)
+
+val sat : ?at:int -> trace -> Stl.formula -> bool
+(** Qualitative (boolean) semantics, evaluated independently of the
+    robustness computations.  When [robustness] is nonzero its sign
+    agrees with [sat]; at exactly zero the boolean verdict is free. *)

@@ -1,0 +1,45 @@
+(* Private SplitMix64 for the falsification search (same algorithm as
+   the fuzzer's {!Fuzzer.Splitmix}, re-rolled here because the spec
+   library sits *below* the fuzzer in the dependency graph: the sixth
+   fuzz oracle differentials this library, so depending on the fuzzer
+   would be a cycle).  Deterministic across platforms and OCaml
+   versions, which is what makes `stcg falsify --seed N` replayable. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+(* mix two seeds into one: job [i] of campaign seed [s] draws from an
+   independent stream for any job count *)
+let mix_seed a b = Int64.to_int (mix64 (Int64.add (mix64 (Int64.of_int a)) (Int64.of_int b)))
+
+let bits62 t = Int64.to_int (Int64.shift_right_logical (bits64 t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound <= 0";
+  let max = (1 lsl 62) - 1 in
+  let limit = max - (((max mod bound) + 1) mod bound) in
+  let rec go () =
+    let v = bits62 t in
+    if v <= limit then v mod bound else go ()
+  in
+  go ()
+
+let float t x =
+  let v = Int64.to_int (Int64.shift_right_logical (bits64 t) 11) in
+  float_of_int v /. 9007199254740992.0 *. x
+
+let float_in t lo hi = if hi <= lo then lo else lo +. float t (hi -. lo)

@@ -1,0 +1,77 @@
+type req = {
+  r_model : string;
+  r_name : string;
+  r_formula : Stl.formula;
+  r_fault : bool;
+}
+
+(* Formula shorthands — the table below reads close to the STL it
+   denotes. *)
+let s n = Stl.Sig n
+let c x = Stl.Const x
+let ( <=. ) l r = Stl.Atom (Stl.Le, l, r)
+let ( >=. ) l r = Stl.Atom (Stl.Ge, l, r)
+let always a b f = Stl.Always (a, b, f)
+let eventually a b f = Stl.Eventually (a, b, f)
+let until a b f g = Stl.Until (a, b, f, g)
+let implies f g = Stl.Implies (f, g)
+
+(* An output level no declared signal range can reach: seeded-faulty
+   [eventually] requirements demand it, so every trace falsifies them
+   at monitoring time — the deterministic falsification anchor. *)
+let unreachable = 1e9
+
+let req ?(fault = false) model name formula =
+  { r_model = model; r_name = name; r_formula = formula; r_fault = fault }
+
+let table =
+  [
+    (* CPUTask: scheduler status stays in its enum; a queue of [slots]
+       entries can never hold a billion tasks (seeded fault). *)
+    req "CPUTask" "status-in-range" (always 0 40 (s "status" <=. c 5.0));
+    req "CPUTask" "queue-overflow" ~fault:true
+      (eventually 0 40 (s "queue_count" >=. c unreachable));
+    (* TWC: throttle/brake are percentages; demanding motor torque of
+       250% is the seeded fault; the 95% headroom invariant is
+       search-dependent — falsified iff the search can saturate the
+       motor. *)
+    req "TWC" "motor-in-range" (always 0 40 (s "motor" <=. c 100.0));
+    req "TWC" "motor-hits-250" ~fault:true
+      (eventually 0 40 (s "motor" >=. c 250.0));
+    req "TWC" "motor-headroom" (always 0 40 (s "motor" <=. c 95.0));
+    (* LEDLC: the controller sheds load above its 50-unit budget; the
+       overload flag must only rise under real load. *)
+    req "LEDLC" "current-budget" (always 0 40 (s "total_current" <=. c 50.0));
+    req "LEDLC" "current-runaway" ~fault:true
+      (eventually 0 40 (s "total_current" >=. c unreachable));
+    req "LEDLC" "overload-implies-load"
+      (always 0 40
+         (implies (s "overload" >=. c 0.5) (s "total_current" >=. c 1.0)));
+    (* NICProtocol: the drop counter saturates at 100 by type; a drop
+       storm past that is the seeded fault. *)
+    req "NICProtocol" "dropped-bounded" (always 0 40 (s "dropped" <=. c 100.0));
+    req "NICProtocol" "dropped-storm" ~fault:true
+      (eventually 0 40 (s "dropped" >=. c unreachable));
+    (* TCP: counters are range-bounded; "no data before the handshake
+       completes" exercises [until] — search-dependent. *)
+    req "TCP" "resets-bounded" (always 0 40 (s "resets" <=. c 100.0));
+    req "TCP" "comes-up" (eventually 0 40 (s "established" >=. c 1.0));
+    req "TCP" "data-after-handshake"
+      (until 0 40 (s "data_ok" <=. c 0.0) (s "established" >=. c 1.0));
+  ]
+
+let for_model m = List.filter (fun r -> r.r_model = m) table
+
+let models () =
+  let seen = Hashtbl.create 8 in
+  List.filter_map
+    (fun (e : Models.Registry.entry) ->
+      if (not (Hashtbl.mem seen e.name)) && for_model e.name <> [] then begin
+        Hashtbl.add seen e.name ();
+        Some e.name
+      end
+      else None)
+    Models.Registry.entries
+
+let find ~model ~name =
+  List.find_opt (fun r -> r.r_model = model && r.r_name = name) table

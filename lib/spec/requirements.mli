@@ -1,0 +1,28 @@
+(** The built-in requirement table over the registry benchmark models —
+    the falsification campaign's workload, analogous to an ARCH-COMP
+    requirement set next to the paper's Table II models.
+
+    Each model carries a mix of {e expected-to-hold} range invariants,
+    {e search-dependent} requirements whose verdict depends on what the
+    input search can reach, and {e seeded-faulty} requirements
+    ([fault = true]) that are unsatisfiable by construction (they demand
+    an output level outside the declared signal range), so a campaign
+    must falsify them on the very first trace — the determinism anchor
+    of the test suite. *)
+
+type req = {
+  r_model : string;  (** registry model name *)
+  r_name : string;  (** requirement id, unique per model *)
+  r_formula : Stl.formula;
+  r_fault : bool;  (** seeded fault: falsifiable on every input trace *)
+}
+
+val table : req list
+(** Registry order, then declaration order within a model.  Every
+    formula validates against its model's output interface. *)
+
+val for_model : string -> req list
+val models : unit -> string list
+(** Model names carrying at least one requirement, registry order. *)
+
+val find : model:string -> name:string -> req option

@@ -1,0 +1,36 @@
+(** Robustness-guided falsification over one requirement.
+
+    The search draws seeded random parameter vectors from a
+    {!Signal.plan}, executes each rendered input trace, monitors the
+    requirement's robustness at step 0, and keeps the
+    minimum-robustness trace as the candidate witness; if random
+    sampling does not cross zero, coordinate-wise local descent
+    perturbs the best candidate with a shrinking step.  The whole run
+    is a pure function of [(plan, formula, seed, budgets)] — replayable
+    and byte-stable under any parallel schedule. *)
+
+type result = {
+  best_rob : float;  (** minimum robustness observed at step 0 *)
+  falsified : bool;  (** [best_rob < 0.0] *)
+  at_trace : int option;
+      (** 1-based index of the first falsifying trace, counting every
+          executed trace (random samples then descent proposals) *)
+  traces : int;  (** traces executed in total *)
+  best_params : float array;  (** parameters of the minimum-robustness trace *)
+}
+
+val run :
+  ?samples:int ->
+  ?descent:int ->
+  plan:Signal.plan ->
+  seed:int ->
+  Stl.formula ->
+  result
+(** [samples] random traces (default 32), then up to [descent]
+    local-descent proposals (default 64), stopping at the first
+    robustness below zero.  Instrumented under the [spec.search] span;
+    counts [spec.traces_evaluated] and [spec.falsifications]. *)
+
+val witness_trace : plan:Signal.plan -> float array -> Monitor.trace
+(** Re-execute a parameter vector (e.g. [best_params]) and return the
+    monitored output trace. *)

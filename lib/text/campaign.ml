@@ -207,9 +207,11 @@ let entry_of ~model prog : Models.Registry.entry =
   }
 
 let execute ~tool ~budget ~seed ~store (model, file) =
-  match Parser.parse_file file with
+  (* documents may carry a (spec ...) section; the coverage campaign
+     only runs the source *)
+  match Parser.parse_document_file file with
   | Error e -> Error e
-  | Ok src -> (
+  | Ok { Document.source = src; _ } -> (
     match
       let prog = Slim.Ir.renumber_decisions (Source.program_of src) in
       let rr = E.run_tool ~budget ~seed tool (entry_of ~model prog) in

@@ -1,0 +1,9 @@
+type t = {
+  source : Source.t;
+  spec : (string * Spec.Stl.formula) list;
+}
+
+let of_source source = { source; spec = [] }
+
+let equal a b =
+  Source.equal a.source b.source && Stdlib.compare a.spec b.spec = 0

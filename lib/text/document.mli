@@ -1,0 +1,29 @@
+(** A complete [.stcg] file: one model source, optionally followed by a
+    [spec] section of named STL requirements over the model's outputs.
+
+    The textual form is
+
+    {v
+    (diagram|chart|program ...)
+    (spec
+      (req "name" FORMULA)
+      ...)
+    v}
+
+    where [FORMULA] is the one-line s-expression syntax of
+    {!Spec.Stl.to_string}.  A file without a [spec] section is a
+    document with an empty requirement list — the two print
+    byte-identically, so plain sources stay untouched. *)
+
+type t = {
+  source : Source.t;
+  spec : (string * Spec.Stl.formula) list;
+      (** requirement name → formula, file order; names are unique *)
+}
+
+val of_source : Source.t -> t
+(** A document with no requirements. *)
+
+val equal : t -> t -> bool
+(** {!Source.equal} on the source plus structural (nan-tolerant)
+    equality of the requirement list. *)

@@ -1,6 +1,6 @@
 (* Tests for the fuzzing subsystem itself: generator determinism,
    shrinker contracts, and a known-seed corpus that must stay clean
-   under all four oracles.  These are the meta-tests that make the
+   under every oracle.  These are the meta-tests that make the
    fuzzer trustworthy as a regression harness — a nondeterministic
    generator or a growing shrinker would silently invalidate every
    reproducer in TESTING.md. *)
@@ -162,7 +162,7 @@ let test_corpus_clean seed () =
     Alcotest.failf "seed %d: oracle %s failed: %s@.%s" seed f.Campaign.f_oracle
       f.Campaign.f_message f.Campaign.f_repro);
   check Alcotest.int
-    (Fmt.str "seed %d: all four oracles ran" seed)
+    (Fmt.str "seed %d: all oracles ran" seed)
     (List.length Oracle.all)
     (List.length case.Campaign.c_verdicts);
   List.iter
