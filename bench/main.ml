@@ -171,15 +171,18 @@ let harness_wallclock () =
 (* --- static analysis ---------------------------------------------------- *)
 
 (* Fixpoint wall-clock of the abstract interpreter on every registry
-   model, plus the end-to-end effect on the engine: how many coverage
-   objectives the analyzer lets the solving loop skip.  Tracked in the
-   BENCH json so analyzer slowdowns (or lost dead-objective proofs)
-   show up across PRs. *)
+   model (interval and octagon domains), the Unknown objectives the
+   snapshot-seeded refinement decides, plus the end-to-end effect on
+   the engine: how many coverage objectives the analyzer lets the
+   solving loop skip, and the verdict-priority on/off wall-clock.
+   Tracked in the BENCH json so analyzer slowdowns (or lost
+   dead-objective proofs) show up across PRs. *)
 let analysis_bench () =
   section "analysis: abstract-interpretation fixpoint";
   let models =
     if smoke then [ "CPUTask"; "AFC" ] else Models.Registry.names
   in
+  let oct = { Analysis.Analyzer.domain = `Octagon } in
   let entries = ref [] in
   let total_dead = ref 0 in
   List.iter
@@ -189,16 +192,61 @@ let analysis_bench () =
       let t0 = Unix.gettimeofday () in
       let r = Analysis.Analyzer.analyze prog in
       let dt = Unix.gettimeofday () -. t0 in
+      let t1 = Unix.gettimeofday () in
+      let ro = Analysis.Analyzer.analyze ~config:oct prog in
+      let dto = Unix.gettimeofday () -. t1 in
       let s = Analysis.Verdict.of_result r in
       let db, dc, dm = Analysis.Verdict.counts s Analysis.Verdict.Dead in
+      let so = Analysis.Verdict.of_result ro in
+      let ob, oc, om = Analysis.Verdict.counts so Analysis.Verdict.Dead in
       total_dead := !total_dead + db + dc + dm;
       Fmt.pr
-        "%-12s %8.2f ms  %3d sweeps %2d widened  dead objectives (%d,%d,%d)@."
-        name (dt *. 1e3) r.Analysis.Analyzer.r_iterations
-        r.Analysis.Analyzer.r_widenings db dc dm;
+        "%-12s iv %8.2f ms oct %8.2f ms  %3d sweeps %2d widened  dead \
+         (%d,%d,%d) oct (%d,%d,%d)@."
+        name (dt *. 1e3) (dto *. 1e3) r.Analysis.Analyzer.r_iterations
+        r.Analysis.Analyzer.r_widenings db dc dm ob oc om;
       entries :=
-        (Fmt.str "analysis: fixpoint %s" name, dt *. 1e9) :: !entries)
+        (Fmt.str "analysis: octagon fixpoint %s" name, dto *. 1e9)
+        :: (Fmt.str "analysis: fixpoint %s" name, dt *. 1e9)
+        :: !entries)
     models;
+  (* snapshot-seeded refinement: how many Unknown objectives do 40
+     concretely reached states decide, and at what cost *)
+  section "analysis: snapshot-refined verdicts";
+  let total_refined = ref 0 in
+  let refine_ns = ref 0.0 in
+  List.iter
+    (fun name ->
+      let prog = (Option.get (Models.Registry.find name)).program () in
+      let s0 = Analysis.Verdict.of_program prog in
+      let h = Slim.Exec.compile prog in
+      let rng = Random.State.make [| 7 |] in
+      let st = ref (Slim.Exec.initial_state h) in
+      let seeds = ref [] in
+      for _ = 1 to 40 do
+        let inp = Slim.Exec.random_inputs rng h in
+        let _, st' = Slim.Exec.run_step h !st inp in
+        st := st';
+        seeds := Array.copy st' :: !seeds
+      done;
+      let unknown s =
+        let b, c, m = Analysis.Verdict.counts s Analysis.Verdict.Unknown in
+        b + c + m
+      in
+      let t0 = Unix.gettimeofday () in
+      let s1 = Analysis.Verdict.refine s0 ~seeds:!seeds in
+      let dt = Unix.gettimeofday () -. t0 in
+      refine_ns := !refine_ns +. (dt *. 1e9);
+      let decided = unknown s0 - unknown s1 in
+      total_refined := !total_refined + decided;
+      Fmt.pr "%-12s %8.2f ms  unknown %3d -> %3d (%d decided)@." name
+        (dt *. 1e3) (unknown s0) (unknown s1) decided)
+    models;
+  entries :=
+    ("analysis: refine wall-clock (bench models)", !refine_ns)
+    :: ( "analysis: refine objectives decided (bench models)",
+         float_of_int !total_refined )
+    :: !entries;
   (* drive the engine once with the analyzer on: the skipped-objective
      counter is the proof the dead verdicts reach the solving loop *)
   let tel_skipped = Telemetry.Counter.make "engine.objectives_skipped_dead" in
@@ -214,13 +262,36 @@ let analysis_bench () =
   in
   let _run = Stcg.Engine.run ~config:cfg afc in
   let skipped = Telemetry.Counter.total tel_skipped - before in
-  if not tel_on then Telemetry.disable ();
   Fmt.pr "engine on AFC with --analyze: %d objectives skipped as dead@."
     skipped;
   if skipped <= 0 then
     failwith "analysis bench: engine skipped no dead objectives on AFC";
+  (* verdict-priority on/off: same model, same budget — the wall-clock
+     pair tracks the overhead of the static-prune path and the
+     reordered worklist against the plain solving loop *)
+  let tel_pruned = Telemetry.Counter.make "engine.solves_pruned_static" in
+  let vp_run priority =
+    let t0 = Unix.gettimeofday () in
+    let p0 = Telemetry.Counter.total tel_pruned in
+    let _ =
+      Stcg.Engine.run
+        ~config:{ cfg with Stcg.Engine.verdict_priority = priority }
+        afc
+    in
+    (Unix.gettimeofday () -. t0, Telemetry.Counter.total tel_pruned - p0)
+  in
+  let dt_off, _ = vp_run false in
+  let dt_on, pruned = vp_run true in
+  if not tel_on then Telemetry.disable ();
+  Fmt.pr
+    "engine on AFC: verdict-priority off %.2f s / on %.2f s (%d solves \
+     pruned statically)@."
+    dt_off dt_on pruned;
   ("analysis: dead objectives proved (bench models)", float_of_int !total_dead)
   :: ("analysis: engine objectives skipped (AFC)", float_of_int skipped)
+  :: ("analysis: engine AFC verdict-priority off", dt_off *. 1e9)
+  :: ("analysis: engine AFC verdict-priority on", dt_on *. 1e9)
+  :: ("analysis: engine AFC solves pruned", float_of_int pruned)
   :: List.rev !entries
 
 (* --- fuzz campaign ------------------------------------------------------ *)

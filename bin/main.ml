@@ -227,11 +227,21 @@ let list_models_cmd =
     Term.(const run $ const ())
 
 let run_cmd =
-  let run model tool budget seed analyze export tel =
+  let run model tool budget seed analyze domain verdict_priority
+      reanalyze_every export tel =
     let finish = telemetry_setup tel in
     let entry = find_model model in
     let tool = parse_tool tool in
-    let result = Harness.Experiment.run_tool ~budget ~analyze ~seed tool entry in
+    let domain =
+      match domain with
+      | "interval" -> `Interval
+      | "octagon" -> `Octagon
+      | d -> Fmt.failwith "unknown domain %S (interval|octagon)" d
+    in
+    let result =
+      Harness.Experiment.run_tool ~budget ~analyze ~domain ~verdict_priority
+        ~reanalyze_every ~seed tool entry
+    in
     Fmt.pr "%a@." Stcg.Run_result.pp_summary result;
     (match export with
      | Some path ->
@@ -258,10 +268,34 @@ let run_cmd =
                    are justified in coverage reporting and skipped by the \
                    solving loop (STCG variants only).")
   in
+  let domain_arg =
+    Arg.(value & opt string "interval"
+         & info [ "domain" ] ~docv:"DOMAIN"
+             ~doc:"Abstract domain for $(b,--analyze): $(b,interval) or \
+                   $(b,octagon) (relational, slower, strictly more \
+                   precise).")
+  in
+  let verdict_priority_arg =
+    Arg.(value & flag
+         & info [ "verdict-priority" ]
+             ~doc:"With $(b,--analyze): order solving worklists \
+                   Reachable-first and prune statically-Unsat solves at \
+                   tree nodes (testcase output is unchanged on saturating \
+                   runs).")
+  in
+  let reanalyze_arg =
+    Arg.(value & opt int 0
+         & info [ "reanalyze-every" ] ~docv:"N"
+             ~doc:"With $(b,--analyze): re-run the analysis seeded from \
+                   reached state snapshots every $(docv) solving \
+                   iterations, justifying newly-proven-dead objectives \
+                   mid-run (0 disables).")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one tool on one benchmark model.")
     Term.(const run $ model_arg $ tool_arg $ budget_arg $ seed_arg
-          $ analyze_arg $ export_arg $ telemetry_term)
+          $ analyze_arg $ domain_arg $ verdict_priority_arg $ reanalyze_arg
+          $ export_arg $ telemetry_term)
 
 let table1_cmd =
   let run budget seed tel =
@@ -419,29 +453,123 @@ let merge_cmd =
              gaps.")
     Term.(const run $ output_arg $ parts_arg $ csv_arg)
 
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
 let lint_cmd =
-  let run model all tel =
+  (* Per-target lint result: the A-diags of the compiled program, the
+     S-findings of the spec section (files only), or the parse error
+     that stopped everything. *)
+  let lint_model (e : Models.Registry.entry) =
+    (e.Models.Registry.name, Analysis.Lint.run (e.Models.Registry.program ()),
+     [], None)
+  in
+  let lint_file f =
+    match Text.Parser.parse_document_file f with
+    | Error e -> (f, [], [], Some e)
+    | Ok doc ->
+      let prog = Text.Source.program_of doc.Text.Document.source in
+      let text = try read_file f with Sys_error _ -> "" in
+      (f, Analysis.Lint.run prog, Text.Doclint.run ~text doc, None)
+  in
+  let json_escape s =
+    let b = Buffer.create (String.length s) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Fmt.str "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  in
+  let print_json results issues =
+    Fmt.pr "{@.  \"issues\": %d,@.  \"targets\": [@." issues;
+    let last_t = List.length results - 1 in
+    List.iteri
+      (fun ti (target, diags, sfindings, err) ->
+        Fmt.pr "    { \"target\": \"%s\", \"findings\": [@."
+          (json_escape target);
+        let items =
+          (match err with
+           | Some (e : Text.Syntax.error) ->
+             [ Fmt.str
+                 "{ \"code\": \"%s\", \"line\": %d, \"col\": %d, \
+                  \"msg\": \"%s\" }"
+                 (json_escape e.Text.Syntax.code) e.Text.Syntax.pos.line
+                 e.Text.Syntax.pos.col (json_escape e.Text.Syntax.msg) ]
+           | None -> [])
+          @ List.map
+              (fun (d : Analysis.Diag.t) ->
+                Fmt.str
+                  "{ \"code\": \"%s\", \"loc\": \"%s\", \"msg\": \"%s\" }"
+                  (Analysis.Diag.code_id d.Analysis.Diag.d_code)
+                  (json_escape d.Analysis.Diag.d_loc)
+                  (json_escape d.Analysis.Diag.d_msg))
+              diags
+          @ List.map
+              (fun (f : Text.Doclint.finding) ->
+                Fmt.str
+                  "{ \"code\": \"%s\", \"line\": %d, \"col\": %d, \
+                   \"req\": \"%s\", \"msg\": \"%s\" }"
+                  (Text.Doclint.code_id f.Text.Doclint.s_code)
+                  f.Text.Doclint.s_pos.line f.Text.Doclint.s_pos.col
+                  (json_escape f.Text.Doclint.s_req)
+                  (json_escape f.Text.Doclint.s_msg))
+              sfindings
+        in
+        let last_i = List.length items - 1 in
+        List.iteri
+          (fun i item ->
+            Fmt.pr "      %s%s@." item (if i = last_i then "" else ","))
+          items;
+        Fmt.pr "    ] }%s@." (if ti = last_t then "" else ","))
+      results;
+    Fmt.pr "  ]@.}@."
+  in
+  let run model all files json tel =
     let finish = telemetry_setup tel in
     let entries =
       if all then Models.Registry.entries
-      else
-        match model with
-        | Some m -> [ find_model m ]
-        | None ->
-          Fmt.epr "lint: pass --model NAME or --all@.";
-          exit 2
+      else match model with Some m -> [ find_model m ] | None -> []
     in
-    let issues = ref 0 in
-    List.iter
-      (fun (e : Models.Registry.entry) ->
-        let prog = e.Models.Registry.program () in
-        let diags = Analysis.Lint.run prog in
-        issues := !issues + List.length diags;
-        List.iter print_endline
-          (Analysis.Lint.to_lines ~model:e.Models.Registry.name diags))
-      entries;
+    if entries = [] && files = [] then begin
+      Fmt.epr "lint: pass --model NAME, --all or FILE.stcg arguments@.";
+      exit 2
+    end;
+    let results = List.map lint_model entries @ List.map lint_file files in
+    let issues =
+      List.fold_left
+        (fun acc (_, diags, sfindings, err) ->
+          acc + List.length diags + List.length sfindings
+          + match err with Some _ -> 1 | None -> 0)
+        0 results
+    in
+    if json then print_json results issues
+    else
+      List.iter
+        (fun (target, diags, sfindings, err) ->
+          match err with
+          | Some e ->
+            print_endline (Text.Syntax.error_to_string ~file:target e)
+          | None ->
+            (* suppress the A-lint "clean" line when S-findings exist:
+               the target is not clean *)
+            if not (diags = [] && sfindings <> []) then
+              List.iter print_endline
+                (Analysis.Lint.to_lines ~model:target diags);
+            List.iter print_endline
+              (Text.Doclint.to_lines ~file:target sfindings))
+        results;
     finish ();
-    if !issues > 0 then exit 1
+    if issues > 0 then exit 1
   in
   let model_opt_arg =
     Arg.(value & opt (some string) None
@@ -452,12 +580,31 @@ let lint_cmd =
     Arg.(value & flag
          & info [ "all" ] ~doc:"Lint every registry model.")
   in
+  let files_arg =
+    Arg.(value & pos_all file []
+         & info [] ~docv:"FILE"
+             ~doc:"Textual .stcg file(s): parse and validate, lint the \
+                   compiled program (A-codes), and lint the spec section \
+                   against the analyzer's output bounds (S-codes, \
+                   file:line:col positions).")
+  in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Print findings as a JSON object on stdout (stable field \
+                   order) instead of text lines.  Exit status is \
+                   unchanged.")
+  in
   Cmd.v
     (Cmd.info "lint"
-       ~doc:"Statically lint models: uninitialized reads, dead stores, \
-             constant guards, unreachable states, index range errors.  \
-             Exit 1 when any diagnostic fires.")
-    Term.(const run $ model_opt_arg $ all_arg $ telemetry_term)
+       ~doc:"Statically lint models and .stcg files: uninitialized reads, \
+             dead stores, constant guards, unreachable states, index range \
+             errors (A-codes), and spec-aware requirement checks — \
+             statically decided or vacuous requirements, windows past the \
+             falsification horizon, constant signals (S-codes).  Exit 1 \
+             when any finding fires.")
+    Term.(const run $ model_opt_arg $ all_arg $ files_arg $ json_arg
+          $ telemetry_term)
 
 let replay_cmd =
   let run model path tel =
@@ -484,12 +631,6 @@ let replay_cmd =
 let stcg_files_arg =
   Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE"
        ~doc:"Textual model file(s) in the .stcg format.")
-
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
 
 let dump_cmd =
   let run model =

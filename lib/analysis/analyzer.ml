@@ -64,6 +64,7 @@ type result = {
   r_guards : (int * guard_fact) list;
   r_diags : Diag.t list;
   r_state : (string * Absval.t) list;
+  r_out : (string * Absval.t) list;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -214,6 +215,73 @@ let build_info (prog : Ir.program) =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Analyzer configuration and octagon variable universe                *)
+
+type domain = [ `Interval | `Octagon ]
+type config = { domain : domain }
+
+let default_config = { domain = `Interval }
+
+(* The relational domain tracks a bounded universe of numeric cells:
+   every int/real scalar (inputs, states, locals), then the elements of
+   State-scope vectors outside any may-alias class (their element
+   writes are strong, so exact relations survive).  [-1] as the element
+   index marks a scalar cell. *)
+module Octvars = struct
+  type t = {
+    ov_keys : (Ir.scope * string * int) array;
+    ov_ints : bool array;
+    ov_index : (Ir.scope * string * int, int) Hashtbl.t;
+  }
+
+  let max_vars = 48
+
+  let build (info : info) =
+    let keys = ref [] in
+    let count = ref 0 in
+    let push key is_int =
+      if !count < max_vars then begin
+        keys := (key, is_int) :: !keys;
+        incr count
+      end
+    in
+    let scalar scope (v : Ir.var) =
+      match v.ty with
+      | Value.Tint _ -> push (scope, v.name, -1) true
+      | Value.Treal _ -> push (scope, v.name, -1) false
+      | Value.Tbool | Value.Tvec _ -> ()
+    in
+    List.iter (scalar Ir.Input) info.i_prog.Ir.inputs;
+    List.iter (fun ((v : Ir.var), _) -> scalar Ir.State v) info.i_prog.Ir.states;
+    List.iter (scalar Ir.Local) info.i_prog.Ir.locals;
+    List.iter
+      (fun ((v : Ir.var), _) ->
+        match v.ty with
+        | Value.Tvec (elt, len)
+          when not (Hashtbl.mem info.i_alias (Ir.State, v.name)) -> (
+          match elt with
+          | Value.Tint _ ->
+            for k = 0 to len - 1 do
+              push (Ir.State, v.name, k) true
+            done
+          | Value.Treal _ ->
+            for k = 0 to len - 1 do
+              push (Ir.State, v.name, k) false
+            done
+          | Value.Tbool | Value.Tvec _ -> ())
+        | Value.Tbool | Value.Tint _ | Value.Treal _ | Value.Tvec _ -> ())
+      info.i_prog.Ir.states;
+    let l = List.rev !keys in
+    let ov_keys = Array.of_list (List.map fst l) in
+    let ov_ints = Array.of_list (List.map snd l) in
+    let ov_index = Hashtbl.create (max 8 (Array.length ov_keys)) in
+    Array.iteri (fun i k -> Hashtbl.replace ov_index k i) ov_keys;
+    { ov_keys; ov_ints; ov_index }
+
+  let find t key = Hashtbl.find_opt t.ov_index key
+end
+
+(* ------------------------------------------------------------------ *)
 (* Abstract environments                                               *)
 
 type env = {
@@ -226,6 +294,7 @@ type env = {
   e_pst : string option array;
   e_plo : string option array;
   mutable e_err : bool;  (* a step-aborting Eval_error may have occurred *)
+  mutable e_oct : Octagon.t option;  (* relational companion (octagon) *)
 }
 
 let env_make info state =
@@ -239,6 +308,7 @@ let env_make info state =
     e_pst = Array.make (Array.length state) None;
     e_plo = Array.make (Array.length info.i_local_init) None;
     e_err = false;
+    e_oct = None;
   }
 
 let env_copy e =
@@ -252,6 +322,7 @@ let env_copy e =
     e_pst = Array.copy e.e_pst;
     e_plo = Array.copy e.e_plo;
     e_err = e.e_err;
+    e_oct = Option.map Octagon.copy e.e_oct;
   }
 
 let env_blit ~src ~dst =
@@ -264,7 +335,8 @@ let env_blit ~src ~dst =
   b src.e_pout dst.e_pout;
   b src.e_pst dst.e_pst;
   b src.e_plo dst.e_plo;
-  dst.e_err <- src.e_err
+  dst.e_err <- src.e_err;
+  dst.e_oct <- src.e_oct
 
 (* join [src] into [dst] pointwise *)
 let env_join_into ~src ~dst =
@@ -278,13 +350,18 @@ let env_join_into ~src ~dst =
   jp src.e_pout dst.e_pout;
   jp src.e_pst dst.e_pst;
   jp src.e_plo dst.e_plo;
-  dst.e_err <- src.e_err || dst.e_err
+  dst.e_err <- src.e_err || dst.e_err;
+  dst.e_oct <-
+    (match (src.e_oct, dst.e_oct) with
+     | Some a, Some b -> Some (Octagon.join a b)
+     | (Some _ | None), _ -> None)
 
 (* ------------------------------------------------------------------ *)
 (* Recording context                                                   *)
 
 type ctx = {
   ci : info;
+  c_oct : Octvars.t option;  (* octagon universe; [None] = interval domain *)
   mutable c_final : bool;  (* recording pass over the stabilized state *)
   mutable c_live : bool;  (* current statement's reach <> Never *)
   mutable c_loc : string;  (* current statement path, for eval-site diags *)
@@ -397,6 +474,76 @@ let cmp_b3 op (da : Dom.t) (db : Dom.t) : I.bool3 =
       else I.b3_top
 
 (* ------------------------------------------------------------------ *)
+(* Octagon hooks (relational domain)                                   *)
+
+(* SOUND/int-overflow: relational facts are only exact while the
+   abstract values involved stayed inside the float-exact window (a
+   collapsed interval means the concrete value may have wrapped). *)
+let within_big (n : I.num) = n.I.nlo >= -.big && n.I.nhi <= big
+
+(* A side the octagon can track: a cell (variable, or constant-indexed
+   element of a tracked vector) plus a constant offset.  Offsets only
+   attach to int cells: float [v + c] rounds, while int [v + c] is
+   exact whenever the enclosing interval did not collapse (which the
+   callers check via [within_big] on the evaluated side). *)
+let oct_term (ov : Octvars.t) (e : Ir.expr) : (int * float) option =
+  let cell = function
+    | Ir.Var (s, n) -> Octvars.find ov (s, n, -1)
+    | Ir.Index (Ir.Var (s, n), Ir.Const (Value.Int k)) ->
+      Octvars.find ov (s, n, k)
+    | _ -> None
+  in
+  let int_cell v c =
+    match cell v with
+    | Some i when ov.Octvars.ov_ints.(i) -> Some (i, c)
+    | Some _ | None -> None
+  in
+  match e with
+  | Ir.Binop (Ir.Add, v, Ir.Const (Value.Int k)) -> int_cell v (float_of_int k)
+  | Ir.Binop (Ir.Add, Ir.Const (Value.Int k), v) -> int_cell v (float_of_int k)
+  | Ir.Binop (Ir.Sub, v, Ir.Const (Value.Int k)) ->
+    int_cell v (-.float_of_int k)
+  | _ -> ( match cell e with Some i -> Some (i, 0.0) | None -> None)
+
+(* Decide [x op k] from [x in [lo, hi]]: both sides concretely evaluate
+   to finite doubles inside the exact window (the callers check), so
+   the mathematical comparison the bounds support is the runtime one. *)
+let oct_decide op lo hi k : I.bool3 option =
+  let t = Some I.b3_true and f = Some I.b3_false in
+  match op with
+  | Ir.Lt -> if hi < k then t else if lo >= k then f else None
+  | Ir.Le -> if hi <= k then t else if lo > k then f else None
+  | Ir.Gt -> if lo > k then t else if hi <= k then f else None
+  | Ir.Ge -> if lo >= k then t else if hi < k then f else None
+  | Ir.Eq ->
+    if lo = k && hi = k then t else if hi < k || lo > k then f else None
+  | Ir.Ne ->
+    if hi < k || lo > k then t else if lo = k && hi = k then f else None
+
+(* Try to decide a comparison the interval domain left open. *)
+let oct_cmp ctx env op a b (na : I.num) (nb : I.num) : I.bool3 option =
+  match (ctx.c_oct, env.e_oct) with
+  | Some ov, Some o when not (Octagon.is_bottom o) ->
+    if
+      nan_possible na || nan_possible nb
+      || not (within_big na && within_big nb)
+    then None
+    else begin
+      match (oct_term ov a, oct_term ov b) with
+      | Some (ia, ca), Some (ib, cb) ->
+        if ia = ib then
+          (* lhs - rhs is the constant [ca - cb] *)
+          oct_decide op (ca -. cb) (ca -. cb) 0.0
+        else begin
+          (* (v_a + ca) op (v_b + cb)  <=>  (v_a - v_b) op (cb - ca) *)
+          let lo, hi = Octagon.diff_bounds o ia ib in
+          if lo > hi then None else oct_decide op lo hi (cb -. ca)
+        end
+      | (Some _ | None), _ -> None
+    end
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
 (* Expression evaluation                                               *)
 
 let slot_of ctx env scope name =
@@ -443,7 +590,15 @@ let rec eval ctx env (e : Ir.expr) : Absval.t =
   | Ir.Cmp (op, a, b) ->
     let va = eval ctx env a in
     let vb = eval ctx env b in
-    sc (I.dom_of_b3 (cmp_b3 op (to_dom va) (to_dom vb)))
+    let bv = cmp_b3 op (to_dom va) (to_dom vb) in
+    let bv =
+      if bv.I.bt && bv.I.bf then
+        match oct_cmp ctx env op a b (num_of_abs va) (num_of_abs vb) with
+        | Some r -> r
+        | None -> bv
+      else bv
+    in
+    sc (I.dom_of_b3 bv)
   | Ir.And (a, b) ->
     (* no short-circuit: Exec evaluates both operands *)
     let ba = b3_of_abs (eval ctx env a) in
@@ -557,6 +712,65 @@ let negate_cmp = function
   | Ir.Gt -> Ir.Le
   | Ir.Ge -> Ir.Lt
 
+(* Write the octagon's (possibly tightened) unary bounds for a cell
+   back into its interval slot: the reduction half of the reduced
+   product.  [Dom.Empty] propagates to the caller (infeasible arm). *)
+let oct_writeback ctx env idx =
+  match (ctx.c_oct, env.e_oct) with
+  | Some ov, Some o ->
+    let lo, hi = Octagon.bounds o idx in
+    if lo > neg_infinity || hi < infinity then begin
+      let scope, name, elem = ov.Octvars.ov_keys.(idx) in
+      let n' = { I.nlo = lo; nhi = hi; nint = ov.Octvars.ov_ints.(idx) } in
+      if elem < 0 then narrow_var ctx env scope name (fun d -> meet_num d n')
+      else begin
+        let arr, i = slot_of ctx env scope name in
+        match arr.(i) with
+        | Absval.Vector els when elem < Array.length els -> (
+          match els.(elem) with
+          | Absval.Scalar d when not (nan_possible (I.num_of_dom d)) ->
+            let els' = Array.copy els in
+            els'.(elem) <- Absval.Scalar (meet_num d n');
+            arr.(i) <- Absval.Vector els'
+          | Absval.Scalar _ | Absval.Vector _ -> ())
+        | Absval.Vector _ | Absval.Scalar _ -> ()
+      end
+    end
+  | _ -> ()
+
+(* Record a guard comparison as an octagon constraint.  SOUND: strict
+   comparisons tighten by 1 only when both cells are int; mixed or real
+   comparisons keep the non-strict (weaker but sound) bound.  The
+   callers guarantee neither side is possibly-nan. *)
+let oct_refine_cmp ctx env op a b (na : I.num) (nb : I.num) =
+  match (ctx.c_oct, env.e_oct) with
+  | Some ov, Some o when within_big na && within_big nb -> (
+    match (oct_term ov a, oct_term ov b) with
+    | Some (ia, ca), Some (ib, cb) when ia <> ib ->
+      let both_int = ov.Octvars.ov_ints.(ia) && ov.Octvars.ov_ints.(ib) in
+      (* (v_a + ca) op (v_b + cb)  <=>  (v_a - v_b) op k, k = cb - ca *)
+      let k = cb -. ca in
+      let le () = Octagon.add_diff o ia ib k in
+      let lt () = Octagon.add_diff o ia ib (if both_int then k -. 1.0 else k) in
+      let ge () = Octagon.add_diff o ib ia (-.k) in
+      let gt () =
+        Octagon.add_diff o ib ia (if both_int then -.k -. 1.0 else -.k)
+      in
+      (match op with
+       | Ir.Le -> le ()
+       | Ir.Lt -> lt ()
+       | Ir.Ge -> ge ()
+       | Ir.Gt -> gt ()
+       | Ir.Eq ->
+         le ();
+         ge ()
+       | Ir.Ne -> ());
+      if Octagon.is_bottom o then raise Dom.Empty;
+      oct_writeback ctx env ia;
+      oct_writeback ctx env ib
+    | ((Some _ | None), _) -> ())
+  | _ -> ()
+
 let rec refine ctx env (e : Ir.expr) (want : bool) : unit =
   match e with
   | Ir.Const v -> if Value.to_bool v <> want then raise Dom.Empty
@@ -626,6 +840,7 @@ and refine_cmp ctx env op a b =
     in
     let eps_lt hi = if na.I.nint && nb.I.nint then hi -. 1.0 else hi in
     let eps_gt lo = if na.I.nint && nb.I.nint then lo +. 1.0 else lo in
+    oct_refine_cmp ctx env op a b na nb;
     match op with
     | Ir.Le ->
       upd a { na with I.nhi = Float.min na.I.nhi nb.I.nhi };
@@ -776,6 +991,72 @@ let assign_stmt ctx env reach loc (lhs : Ir.lvalue) (v : Absval.t) =
            | Absval.Scalar _ -> ())
          cls)
 
+(* Octagon transfer for an assignment (runs after the interval store):
+   an exact copy/shift when the rhs is a tracked cell plus an int
+   constant and the interval result did not collapse; otherwise forget
+   the destination cell and reseed its unary bounds from the interval
+   result.  Destinations that may overlap tracked vector cells without
+   naming one (whole-vector stores, weak or non-constant element
+   writes) forget every cell of the root. *)
+let oct_assign ctx env (lhs : Ir.lvalue) (rhs : Ir.expr) (v : Absval.t) =
+  match (ctx.c_oct, env.e_oct) with
+  | Some ov, Some o ->
+    let seed idx av =
+      match av with
+      | Absval.Scalar d ->
+        let n = I.num_of_dom d in
+        if not (nan_possible n) then
+          Octagon.meet_interval o idx ~lo:n.I.nlo ~hi:n.I.nhi
+      | Absval.Vector _ -> ()
+    in
+    (* tracked cells of a vector form a contiguous prefix 0..j-1 *)
+    let forget_elems s name av =
+      let rec loop k =
+        match Octvars.find ov (s, name, k) with
+        | Some idx ->
+          Octagon.forget o idx;
+          (match av with
+           | Some (Absval.Vector els) when k < Array.length els ->
+             seed idx els.(k)
+           | Some _ | None -> ());
+          loop (k + 1)
+        | None -> ()
+      in
+      loop 0
+    in
+    let exact =
+      (* SOUND/int-overflow, SOUND/nan: a collapsed (or possibly-nan)
+         stored interval means the concrete arithmetic may have wrapped
+         or produced nan, so no exact relation may be recorded *)
+      match v with
+      | Absval.Scalar d ->
+        let n = I.num_of_dom d in
+        (not (nan_possible n)) && within_big n
+      | Absval.Vector _ -> false
+    in
+    let dst =
+      match lhs with
+      | Ir.Lvar (Ir.Input, _) -> None
+      | Ir.Lvar (s, name) -> Octvars.find ov (s, name, -1)
+      | Ir.Lindex (Ir.Lvar (s, name), Ir.Const (Value.Int k)) ->
+        Octvars.find ov (s, name, k)
+      | Ir.Lindex _ -> None
+    in
+    (match (dst, lhs) with
+     | Some d, _ ->
+       (match oct_term ov rhs with
+        | Some (src, off) when exact ->
+          if src = d then Octagon.shift o d off
+          else Octagon.assign_copy o ~dst:d ~src ~offset:off
+        | Some _ | None -> Octagon.forget o d);
+       seed d v
+     | None, Ir.Lvar (Ir.Input, _) -> ()  (* the store raises *)
+     | None, Ir.Lvar (s, name) -> forget_elems s name (Some v)
+     | None, Ir.Lindex _ ->
+       let s, name = lv_root lhs in
+       forget_elems s name None)
+  | _ -> ()
+
 let rec exec_stmts ctx env reach prefix stmts =
   List.iteri
     (fun i s -> exec_stmt ctx env reach (Fmt.str "%s[%d]" prefix i) s)
@@ -787,7 +1068,8 @@ and exec_stmt ctx env reach loc (s : Ir.stmt) =
   match s with
   | Ir.Assign (lhs, e) ->
     let v = eval ctx env e in
-    assign_stmt ctx env reach loc lhs v
+    assign_stmt ctx env reach loc lhs v;
+    oct_assign ctx env lhs e v
   | Ir.If { id; cond; then_; else_ } ->
     let atoms = Ir.atoms_of_condition cond in
     let g_atoms =
@@ -860,11 +1142,23 @@ and exec_stmt ctx env reach loc (s : Ir.stmt) =
     in
     let default_forced = not (List.exists in_scrut labels) in
     let refine_case k e' =
-      match scrut with
-      | Ir.Var (s, n) ->
-        narrow_var ctx e' s n (fun d ->
-            meet_num d
-              { I.nlo = float_of_int k; nhi = float_of_int k; nint = true })
+      (match scrut with
+       | Ir.Var (s, n) ->
+         narrow_var ctx e' s n (fun d ->
+             meet_num d
+               { I.nlo = float_of_int k; nhi = float_of_int k; nint = true })
+       | _ -> ());
+      match (ctx.c_oct, e'.e_oct) with
+      | Some ov, Some o -> (
+        (* [Exec] dispatches on [Value.to_int scrut]; for an int cell
+           that truncation is the identity, so the case pins it *)
+        match oct_term ov scrut with
+        | Some (i, c) when ov.Octvars.ov_ints.(i) ->
+          let v = float_of_int k -. c in
+          Octagon.meet_interval o i ~lo:v ~hi:v;
+          if Octagon.is_bottom o then raise Dom.Empty;
+          oct_writeback ctx e' i
+        | Some _ | None -> ())
       | _ -> ()
     in
     let refine_default e' =
@@ -954,36 +1248,135 @@ let rec count_scalars = function
   | Absval.Vector a ->
     Array.fold_left (fun acc v -> acc + count_scalars v) 0 a
 
-let analyze (prog : Ir.program) : result =
+let fresh_ctx info octvars final =
+  {
+    ci = info;
+    c_oct = octvars;
+    c_final = final;
+    c_live = false;
+    c_loc = "";
+    c_inchart = false;
+    c_diags = [];
+    c_branch = [];
+    c_guards = [];
+  }
+
+(* the abstract value currently held by a tracked cell, if scalar *)
+let cell_absval (si : scope_info) (arr : Absval.t array) name elem =
+  match Hashtbl.find_opt si.si_index name with
+  | None -> None
+  | Some i ->
+    if elem < 0 then Some arr.(i)
+    else (
+      match arr.(i) with
+      | Absval.Vector els when elem < Array.length els -> Some els.(elem)
+      | Absval.Vector _ | Absval.Scalar _ -> None)
+
+(* refresh the unary bounds of every tracked cell from an interval
+   lookup (raw stores), then close once *)
+let oct_seed (ov : Octvars.t) o lookup =
+  Array.iteri
+    (fun idx key ->
+      match lookup key with
+      | Some (Absval.Scalar d) ->
+        let n = I.num_of_dom d in
+        if not (nan_possible n) then
+          Octagon.constrain_raw o idx ~lo:n.I.nlo ~hi:n.I.nhi
+      | Some (Absval.Vector _) | None -> ())
+    ov.Octvars.ov_keys;
+  Octagon.close o
+
+let env_lookup info env ((scope, name, elem) : Ir.scope * string * int) =
+  let si, arr =
+    match scope with
+    | Ir.Input -> (info.i_in, env.e_in)
+    | Ir.Output -> (info.i_out, env.e_out)
+    | Ir.State -> (info.i_st, env.e_st)
+    | Ir.Local -> (info.i_lo, env.e_lo)
+  in
+  cell_absval si arr name elem
+
+let result_of ctx (state : Absval.t array) env ~iterations ~widenings =
+  let prog = ctx.ci.i_prog in
+  {
+    r_prog = prog;
+    r_iterations = iterations;
+    r_widenings = widenings;
+    r_branch_reach = List.rev ctx.c_branch;
+    r_guards = List.rev ctx.c_guards;
+    r_diags = Diag.sort ctx.c_diags;
+    r_state =
+      List.mapi (fun i ((v : Ir.var), _) -> (v.name, state.(i))) prog.Ir.states;
+    r_out =
+      List.mapi (fun i (v : Ir.var) -> (v.name, env.e_out.(i))) prog.Ir.outputs;
+  }
+
+let analyze ?(config = default_config) ?(seeds = []) (prog : Ir.program) :
+    result =
   Telemetry.Counter.incr tel_runs;
   Telemetry.Span.with_ ~note:(fun () -> prog.Ir.name) tel_span @@ fun () ->
   let info = build_info prog in
-  let ctx =
-    {
-      ci = info;
-      c_final = false;
-      c_live = false;
-      c_loc = "";
-      c_inchart = false;
-      c_diags = [];
-      c_branch = [];
-      c_guards = [];
-    }
+  let octvars =
+    match config.domain with
+    | `Octagon -> Some (Octvars.build info)
+    | `Interval -> None
   in
+  let ctx = fresh_ctx info octvars false in
   let n_state = Array.length info.i_state_init in
   let n_bounds =
     2 * Array.fold_left (fun acc v -> acc + count_scalars v) 0 info.i_state_init
   in
   (* widening moves each bound at most once to its top (plus one kind
-     collapse per slot), so this cap is never reached in practice *)
-  let hard_cap = join_iters + n_bounds + n_state + 8 in
+     collapse per slot), so this cap is never reached in practice; the
+     octagon term covers its own matrix-entry promotions to infinity *)
+  let hard_cap =
+    join_iters + n_bounds + n_state + 8
+    + (match octvars with
+       | Some ov -> 8 * Array.length ov.Octvars.ov_keys
+       | None -> 0)
+  in
   let state = Array.copy info.i_state_init in
+  (* seeding: joining reached snapshots into the initial abstract state
+     analyzes reachability from [init ∪ seeds]; since the snapshots are
+     themselves reachable, the fixpoint still over-approximates every
+     reachable state and all Never/Must facts keep their meaning *)
+  List.iter
+    (fun snap ->
+      if Array.length snap = n_state then
+        Array.iteri
+          (fun i v -> state.(i) <- Absval.join state.(i) (Absval.of_value v))
+          snap)
+    seeds;
+  let oct_state =
+    ref
+      (Option.map
+         (fun ov ->
+           let o = Octagon.create ~ints:ov.Octvars.ov_ints in
+           oct_seed ov o (fun (scope, name, elem) ->
+               if scope = Ir.State then
+                 cell_absval info.i_st state name elem
+               else None);
+           o)
+         octvars)
+  in
+  let fresh_env () =
+    let env = env_make info state in
+    (match (octvars, !oct_state) with
+     | Some ov, Some os ->
+       let o = Octagon.copy os in
+       (* meet in the current interval image of every cell; this also
+          re-closes the matrix (open after widening) *)
+       oct_seed ov o (env_lookup info env);
+       env.e_oct <- Some o
+     | _ -> ());
+    env
+  in
   let iterations = ref 0 in
   let widenings = ref 0 in
   let stable = ref false in
   while (not !stable) && !iterations < hard_cap do
     incr iterations;
-    let env = env_make info state in
+    let env = fresh_env () in
     exec_stmts ctx env Must "body" prog.Ir.body;
     let next = Array.map2 Absval.join state env.e_st in
     let next =
@@ -993,30 +1386,77 @@ let analyze (prog : Ir.program) : result =
       end
       else next
     in
-    if Array.for_all2 Absval.equal state next then stable := true
+    let oct_stable =
+      match (!oct_state, env.e_oct) with
+      | Some os, Some o ->
+        (* project the post-step octagon onto the persistent state
+           cells, then join/widen entrywise.  Entries only ever grow,
+           and widening sends a grown entry straight to infinity, so
+           this terminates alongside the interval iteration. *)
+        Array.iteri
+          (fun idx ((scope, _, _) : Ir.scope * string * int) ->
+            if scope <> Ir.State then Octagon.forget o idx)
+          (Option.get octvars).Octvars.ov_keys;
+        let nxt =
+          if !iterations > join_iters then Octagon.widen os o
+          else Octagon.join os o
+        in
+        let same = Octagon.equal os nxt in
+        oct_state := Some nxt;
+        same
+      | _ -> true
+    in
+    if Array.for_all2 Absval.equal state next && oct_stable then stable := true
     else Array.blit next 0 state 0 n_state
   done;
-  if not !stable then
+  if not !stable then begin
     (* safety net: widening makes this unreachable, but collapse to the
        value tops rather than report unsound facts if it ever fires *)
     Array.iteri (fun i v -> state.(i) <- Absval.top_like v) state;
+    oct_state :=
+      Option.map
+        (fun ov -> Octagon.create ~ints:ov.Octvars.ov_ints)
+        octvars
+  end;
   (* final recording pass over the stabilized state *)
   ctx.c_final <- true;
-  let env = env_make info state in
+  let env = fresh_env () in
   exec_stmts ctx env Must "body" prog.Ir.body;
   incr iterations;
   Telemetry.Counter.add tel_iterations !iterations;
   Telemetry.Counter.add tel_widenings !widenings;
-  {
-    r_prog = prog;
-    r_iterations = !iterations;
-    r_widenings = !widenings;
-    r_branch_reach = List.rev ctx.c_branch;
-    r_guards = List.rev ctx.c_guards;
-    r_diags = Diag.sort ctx.c_diags;
-    r_state =
-      List.mapi (fun i ((v : Ir.var), _) -> (v.name, state.(i))) prog.Ir.states;
-  }
+  result_of ctx state env ~iterations:!iterations ~widenings:!widenings
+
+(* One recording pass from an exact reached snapshot.  The [Must] facts
+   it reports hold for the single step taken from [state]; because the
+   snapshot is concretely reachable, such facts witness reachability.
+   Its [Never] facts are only step-local and must NOT be promoted to
+   global deadness — {!Verdict.refine} uses the former and ignores the
+   latter. *)
+let record_at ?(config = default_config) (prog : Ir.program)
+    ~(state : Value.t array) : result =
+  Telemetry.Counter.incr tel_runs;
+  let info = build_info prog in
+  let octvars =
+    match config.domain with
+    | `Octagon -> Some (Octvars.build info)
+    | `Interval -> None
+  in
+  let st =
+    if Array.length state = Array.length info.i_state_init then
+      Array.map Absval.of_value state
+    else Array.copy info.i_state_init
+  in
+  let ctx = fresh_ctx info octvars true in
+  let env = env_make info st in
+  (match octvars with
+   | Some ov ->
+     let o = Octagon.create ~ints:ov.Octvars.ov_ints in
+     oct_seed ov o (env_lookup info env);
+     env.e_oct <- Some o
+   | None -> ());
+  exec_stmts ctx env Must "body" prog.Ir.body;
+  result_of ctx st env ~iterations:1 ~widenings:0
 
 let branch_reach r key =
   match List.assoc_opt key r.r_branch_reach with Some x -> x | None -> May

@@ -19,6 +19,21 @@
     and [May] are best-effort.  The fuzz campaign cross-checks this
     claim dynamically (the "analysis" oracle). *)
 
+type domain =
+  [ `Interval  (** non-relational intervals only (the default) *)
+  | `Octagon
+    (** additionally track difference-bound relations [±x ± y <= c]
+        over a bounded universe of numeric cells ({!Octagon}), reduced
+        with the interval slots.  Strictly more precise, and every
+        soundness discipline (int-overflow collapse, float rounding
+        monotonicity, nan points, weak vector updates) is preserved:
+        relational facts are only recorded when exact. *) ]
+
+type config = { domain : domain }
+
+val default_config : config
+(** [{ domain = `Interval }] *)
+
 type reach =
   | Never  (** proven unreachable: no conforming execution reaches it *)
   | May  (** the analysis cannot tell *)
@@ -42,9 +57,28 @@ type result = {
   r_diags : Diag.t list;  (** deterministic order (see {!Diag.sort}) *)
   r_state : (string * Absval.t) list;
       (** the stabilized abstract state, one entry per state variable *)
+  r_out : (string * Absval.t) list;
+      (** output bounds from the final recording pass, one entry per
+          output variable (every path through one step joined) *)
 }
 
-val analyze : Slim.Ir.program -> result
+val analyze :
+  ?config:config -> ?seeds:Slim.Value.t array list -> Slim.Ir.program -> result
+(** Fixpoint analysis of the step program.  [seeds] are concretely
+    reached state snapshots (in state-slot order, see
+    {!Slim.Exec.state_vars}) joined into the initial abstract state:
+    the fixpoint then over-approximates reachability from
+    [init ∪ seeds], which preserves the meaning of every verdict while
+    typically tightening it — widening from a grown region discards
+    fewer bounds than widening from the initial point. *)
+
+val record_at :
+  ?config:config -> Slim.Ir.program -> state:Slim.Value.t array -> result
+(** One recording pass from an exact reached snapshot (no fixpoint).
+    [Must] facts hold for the single step taken from [state], so when
+    the snapshot is concretely reachable they witness reachability;
+    [Never] facts are step-local and must not be treated as global
+    deadness. *)
 
 val branch_reach : result -> Slim.Branch.key -> reach
 (** Defaults to [May] for unknown keys. *)

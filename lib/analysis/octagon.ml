@@ -1,0 +1,290 @@
+(* Octagon domain as a coherent difference-bound matrix.
+
+   Encoding (Mine): variable [v_k] becomes two indices, [2k] for [+v_k]
+   and [2k+1] for [-v_k]; [bar i = i lxor 1].  [m.(i * nn + j)] is an
+   upper bound on [x_j - x_i] where [x_2k = v_k, x_2k+1 = -v_k], so
+
+     v_k <= c         is  m(2k+1, 2k)  <= 2c
+     v_k >= c         is  m(2k, 2k+1)  <= -2c
+     v_a - v_b <= c   is  m(2b, 2a)    <= c
+     v_a + v_b <= c   is  m(2b+1, 2a)  <= c
+     -v_a - v_b <= c  is  m(2b, 2a+1)  <= c
+
+   Coherence [m(i, j) = m(bar j, bar i)] is maintained by writing both
+   mirror entries on every store.
+
+   Soundness note: every entry is an upper bound derived from sound
+   constraints by min-updates, so an under-closed matrix is still a
+   sound (merely less precise) octagon, and emptiness that escapes
+   detection only costs precision.  This is what makes the cheap
+   incremental closure below safe: full Floyd-Warshall is only needed
+   for precision after {!widen}. *)
+
+type t = {
+  n : int;  (* variables *)
+  nn : int;  (* matrix side = 2n *)
+  m : float array;  (* nn * nn, row-major *)
+  ints : bool array;
+  mutable bot : bool;
+}
+
+let big = 1e15  (* float-exact integer window; see Analyzer [legal_num] *)
+let bar i = i lxor 1
+
+(* Directed upward rounding.  Matrix entries are upper bounds, but
+   round-to-nearest addition can land {e below} the exact sum (error up
+   to half an ulp), and Floyd-Warshall min-updates then propagate the
+   deficit -- on consistent real-valued pins (e.g. a state variable held
+   at 12.6) closure manufactures a ~1e-15 negative cycle and a spurious
+   bottom.  Bumping every inexact sum one ulp up restores the invariant:
+   [succ (round (a + b)) >= a + b] always.  Doubling and halving are
+   exact in binary floats, so only sums need the bump.  The 2Sum check
+   below keeps exact sums exact (its correction terms vanish iff the
+   rounded sum equals the real one), so integer-valued edges -- where
+   every relational fact this analyzer records lives -- never drift. *)
+let add_up a b =
+  let s = a +. b in
+  if a -. (s -. b) = 0.0 && b -. (s -. a) = 0.0 then s else Float.succ s
+
+let create ~ints =
+  let n = Array.length ints in
+  let nn = 2 * n in
+  let m = Array.make (max 1 (nn * nn)) infinity in
+  for i = 0 to nn - 1 do
+    m.(i * nn + i) <- 0.0
+  done;
+  { n; nn; m; ints; bot = false }
+
+let dim t = t.n
+let copy t = { t with m = Array.copy t.m }
+
+let equal a b =
+  a.n = b.n && a.bot = b.bot && (a.bot || Array.for_all2 ( = ) a.m b.m)
+
+let is_bottom t = t.bot
+
+(* ------------------------------------------------------------------ *)
+(* Closure                                                             *)
+
+let check_diag t =
+  let nn = t.nn in
+  (try
+     for i = 0 to nn - 1 do
+       if t.m.((i * nn) + i) < 0.0 then raise Exit
+     done
+   with Exit -> t.bot <- true);
+  ()
+
+(* one strengthening pass: m(i,j) <- min m(i,j) ((m(i,i') + m(j',j)) / 2) *)
+let strengthen t =
+  let nn = t.nn and m = t.m in
+  for i = 0 to nn - 1 do
+    let di = m.((i * nn) + bar i) in
+    if di < infinity then
+      for j = 0 to nn - 1 do
+        let dj = m.((bar j * nn) + j) in
+        if dj < infinity then begin
+          let v = add_up di dj /. 2.0 in
+          if v < m.((i * nn) + j) then m.((i * nn) + j) <- v
+        end
+      done
+  done
+
+(* integral tightening of the unary edges of int variables *)
+let tighten_ints t =
+  let nn = t.nn and m = t.m in
+  for k = 0 to t.n - 1 do
+    if t.ints.(k) then begin
+      let hi = ((2 * k) + 1) * nn + (2 * k) in
+      let lo = (2 * k * nn) + (2 * k) + 1 in
+      if m.(hi) < infinity then m.(hi) <- 2.0 *. Float.floor (m.(hi) /. 2.0);
+      if m.(lo) < infinity then m.(lo) <- 2.0 *. Float.floor (m.(lo) /. 2.0)
+    end
+  done
+
+let fw_pivot t k =
+  let nn = t.nn and m = t.m in
+  for i = 0 to nn - 1 do
+    let ik = m.((i * nn) + k) in
+    if ik < infinity then
+      for j = 0 to nn - 1 do
+        let kj = m.((k * nn) + j) in
+        if kj < infinity then begin
+          let v = add_up ik kj in
+          if v < m.((i * nn) + j) then m.((i * nn) + j) <- v
+        end
+      done
+  done
+
+let close t =
+  if not t.bot then begin
+    for k = 0 to t.nn - 1 do
+      fw_pivot t k
+    done;
+    strengthen t;
+    tighten_ints t;
+    strengthen t;
+    check_diag t
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Constraint adds (incremental closure over the touched pivots)       *)
+
+let legal c = Float.is_nan c = false && Float.abs c <= 2.0 *. big
+
+(* store edge (i, j) <= c and its mirror, then re-close around the
+   touched indices *)
+let add_edge t i j c =
+  if (not t.bot) && legal c then begin
+    let nn = t.nn and m = t.m in
+    if c < m.((i * nn) + j) then begin
+      m.((i * nn) + j) <- c;
+      m.((bar j * nn) + bar i) <- c;
+      fw_pivot t i;
+      fw_pivot t j;
+      if i <> bar j then begin
+        fw_pivot t (bar i);
+        fw_pivot t (bar j)
+      end;
+      strengthen t;
+      tighten_ints t;
+      check_diag t
+    end
+  end
+
+let add_upper t k c = add_edge t ((2 * k) + 1) (2 * k) (2.0 *. c)
+let add_lower t k c = add_edge t (2 * k) ((2 * k) + 1) (-2.0 *. c)
+let add_diff t a b c = if a <> b then add_edge t (2 * b) (2 * a) c
+let add_sum t a b c = if a <> b then add_edge t ((2 * b) + 1) (2 * a) c
+let add_nsum t a b c = if a <> b then add_edge t (2 * b) ((2 * a) + 1) c
+
+let meet_interval t k ~lo ~hi =
+  if hi < infinity then add_upper t k hi;
+  if lo > neg_infinity then add_lower t k lo
+
+(* raw min-store of unary bounds, no re-closure: bulk seeding calls
+   this per variable and then runs one [close] *)
+let constrain_raw t k ~lo ~hi =
+  let nn = t.nn and m = t.m in
+  if hi < infinity && legal (2.0 *. hi) then begin
+    let e = (((2 * k) + 1) * nn) + (2 * k) in
+    if 2.0 *. hi < m.(e) then m.(e) <- 2.0 *. hi
+  end;
+  if lo > neg_infinity && legal (2.0 *. lo) then begin
+    let e = (2 * k * nn) + (2 * k) + 1 in
+    if -2.0 *. lo < m.(e) then m.(e) <- -2.0 *. lo
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Transfer                                                            *)
+
+let forget t k =
+  let nn = t.nn and m = t.m in
+  let a = 2 * k and b = (2 * k) + 1 in
+  for j = 0 to nn - 1 do
+    m.((a * nn) + j) <- infinity;
+    m.((j * nn) + a) <- infinity;
+    m.((b * nn) + j) <- infinity;
+    m.((j * nn) + b) <- infinity
+  done;
+  m.((a * nn) + a) <- 0.0;
+  m.((b * nn) + b) <- 0.0
+
+let shift t k c =
+  if (not t.bot) && legal c && c <> 0.0 then begin
+    let nn = t.nn and m = t.m in
+    let a = 2 * k and b = (2 * k) + 1 in
+    for j = 0 to nn - 1 do
+      m.((a * nn) + j) <- add_up m.((a * nn) + j) (-.c);
+      m.((j * nn) + a) <- add_up m.((j * nn) + a) c;
+      m.((b * nn) + j) <- add_up m.((b * nn) + j) c;
+      m.((j * nn) + b) <- add_up m.((j * nn) + b) (-.c)
+    done;
+    (* infinities survive the +-c arithmetic; the diagonal cancels *)
+    m.((a * nn) + a) <- 0.0;
+    m.((b * nn) + b) <- 0.0
+  end
+
+let assign_copy t ~dst ~src ~offset =
+  if dst <> src then begin
+    forget t dst;
+    add_diff t dst src offset;
+    add_diff t src dst (-.offset)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+
+let bounds t k =
+  let nn = t.nn in
+  let hi = t.m.((((2 * k) + 1) * nn) + (2 * k)) /. 2.0 in
+  let lo = -.(t.m.((2 * k * nn) + (2 * k) + 1) /. 2.0) in
+  (lo, hi)
+
+let diff_bounds t a b =
+  let nn = t.nn in
+  let hi = t.m.((2 * b * nn) + (2 * a)) in
+  let lo = -.t.m.((2 * a * nn) + (2 * b)) in
+  (lo, hi)
+
+let sum_bounds t a b =
+  let nn = t.nn in
+  let hi = t.m.((((2 * b) + 1) * nn) + (2 * a)) in
+  let lo = -.t.m.((2 * a * nn) + (2 * b) + 1) in
+  (lo, hi)
+
+(* ------------------------------------------------------------------ *)
+(* Lattice                                                             *)
+
+let join a b =
+  if a.bot then copy b
+  else if b.bot then copy a
+  else begin
+    let r = copy a in
+    for i = 0 to (a.nn * a.nn) - 1 do
+      if b.m.(i) > r.m.(i) then r.m.(i) <- b.m.(i)
+    done;
+    r
+  end
+
+let widen old next =
+  if old.bot then copy next
+  else if next.bot then copy old
+  else begin
+    let r = copy old in
+    for i = 0 to (old.nn * old.nn) - 1 do
+      if next.m.(i) > old.m.(i) then r.m.(i) <- infinity
+    done;
+    r
+  end
+
+(* ------------------------------------------------------------------ *)
+
+let pp ppf t =
+  if t.bot then Format.fprintf ppf "bottom"
+  else begin
+    let first = ref true in
+    let sep () =
+      if !first then first := false else Format.fprintf ppf ",@ "
+    in
+    Format.fprintf ppf "@[<hov 1>{";
+    for k = 0 to t.n - 1 do
+      let lo, hi = bounds t k in
+      if lo > neg_infinity || hi < infinity then begin
+        sep ();
+        Format.fprintf ppf "v%d in [%g, %g]" k lo hi
+      end
+    done;
+    for a = 0 to t.n - 1 do
+      for b = 0 to t.n - 1 do
+        if a <> b then begin
+          let _, hi = diff_bounds t a b in
+          if hi < infinity then begin
+            sep ();
+            Format.fprintf ppf "v%d - v%d <= %g" a b hi
+          end
+        end
+      done
+    done;
+    Format.fprintf ppf "}@]"
+  end

@@ -1,0 +1,108 @@
+(** Octagon abstract domain: conjunctions of [+/-x +/-y <= c].
+
+    A difference-bound matrix (DBM) over [2n] encoded indices for [n]
+    abstract variables: index [2k] stands for [+v_k] and [2k+1] for
+    [-v_k]; entry [(i, j)] bounds [x_j - x_i].  A unary bound
+    [v_k <= c] is the edge [x_2k - x_2k+1 <= 2c].  Strong closure is
+    Floyd-Warshall shortest paths plus the octagon strengthening step
+    [m(i,j) <- min m(i,j) ((m(i,i') + m(j',j)) / 2)]; variables marked
+    integer additionally tighten their unary edges to even values.
+
+    The matrix is kept {e strongly closed} by construction: constraint
+    adds run an [O(n^2)] incremental closure, [forget]/[assign]/[shift]
+    preserve closure, and join (pointwise max) of two strongly closed
+    octagons is strongly closed.  Only {!widen} leaves the matrix open —
+    as required for termination — and the caller re-closes via {!close}.
+
+    All bounds are floats; [infinity] means "no constraint".  Callers
+    are responsible for only adding constraints that are {e exact} for
+    the concrete semantics they abstract (see the [SOUND:] notes in
+    {!Analyzer}): integer-valued variables must stay inside the
+    float-exact window, and real-valued constraints must come from
+    rounding-free facts (copies, comparisons). *)
+
+type t
+
+val create : ints:bool array -> t
+(** Top octagon over [Array.length ints] variables; [ints.(k)] marks
+    [v_k] integer-valued (enables integral tightening). *)
+
+val dim : t -> int
+val copy : t -> t
+val equal : t -> t -> bool
+
+val is_bottom : t -> bool
+(** The octagon has been proven empty (a negative cycle appeared during
+    some closure).  Empty octagons absorb further constraint adds. *)
+
+(** {1 Constraints}
+
+    Each add runs incremental strong closure and records emptiness when
+    a negative cycle appears; they never raise. Constants with
+    magnitude beyond the float-exact integer window are ignored (kept
+    as "no constraint") rather than trusted. *)
+
+val add_upper : t -> int -> float -> unit
+(** [add_upper t k c]: [v_k <= c]. *)
+
+val add_lower : t -> int -> float -> unit
+(** [add_lower t k c]: [v_k >= c]. *)
+
+val add_diff : t -> int -> int -> float -> unit
+(** [add_diff t a b c]: [v_a - v_b <= c] ([a <> b]). *)
+
+val add_sum : t -> int -> int -> float -> unit
+(** [add_sum t a b c]: [v_a + v_b <= c] ([a <> b]). *)
+
+val add_nsum : t -> int -> int -> float -> unit
+(** [add_nsum t a b c]: [- v_a - v_b <= c] ([a <> b]). *)
+
+(** {1 Transfer} *)
+
+val forget : t -> int -> unit
+(** Drop every constraint mentioning [v_k] (projection).  The matrix
+    stays closed, so facts derived through [v_k] survive. *)
+
+val shift : t -> int -> float -> unit
+(** [shift t k c]: the exact assignment [v_k := v_k + c]. *)
+
+val assign_copy : t -> dst:int -> src:int -> offset:float -> unit
+(** The exact assignment [v_dst := v_src + offset] ([dst <> src]):
+    forgets [dst], then pins [v_dst - v_src = offset]. *)
+
+(** {1 Queries (on closed octagons)} *)
+
+val bounds : t -> int -> float * float
+(** [(lo, hi)] for [v_k]; infinite when unconstrained.  On an empty
+    octagon the result may have [lo > hi]. *)
+
+val diff_bounds : t -> int -> int -> float * float
+(** Bounds of [v_a - v_b]. *)
+
+val sum_bounds : t -> int -> int -> float * float
+(** Bounds of [v_a + v_b]. *)
+
+(** {1 Lattice} *)
+
+val join : t -> t -> t
+(** Pointwise max (both arguments closed => result strongly closed).
+    If either side is bottom, returns a copy of the other. *)
+
+val widen : t -> t -> t
+(** [widen old next]: entries that grew go to [infinity].  The result
+    is {e not} closed; call {!close} before querying it. *)
+
+val close : t -> unit
+(** Full strong closure (Floyd-Warshall + strengthening + integral
+    tightening).  Needed only after {!widen}; all other operations
+    maintain closure incrementally. *)
+
+val meet_interval : t -> int -> lo:float -> hi:float -> unit
+(** Constrain [v_k] to [\[lo, hi\]] (infinite bounds allowed). *)
+
+val constrain_raw : t -> int -> lo:float -> hi:float -> unit
+(** Like {!meet_interval} but without re-closing: bulk seeding calls
+    this per variable and then runs a single {!close}. *)
+
+val pp : Format.formatter -> t -> unit
+(** Debug rendering of the finite constraints. *)

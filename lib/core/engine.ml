@@ -3,6 +3,8 @@ module Branch = Slim.Branch
 module Ir = Slim.Ir
 module Tracker = Coverage.Tracker
 module Explore = Symexec.Explore
+module Analyzer = Analysis.Analyzer
+module Verdict = Analysis.Verdict
 
 type config = {
   seed : int;
@@ -16,6 +18,9 @@ type config = {
   random_first_rounds : int;
   max_tree_nodes : int;
   analyze : bool;
+  verdict_priority : bool;
+  reanalyze_every : int;
+  analysis_config : Analyzer.config;
 }
 
 let default_config =
@@ -32,6 +37,9 @@ let default_config =
     random_first_rounds = 20;
     max_tree_nodes = 30_000;
     analyze = false;
+    verdict_priority = false;
+    reanalyze_every = 0;
+    analysis_config = Analyzer.default_config;
   }
 
 let tel_runs = Telemetry.Counter.make "engine.runs"
@@ -46,6 +54,8 @@ let tel_random_execs = Telemetry.Counter.make "engine.random_execs"
 let tel_testcases = Telemetry.Counter.make "engine.testcases"
 let tel_tree_nodes = Telemetry.Counter.make "engine.tree_nodes"
 let tel_skipped_dead = Telemetry.Counter.make "engine.objectives_skipped_dead"
+let tel_pruned_static = Telemetry.Counter.make "engine.solves_pruned_static"
+let tel_reanalyses = Telemetry.Counter.make "engine.reanalyses"
 let tel_h_solve_nodes = Telemetry.Histogram.make "engine.solve_nodes"
 let tel_sp_run = Telemetry.Span.make "engine.run"
 let tel_sp_solve = Telemetry.Span.make "engine.solve"
@@ -96,7 +106,21 @@ type state = {
   tree : State_tree.t;
   clock : Vclock.t;
   rng : Random.State.t;
-  objectives : objective list;  (** traversal order of Algorithm 1 *)
+  mutable objectives : objective list;
+      (** traversal order of Algorithm 1; re-sorted after a mid-run
+          re-analysis when [verdict_priority] is on *)
+  mutable summary : Verdict.summary option;
+      (** current static verdicts (present iff [cfg.analyze]); replaced
+          by the monotone refinement of the periodic re-analysis *)
+  never_cache : (int, Analyzer.result) Hashtbl.t;
+      (** state uid -> one recording pass from that snapshot.  Its
+          step-local [Never] facts prove one-step solver queries Unsat
+          (the static prune of [verdict_priority]); nodes sharing a
+          snapshot share the verdicts *)
+  dead_objs : (int, unit) Hashtbl.t;
+      (** objective ids proven dead after the worklists were built
+          (periodic re-analysis); checked alongside coverage before
+          each solve sweep *)
   target_ids : (Explore.target, int) Hashtbl.t;
       (** structural target -> dense id; ids are assigned in
           first-encounter order, so a regenerated MCDC objective for
@@ -280,6 +304,49 @@ let mcdc_objectives st =
         (take flips_per_condition observed))
     (Tracker.uncovered_mcdc st.tracker)
 
+(* One recording pass of the abstract analyzer from the node's exact
+   snapshot, memoized per state uid.  [record_at]'s [Never] facts mean
+   no conforming single step from that state reaches the program point
+   — precisely the question [Explore.solve_target] answers — so they
+   justify skipping the solve. *)
+let record_for st (node : State_tree.node) =
+  let uid = node.State_tree.state_uid in
+  match Hashtbl.find_opt st.never_cache uid with
+  | Some r -> r
+  | None ->
+    let r =
+      Analyzer.record_at ~config:st.cfg.analysis_config st.prog
+        ~state:node.State_tree.state
+    in
+    Hashtbl.replace st.never_cache uid r;
+    r
+
+let b3_excludes (b : Solver.Interval.bool3) value =
+  if value then not b.Solver.Interval.bt else not b.Solver.Interval.bf
+
+(* Is the one-step query for [obj] from [node]'s snapshot provably
+   Unsat?  Branches need [Never] reach; condition and vector targets
+   are also dead when an involved atom can never take the requested
+   value on the paths that reach the decision. *)
+let statically_unsat st node obj =
+  let r = record_for st node in
+  match obj.obj_target with
+  | Explore.Branch_target key -> Analyzer.branch_reach r key = Analyzer.Never
+  | Explore.Condition_target { decision; atom; value } -> (
+    match Analyzer.guard_fact r decision with
+    | Some g ->
+      g.Analyzer.g_reach = Analyzer.Never
+      || (atom < Array.length g.Analyzer.g_atoms
+          && b3_excludes g.Analyzer.g_atoms.(atom) value)
+    | None -> false)
+  | Explore.Vector_target { decision; vector } -> (
+    match Analyzer.guard_fact r decision with
+    | Some g ->
+      g.Analyzer.g_reach = Analyzer.Never
+      || (Array.length vector = Array.length g.Analyzer.g_atoms
+          && Array.exists2 b3_excludes g.Analyzer.g_atoms vector)
+    | None -> false)
+
 (* Algorithm 1: state-aware solving.  Returns the first (node,
    objective, input) that solves, or None when no (open objective,
    state) pair yields a solution.  A per-objective cursor into the
@@ -293,7 +360,8 @@ let state_aware_solving st =
   let rec try_objectives = function
     | [] -> None
     | obj :: rest ->
-      if objective_covered st obj then try_objectives rest
+      if objective_covered st obj || Hashtbl.mem st.dead_objs obj.obj_key
+      then try_objectives rest
       else begin
         let size = State_tree.size st.tree in
         let stride () =
@@ -321,6 +389,21 @@ let state_aware_solving st =
             if State_tree.is_solved node obj.obj_key then try_nodes (id + 1)
             else if Hashtbl.mem st.solve_cache cache_key then begin
               Telemetry.Counter.incr tel_cache_hits;
+              try_nodes (id + 1)
+            end
+            else if st.cfg.verdict_priority && statically_unsat st node obj
+            then begin
+              (* provably Unsat from this snapshot: replay the solver's
+                 Unsat bookkeeping exactly (solved mark, cache entry,
+                 miss count) so cursor, stride and cache behaviour — and
+                 therefore the emitted test cases — match a run without
+                 pruning, but charge no solver time *)
+              Telemetry.Counter.incr tel_pruned_static;
+              State_tree.mark_solved node obj.obj_key;
+              Hashtbl.replace st.solve_cache cache_key ();
+              Hashtbl.replace st.misses obj.obj_key
+                (1 + Option.value ~default:0
+                       (Hashtbl.find_opt st.misses obj.obj_key));
               try_nodes (id + 1)
             end
             else begin
@@ -483,6 +566,74 @@ let random_first_phase st =
     end
   done
 
+(* Verdict-priority worklist order: statically [Reachable] objectives
+   first — the solver is guaranteed progress on them, so they seed the
+   tree and the input library before the open-ended [Unknown] chase.
+   The partition is stable, so the depth-sorted (cost-ascending) order
+   the pool's cost scheduling relies on is preserved within each
+   class. *)
+let order_by_verdict summary objs =
+  match summary with
+  | None -> objs
+  | Some s ->
+    let hot obj =
+      match obj.obj_target with
+      | Explore.Branch_target key ->
+        Verdict.branch s key = Verdict.Reachable
+      | Explore.Condition_target { decision; atom; value } ->
+        Verdict.condition s decision atom value = Verdict.Reachable
+      | Explore.Vector_target _ -> false
+    in
+    let first, rest = List.partition hot objs in
+    first @ rest
+
+(* Mid-run re-analysis: refine the verdicts from the most recently
+   reached distinct snapshots, justify any newly proven-dead objective
+   and drop it from the worklist.  [Verdict.refine] is monotone, so
+   feeding the previous summary back keeps the justification lists
+   cumulative even though [Tracker.set_justified] replaces. *)
+let reanalyze st =
+  match st.summary with
+  | None -> ()
+  | Some s ->
+    Telemetry.Counter.incr tel_reanalyses;
+    let max_seeds = 64 in
+    let seen = Hashtbl.create 128 in
+    let seeds = ref [] in
+    let count = ref 0 in
+    let id = ref (State_tree.size st.tree - 1) in
+    while !count < max_seeds && !id >= 0 do
+      let node = State_tree.node st.tree !id in
+      let uid = node.State_tree.state_uid in
+      if not (Hashtbl.mem seen uid) then begin
+        Hashtbl.replace seen uid ();
+        seeds := node.State_tree.state :: !seeds;
+        incr count
+      end;
+      decr id
+    done;
+    let s' = Verdict.refine ~config:st.cfg.analysis_config s ~seeds:!seeds in
+    st.summary <- Some s';
+    let db = Verdict.dead_branches s' in
+    let dc = Verdict.dead_conditions s' in
+    let dm = Verdict.dead_mcdc s' in
+    Tracker.set_justified st.tracker ~branches:db ~conditions:dc ~mcdc:dm;
+    let kill target =
+      match Hashtbl.find_opt st.target_ids target with
+      | Some id -> Hashtbl.replace st.dead_objs id ()
+      | None -> ()
+    in
+    List.iter (fun key -> kill (Explore.Branch_target key)) db;
+    List.iter
+      (fun (decision, atom, value) ->
+        kill (Explore.Condition_target { decision; atom; value }))
+      dc;
+    (* justified MCDC pairs drop out of [uncovered_mcdc]; invalidate
+       the stamp so the dynamic sweep rebuilds from it *)
+    st.mcdc_stamp <- -1;
+    if st.cfg.verdict_priority then
+      st.objectives <- order_by_verdict st.summary st.objectives
+
 (* Every coverage requirement satisfied: decision, condition and MCDC. *)
 let all_requirements_met tracker =
   let full (r : Tracker.ratio) = r.Tracker.covered = r.Tracker.total in
@@ -499,19 +650,22 @@ let run ?(config = default_config) prog =
      justified in the tracker (removed from every denominator) and
      filtered from the worklists below, so the solver never burns
      budget on them — SLDV-style dead-logic justification. *)
+  let summary0 =
+    if not config.analyze then None
+    else Some (Verdict.of_program ~config:config.analysis_config prog)
+  in
   let dead_branch, dead_cond =
-    if not config.analyze then ((fun _ -> false), (fun _ -> false))
-    else begin
-      let s = Analysis.Verdict.of_program prog in
-      let db = Analysis.Verdict.dead_branches s in
-      let dc = Analysis.Verdict.dead_conditions s in
-      let dm = Analysis.Verdict.dead_mcdc s in
+    match summary0 with
+    | None -> ((fun _ -> false), fun _ -> false)
+    | Some s ->
+      let db = Verdict.dead_branches s in
+      let dc = Verdict.dead_conditions s in
+      let dm = Verdict.dead_mcdc s in
       Tracker.set_justified tracker ~branches:db ~conditions:dc ~mcdc:dm;
       Telemetry.Counter.add tel_skipped_dead
         (List.length db + List.length dc + List.length dm);
       ( (fun key -> List.exists (Branch.equal_key key) db),
         fun c -> List.mem c dc )
-    end
   in
   let tree = State_tree.create prog in
   let clock = Vclock.create ~budget:config.budget in
@@ -588,7 +742,13 @@ let run ?(config = default_config) prog =
       tree;
       clock;
       rng = Random.State.make [| config.seed; 0xC7C6 |];
-      objectives = branch_objectives @ condition_objectives;
+      objectives =
+        (let objs = branch_objectives @ condition_objectives in
+         if config.verdict_priority then order_by_verdict summary0 objs
+         else objs);
+      summary = summary0;
+      never_cache = Hashtbl.create 256;
+      dead_objs = Hashtbl.create 64;
       target_ids;
       next_target_id = !next_target_id;
       cursors = Hashtbl.create 256;
@@ -619,10 +779,19 @@ let run ?(config = default_config) prog =
     end
   in
   let stop = ref None in
+  let iters = ref 0 in
   while !stop = None do
     if requirements_met () then stop := Some Full_coverage
     else if Vclock.expired st.clock then stop := Some Budget_exhausted
     else begin
+      incr iters;
+      if config.reanalyze_every > 0 && !iters mod config.reanalyze_every = 0
+      then begin
+        reanalyze st;
+        (* justification shrinks denominators without bumping the
+           progress stamp; force the next termination check *)
+        met_cache := (-1, false)
+      end;
       match state_aware_solving st with
       | Some (node, branch, input) ->
         let _child, _state', fresh = execute_step st node input in

@@ -29,6 +29,25 @@ type config = {
       (** run the static analyzer first: proven-dead objectives are
           justified in the tracker ({!Coverage.Tracker.set_justified})
           and skipped by the solving loop *)
+  verdict_priority : bool;
+      (** verdict-priority worklist: statically [Reachable] objectives
+          are solved first (original depth order within each class), and
+          one-step queries a recording pass from the node's snapshot
+          proves Unsat are pruned without calling the solver.  The prune
+          replays the solver's Unsat bookkeeping exactly, so the test
+          cases of a [Full_coverage] run are identical with the flag on
+          or off (up to [found_at] timestamps — pruned solves charge no
+          virtual time) *)
+  reanalyze_every : int;
+      (** when positive (and [analyze] is set), every N solving-loop
+          iterations the verdict fixpoint is re-run seeded from reached
+          state-tree snapshots ({!Analysis.Verdict.refine}), monotonically
+          tightening [Unknown] verdicts; newly proven-dead objectives are
+          justified mid-run and dropped from the worklist.  [0] disables *)
+  analysis_config : Analysis.Analyzer.config;
+      (** abstract domain for every engine-side analysis (the startup
+          verdicts of [analyze], the static prune of [verdict_priority],
+          the periodic re-analysis of [reanalyze_every]) *)
 }
 
 val default_config : config

@@ -472,9 +472,49 @@ let solver ~seed ?(max_problems = 5) prog steps =
    failure. *)
 let analysis prog steps =
   let summary = Analysis.Verdict.of_program prog in
-  let dead_b = Analysis.Verdict.dead_branches summary in
-  let dead_c = Analysis.Verdict.dead_conditions summary in
-  let dead_m = Analysis.Verdict.dead_mcdc summary in
+  let oct_summary =
+    Analysis.Verdict.of_program
+      ~config:{ Analysis.Analyzer.domain = `Octagon } prog
+  in
+  (* the two domains are both sound, so wherever both decide an
+     objective they must agree; a contradiction is an analyzer bug in
+     one of them *)
+  let contra = ref None in
+  let check_pair what pp_key =
+    List.iter2 (fun (k, vi) (_, vo) ->
+        match (vi, vo) with
+        | Analysis.Verdict.Unknown, _ | _, Analysis.Verdict.Unknown -> ()
+        | _ ->
+          if vi <> vo && !contra = None then
+            contra := Some (Fmt.str "%s %s: interval %a vs octagon %a" what
+                              (pp_key k) Analysis.Verdict.pp vi
+                              Analysis.Verdict.pp vo))
+  in
+  check_pair "branch" (Fmt.str "%a" Branch.pp_key)
+    summary.Analysis.Verdict.v_branches
+    oct_summary.Analysis.Verdict.v_branches;
+  check_pair "condition" (fun (d, i, v) -> Fmt.str "(%d,%d,%b)" d i v)
+    summary.Analysis.Verdict.v_conditions
+    oct_summary.Analysis.Verdict.v_conditions;
+  check_pair "mcdc" (fun (d, i) -> Fmt.str "(%d,%d)" d i)
+    summary.Analysis.Verdict.v_mcdc oct_summary.Analysis.Verdict.v_mcdc;
+  match !contra with
+  | Some msg -> fail "domain contradiction: %s" msg
+  | None ->
+  (* union of both domains' dead sets: each is a standalone soundness
+     claim, so a dynamic cover of either is a failure *)
+  let dead_b =
+    Analysis.Verdict.dead_branches summary
+    @ Analysis.Verdict.dead_branches oct_summary
+  in
+  let dead_c =
+    Analysis.Verdict.dead_conditions summary
+    @ Analysis.Verdict.dead_conditions oct_summary
+  in
+  let dead_m =
+    Analysis.Verdict.dead_mcdc summary
+    @ Analysis.Verdict.dead_mcdc oct_summary
+  in
   if dead_b = [] && dead_c = [] && dead_m = [] then Pass
   else begin
     let ex = Exec.handle prog in

@@ -25,11 +25,13 @@
       witness search) — the harness that exercises the {!Solver.Hc4}
       projections (abs/mod at zero-crossing and negative-divisor
       domains) far harder than directed tests.
-    - [analysis] — soundness of {!Analysis.Verdict}: no objective the
-      static analyzer classifies as [Dead] may ever be covered by a
-      concrete execution whose inputs conform to their declared
-      domains.  A dynamic hit on a dead objective is an analyzer bug
-      and is minimized like any other failure.
+    - [analysis] — soundness of {!Analysis.Verdict} under both abstract
+      domains: the interval and octagon analyses must never contradict
+      each other on a decided objective, and no objective either domain
+      classifies as [Dead] may ever be covered by a concrete execution
+      whose inputs conform to their declared domains.  A dynamic hit on
+      a dead objective is an analyzer bug and is minimized like any
+      other failure.
     - [spec_mon] — {!Spec.Monitor} differential: over the executed
       output trace and random STL formulas, the sliding-window monitor
       must agree with the naive reference monitor {b bit-for-bit} at

@@ -12,18 +12,25 @@ let tool_name = function
   | SLDV -> "SLDV"
   | SimCoTest -> "SimCoTest"
 
-let run_tool ?(budget = 3600.0) ?(analyze = false) ~seed tool
-    (entry : Registry.entry) =
+let run_tool ?(budget = 3600.0) ?(analyze = false)
+    ?(domain = `Interval) ?(verdict_priority = false) ?(reanalyze_every = 0)
+    ~seed tool (entry : Registry.entry) =
   let prog = entry.Registry.program () in
+  let analysis_config = { Analysis.Analyzer.domain } in
   match tool with
   | STCG ->
-    let config = { Engine.default_config with Engine.seed; budget; analyze } in
+    let config =
+      { Engine.default_config with
+        Engine.seed; budget; analyze; analysis_config; verdict_priority;
+        reanalyze_every }
+    in
     Run_result.of_engine_run ~model:entry.Registry.name
       (Engine.run ~config prog)
   | STCG_hybrid ->
     let config =
       { Engine.default_config with
-        Engine.seed; budget; random_first = true; analyze }
+        Engine.seed; budget; random_first = true; analyze; analysis_config;
+        verdict_priority; reanalyze_every }
     in
     let result =
       Run_result.of_engine_run ~model:entry.Registry.name

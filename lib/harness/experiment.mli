@@ -31,11 +31,22 @@ type tool = STCG | STCG_hybrid | SLDV | SimCoTest
 val tool_name : tool -> string
 
 val run_tool :
-  ?budget:float -> ?analyze:bool -> seed:int -> tool ->
-  Models.Registry.entry -> Stcg.Run_result.t
+  ?budget:float ->
+  ?analyze:bool ->
+  ?domain:Analysis.Analyzer.domain ->
+  ?verdict_priority:bool ->
+  ?reanalyze_every:int ->
+  seed:int ->
+  tool ->
+  Models.Registry.entry ->
+  Stcg.Run_result.t
 (** [analyze] (default false, STCG variants only): run the static
-    analyzer first so proven-dead objectives are justified and skipped
-    (see {!Stcg.Engine.config}). *)
+    analyzer first so proven-dead objectives are justified and skipped.
+    [domain] (default [`Interval]) picks the abstract domain,
+    [verdict_priority] (default false) enables verdict-ordered solving
+    with static Unsat pruning, and [reanalyze_every] (default 0 =
+    never) re-runs the analysis from reached snapshots every N solving
+    iterations (see {!Stcg.Engine.config}). *)
 
 type averaged = {
   a_model : string;

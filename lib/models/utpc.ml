@@ -35,6 +35,7 @@ let mode_chart () =
       [
         state "run_ticks" (V.tint_range 0 50) (V.Int 0);
         state "pending_code" (V.tint_range 0 4095) (V.Int 0);
+        state "pending_chk" (V.tint_range 0 4095) (V.Int 0);
         state "armed_code" (V.tint_range 0 4095) (V.Int 0);
       ]
     (C.region ~initial:"Off"
@@ -53,6 +54,15 @@ let mode_chart () =
                &&: (sv "pending_code" <: ci 4000))
              "Standby" "Run"
              ~action:[ assign_state "armed_code" (iv "arm_code") ];
+           (* defensive trip: the rolling code is stored redundantly and
+              a divergence of the two copies faults the controller.  The
+              copies are written together from the same bus value, so
+              the trip is dead by construction - provable only with a
+              relational domain (the interval analyzer sees two
+              independent [0, 4095] stores). *)
+           C.trans
+             ~guard:(sv "pending_code" <>: sv "pending_chk")
+             "Standby" "Fault";
            C.trans ~guard:(iv "overheat" ||: iv "vbat_crit") "Run" "Fault";
            C.trans ~guard:(iv "hot" ||: iv "vbat_low") "Run" "Derate";
            C.trans ~guard:(iv "overheat" ||: iv "vbat_crit") "Derate" "Fault";
@@ -71,7 +81,11 @@ let mode_chart () =
          C.state "Off" ~entry:[ assign_out "mode" (ci 0) ];
          C.state "Standby"
            ~entry:[ assign_out "mode" (ci 1); assign_state "run_ticks" (ci 0) ]
-           ~during:[ assign_state "pending_code" (iv "arm_code") ];
+           ~during:
+             [
+               assign_state "pending_code" (iv "arm_code");
+               assign_state "pending_chk" (iv "arm_code");
+             ];
          C.state "Run"
            ~entry:[ assign_out "mode" (ci 2) ]
            ~during:

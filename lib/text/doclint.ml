@@ -1,0 +1,234 @@
+module Stl = Spec.Stl
+module Analyzer = Analysis.Analyzer
+module Absval = Analysis.Absval
+module Dom = Solver.Dom
+
+type code = Vacuous_requirement | Window_exceeds_horizon | Constant_signal
+
+let code_id = function
+  | Vacuous_requirement -> "S101"
+  | Window_exceeds_horizon -> "S102"
+  | Constant_signal -> "S103"
+
+type finding = {
+  s_code : code;
+  s_pos : Syntax.pos;
+  s_req : string;
+  s_msg : string;
+}
+
+let default_horizon = 48
+
+(* --- interval evaluation of signal expressions ------------------------ *)
+
+(* Output bounds come from the analyzer's final recording pass: every
+   path through one step joined, so they hold at {e every} step of every
+   conforming trace — which is what makes the temporal collapse below
+   sound. *)
+
+type iv = { lo : float; hi : float }
+
+let top = { lo = neg_infinity; hi = infinity }
+
+(* inf - inf (and friends) surface as nan; widen the offending bound *)
+let lo_of v = if Float.is_nan v then neg_infinity else v
+let hi_of v = if Float.is_nan v then infinity else v
+
+let of_absval = function
+  | Absval.Scalar (Dom.Dint { lo; hi }) ->
+    { lo = float_of_int lo; hi = float_of_int hi }
+  | Absval.Scalar (Dom.Dreal { lo; hi }) -> { lo; hi }
+  | Absval.Scalar (Dom.Dbool { can_true; can_false }) -> (
+    match (can_true, can_false) with
+    | true, false -> { lo = 1.0; hi = 1.0 }
+    | false, true -> { lo = 0.0; hi = 0.0 }
+    | _ -> { lo = 0.0; hi = 1.0 })
+  | Absval.Vector _ -> top
+
+let rec eval out = function
+  | Stl.Sig n -> (
+    match List.assoc_opt n out with
+    | Some a -> of_absval a
+    | None -> top)
+  | Stl.Const c -> { lo = c; hi = c }
+  | Stl.Add (a, b) ->
+    let x = eval out a and y = eval out b in
+    { lo = lo_of (x.lo +. y.lo); hi = hi_of (x.hi +. y.hi) }
+  | Stl.Sub (a, b) ->
+    let x = eval out a and y = eval out b in
+    { lo = lo_of (x.lo -. y.hi); hi = hi_of (x.hi -. y.lo) }
+  | Stl.Mul (a, b) ->
+    let x = eval out a and y = eval out b in
+    let p1 = x.lo *. y.lo
+    and p2 = x.lo *. y.hi
+    and p3 = x.hi *. y.lo
+    and p4 = x.hi *. y.hi in
+    if
+      Float.is_nan p1 || Float.is_nan p2 || Float.is_nan p3 || Float.is_nan p4
+    then top
+    else
+      { lo = Float.min (Float.min p1 p2) (Float.min p3 p4);
+        hi = Float.max (Float.max p1 p2) (Float.max p3 p4) }
+  | Stl.Neg a ->
+    let x = eval out a in
+    { lo = -.x.hi; hi = -.x.lo }
+  | Stl.Abs a ->
+    let x = eval out a in
+    if x.lo >= 0.0 then x
+    else if x.hi <= 0.0 then { lo = -.x.hi; hi = -.x.lo }
+    else { lo = 0.0; hi = Float.max (-.x.lo) x.hi }
+  | Stl.Min (a, b) ->
+    let x = eval out a and y = eval out b in
+    { lo = Float.min x.lo y.lo; hi = Float.min x.hi y.hi }
+  | Stl.Max (a, b) ->
+    let x = eval out a and y = eval out b in
+    { lo = Float.max x.lo y.lo; hi = Float.max x.hi y.hi }
+
+(* --- three-valued formula evaluation ---------------------------------- *)
+
+type b3 = T | F | U
+
+let bnot = function T -> F | F -> T | U -> U
+
+let band a b =
+  match (a, b) with F, _ | _, F -> F | T, T -> T | _ -> U
+
+let bor a b = bnot (band (bnot a) (bnot b))
+
+(* Atoms are only decided when every bound involved is finite: the
+   analyzer collapses a possibly-nan real to the full line, so finite
+   bounds prove the concrete value is an ordinary number and the
+   classical comparison below is total. *)
+let finite v = Float.is_finite v.lo && Float.is_finite v.hi
+
+let atom cmp l r =
+  if not (finite l && finite r) then U
+  else
+    match cmp with
+    | Stl.Le -> if l.hi <= r.lo then T else if l.lo > r.hi then F else U
+    | Stl.Lt -> if l.hi < r.lo then T else if l.lo >= r.hi then F else U
+    | Stl.Ge -> if l.lo >= r.hi then T else if l.hi < r.lo then F else U
+    | Stl.Gt -> if l.lo > r.hi then T else if l.hi <= r.lo then F else U
+    | Stl.Eq ->
+      if l.lo = l.hi && r.lo = r.hi && l.lo = r.lo then T
+      else if l.hi < r.lo || r.hi < l.lo then F else U
+
+(* The bounds are step-invariant, so a subformula decided here holds
+   with that same value at every step — and clamped windows are never
+   empty — which collapses the temporal operators: [always]/[eventually]
+   of a constant is that constant, and [until f g] needs [f] at the
+   evaluation point itself plus [g] at some witness, i.e. their
+   conjunction. *)
+let rec formula out = function
+  | Stl.Atom (cmp, l, r) -> atom cmp (eval out l) (eval out r)
+  | Stl.Not f -> bnot (formula out f)
+  | Stl.And (f, g) -> band (formula out f) (formula out g)
+  | Stl.Or (f, g) -> bor (formula out f) (formula out g)
+  | Stl.Implies (f, g) -> bor (bnot (formula out f)) (formula out g)
+  | Stl.Always (_, _, f) | Stl.Eventually (_, _, f) -> formula out f
+  | Stl.Until (_, _, f, g) -> band (formula out f) (formula out g)
+
+(* --- findings --------------------------------------------------------- *)
+
+let constant_of = function
+  | Absval.Scalar (Dom.Dint { lo; hi }) when lo = hi ->
+    Some (string_of_int lo)
+  | Absval.Scalar (Dom.Dreal { lo; hi }) when lo = hi && Float.is_finite lo ->
+    Some (Fmt.str "%g" lo)
+  | Absval.Scalar (Dom.Dbool { can_true = true; can_false = false }) ->
+    Some "true"
+  | Absval.Scalar (Dom.Dbool { can_true = false; can_false = true }) ->
+    Some "false"
+  | _ -> None
+
+(* Recover the source position of each [(req "name" ...)] form.  The
+   parser validated [text] already, so a re-read cannot fail — but a
+   caller may lint a document built programmatically, hence the
+   fallbacks. *)
+let req_positions text =
+  match Syntax.read_many text with
+  | exception Syntax.Error _ -> []
+  | forms ->
+    List.concat_map
+      (function
+        | Syntax.List (_, Syntax.Atom (_, "spec") :: reqs) ->
+          List.filter_map
+            (function
+              | Syntax.List (pos, Syntax.Atom (_, "req") :: name :: _) -> (
+                match name with
+                | Syntax.Str (_, n) | Syntax.Atom (_, n) -> Some (n, pos)
+                | Syntax.List _ -> None)
+              | _ -> None)
+            reqs
+        | _ -> [])
+      forms
+
+let compare_finding a b =
+  match compare (a.s_pos.Syntax.line, a.s_pos.Syntax.col)
+          (b.s_pos.Syntax.line, b.s_pos.Syntax.col)
+  with
+  | 0 -> (
+    match compare (code_id a.s_code) (code_id b.s_code) with
+    | 0 -> compare a.s_msg b.s_msg
+    | c -> c)
+  | c -> c
+
+let run ?(horizon = default_horizon) ?(text = "") (doc : Document.t) =
+  if doc.Document.spec = [] then []
+  else begin
+    let prog = Source.program_of doc.Document.source in
+    let r = Analyzer.analyze prog in
+    let out = r.Analyzer.r_out in
+    let positions = req_positions text in
+    let pos_of name =
+      Option.value ~default:{ Syntax.line = 1; col = 1 }
+        (List.assoc_opt name positions)
+    in
+    let findings = ref [] in
+    let add code name msg =
+      findings := { s_code = code; s_pos = pos_of name; s_req = name;
+                    s_msg = msg } :: !findings
+    in
+    List.iter
+      (fun (name, f) ->
+        let h = Stl.horizon f in
+        if h >= horizon then
+          add Window_exceeds_horizon name
+            (Fmt.str
+               "requirement %S needs %d trace steps but the falsification \
+                horizon is %d" name (h + 1) horizon);
+        List.iter
+          (fun s ->
+            match List.assoc_opt s out with
+            | Some a -> (
+              match constant_of a with
+              | Some v ->
+                add Constant_signal name
+                  (Fmt.str
+                     "requirement %S reads output %S, statically constant \
+                      at %s" name s v)
+              | None -> ())
+            | None -> ())
+          (Stl.signals f);
+        match formula out f with
+        | T ->
+          add Vacuous_requirement name
+            (Fmt.str
+               "requirement %S is statically true (analyzer output bounds \
+                decide every atom); it can never be falsified" name)
+        | F ->
+          add Vacuous_requirement name
+            (Fmt.str
+               "requirement %S is statically false (analyzer output bounds \
+                decide every atom); every trace violates it" name)
+        | U -> ())
+      doc.Document.spec;
+    List.sort_uniq compare_finding !findings
+  end
+
+let to_lines ~file findings =
+  List.map
+    (fun f ->
+      Fmt.str "%s:%d:%d: [%s] %s" file f.s_pos.Syntax.line f.s_pos.Syntax.col
+        (code_id f.s_code) f.s_msg)
+    findings

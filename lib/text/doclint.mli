@@ -1,0 +1,50 @@
+(** Spec-aware lint over [.stcg] documents: a thin client of the
+    abstract analyzer ({!Analysis.Analyzer}), checking each [(req ...)]
+    of the [spec] section against the model's statically derived output
+    bounds.
+
+    Codes are stable API, like the parser's T-codes and the model
+    linter's A-codes:
+
+    {v
+    S101  requirement is statically decided: its formula is true (can
+          never be falsified) or false (violated by every trace) for
+          every output valuation inside the analyzer's bounds
+    S102  temporal window exceeds the falsification trace horizon — a
+          top-level robustness at step 0 can never be window-complete
+    S103  requirement reads a statically constant output signal
+    v}
+
+    Findings carry the source position of their [(req ...)] form, so
+    {!to_lines} renders them [file:line:col: [Snnn] message] — the same
+    shape as {!Syntax.error_to_string}.  Like the A-codes, the findings
+    are expectation-gated: the committed golden expectations pin the
+    exact output over [test/goldens/*.stcg]. *)
+
+type code =
+  | Vacuous_requirement  (** S101 *)
+  | Window_exceeds_horizon  (** S102 *)
+  | Constant_signal  (** S103 *)
+
+val code_id : code -> string
+(** The stable "Snnn" identifier. *)
+
+type finding = {
+  s_code : code;
+  s_pos : Syntax.pos;  (** position of the [(req ...)] form *)
+  s_req : string;  (** requirement name *)
+  s_msg : string;
+}
+
+val default_horizon : int
+(** 48 — the trace length of {!Spec.Falsify.default_config}. *)
+
+val run : ?horizon:int -> ?text:string -> Document.t -> finding list
+(** Lint the document's requirements.  [text] is the raw file contents,
+    used only to recover the position of each [(req ...)] form (without
+    it every finding reports 1:1).  Deterministic order: position, then
+    code, then message. *)
+
+val to_lines : file:string -> finding list -> string list
+(** ["file:line:col: [Snnn] message"] per finding — no line when the
+    list is empty (the A-lint's per-model "clean" line covers that). *)

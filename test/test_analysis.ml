@@ -317,6 +317,248 @@ let test_lint_lines () =
              has_sub l "A102"))
        lines)
 
+(* --- octagon domain ----------------------------------------------------- *)
+
+let oct_cfg = { Analyzer.domain = `Octagon }
+
+(* Octagon fixpoints of the registry models, shared across the tests
+   below (the analysis is deterministic, so memoizing is safe). *)
+let oct_result =
+  let tbl = Hashtbl.create 8 in
+  fun (e : Models.Registry.entry) ->
+    match Hashtbl.find_opt tbl e.Models.Registry.name with
+    | Some r -> r
+    | None ->
+      let r = Analyzer.analyze ~config:oct_cfg (e.Models.Registry.program ()) in
+      Hashtbl.replace tbl e.Models.Registry.name r;
+      r
+
+(* Soundness: every concretely sampled execution state lies inside the
+   octagon-reduced abstract state. *)
+let sample_contained (e : Models.Registry.entry) ~seed ~trials ~steps =
+  let prog = e.Models.Registry.program () in
+  let r = oct_result e in
+  let absvals = Array.of_list (List.map snd r.Analyzer.r_state) in
+  let h = Slim.Exec.compile prog in
+  let rng = Random.State.make [| seed |] in
+  let ok = ref true in
+  for _ = 1 to trials do
+    let st = ref (Slim.Exec.initial_state h) in
+    for _ = 1 to steps do
+      let inp = Slim.Exec.random_inputs rng h in
+      let _, st' = Slim.Exec.run_step h !st inp in
+      st := st';
+      Array.iteri
+        (fun i v ->
+          if not (Analysis.Absval.member absvals.(i) v) then ok := false)
+        !st
+    done
+  done;
+  !ok
+
+let test_octagon_containment () =
+  List.iter
+    (fun (e : Models.Registry.entry) ->
+      check Alcotest.bool
+        (Fmt.str "%s: sampled states contained" e.Models.Registry.name)
+        true
+        (sample_contained e ~seed:42 ~trials:5 ~steps:30))
+    Models.Registry.entries
+
+let prop_octagon_contains =
+  let entries = Array.of_list Models.Registry.entries in
+  QCheck.Test.make ~name:"octagon fixpoint contains sampled executions"
+    ~count:40 QCheck.small_nat (fun seed ->
+      sample_contained entries.(seed mod Array.length entries)
+        ~seed:(seed + 1000) ~trials:1 ~steps:25)
+
+(* The two domains are both sound, so wherever both decide they must
+   agree — checked over every objective of every registry model. *)
+let test_octagon_no_contradiction () =
+  List.iter
+    (fun (e : Models.Registry.entry) ->
+      let name = e.Models.Registry.name in
+      let si = Verdict.of_result (Analyzer.analyze (e.Models.Registry.program ())) in
+      let so = Verdict.of_result (oct_result e) in
+      let agree vi vo =
+        vi = Verdict.Unknown || vo = Verdict.Unknown || vi = vo
+      in
+      List.iter2
+        (fun (k, vi) (_, vo) ->
+          check Alcotest.bool
+            (Fmt.str "%s branch %a verdicts agree" name Branch.pp_key k)
+            true (agree vi vo))
+        si.Verdict.v_branches so.Verdict.v_branches;
+      List.iter2
+        (fun ((d, i, v), vi) (_, vo) ->
+          check Alcotest.bool
+            (Fmt.str "%s condition (%d,%d,%b) verdicts agree" name d i v)
+            true (agree vi vo))
+        si.Verdict.v_conditions so.Verdict.v_conditions;
+      List.iter2
+        (fun ((d, i), vi) (_, vo) ->
+          check Alcotest.bool
+            (Fmt.str "%s mcdc (%d,%d) verdicts agree" name d i)
+            true (agree vi vo))
+        si.Verdict.v_mcdc so.Verdict.v_mcdc)
+    Models.Registry.entries
+
+(* Pinned relational win: UTPC's defensive dual-redundancy trip (the
+   rolling code is stored twice from the same bus value, so the
+   divergence guard is dead by construction).  The octagon derives
+   pending_code - pending_chk = 0 and kills decision 4; the interval
+   domain sees two independent [0,4095] stores and must stay Unknown. *)
+let test_octagon_utpc_win () =
+  let prog = registry_prog "UTPC" in
+  let si = Verdict.of_program prog in
+  let so = Verdict.of_program ~config:oct_cfg prog in
+  let vd = Alcotest.testable Verdict.pp ( = ) in
+  check vd "interval branch (4, Then) unknown" Verdict.Unknown
+    (Verdict.branch si (4, Branch.Then));
+  check vd "octagon branch (4, Then) dead" Verdict.Dead
+    (Verdict.branch so (4, Branch.Then));
+  check vd "interval condition (4,0,true) unknown" Verdict.Unknown
+    (Verdict.condition si 4 0 true);
+  check vd "octagon condition (4,0,true) dead" Verdict.Dead
+    (Verdict.condition so 4 0 true);
+  check vd "interval mcdc (4,0) unknown" Verdict.Unknown (Verdict.mcdc si 4 0);
+  check vd "octagon mcdc (4,0) dead" Verdict.Dead (Verdict.mcdc so 4 0)
+
+(* --- snapshot-refined verdicts ------------------------------------------ *)
+
+let unknown_total s =
+  let b, c, m = Verdict.counts s Verdict.Unknown in
+  b + c + m
+
+let test_snapshot_refinement () =
+  let strictly_reduced = ref 0 in
+  List.iter
+    (fun (e : Models.Registry.entry) ->
+      let name = e.Models.Registry.name in
+      let prog = e.Models.Registry.program () in
+      let s0 = Verdict.of_program prog in
+      let h = Slim.Exec.compile prog in
+      let rng = Random.State.make [| 7 |] in
+      let seeds = ref [] in
+      let st = ref (Slim.Exec.initial_state h) in
+      for _ = 1 to 40 do
+        let inp = Slim.Exec.random_inputs rng h in
+        let _, st' = Slim.Exec.run_step h !st inp in
+        st := st';
+        seeds := Array.copy st' :: !seeds
+      done;
+      let s1 = Verdict.refine s0 ~seeds:!seeds in
+      (* decided verdicts never change *)
+      List.iter2
+        (fun (_, v0) (_, v1) ->
+          if v0 <> Verdict.Unknown then
+            check Alcotest.bool (Fmt.str "%s decided branch stable" name)
+              true (v0 = v1))
+        s0.Verdict.v_branches s1.Verdict.v_branches;
+      let u0 = unknown_total s0 and u1 = unknown_total s1 in
+      check Alcotest.bool (Fmt.str "%s refinement monotone" name) true
+        (u1 <= u0);
+      if u1 < u0 then incr strictly_reduced)
+    Models.Registry.entries;
+  (* the acceptance bar: at least two registry models strictly reduce
+     their Unknown count from concretely reached snapshots *)
+  check Alcotest.bool "at least two models strictly reduce" true
+    (!strictly_reduced >= 2)
+
+(* --- engine: verdict priority ------------------------------------------- *)
+
+(* x drives a saturating counter; the interesting decision needs both
+   count >= 5 (multi-step) and the magic key input, so the random-first
+   phase covers the easy objectives while the key-dependent ones need
+   the solver — and early tree nodes (count small) prove one-step Unsat
+   statically, so the prune fires on a run that still saturates. *)
+let vp_demo =
+  let open Ir in
+  let prog =
+    renumber_decisions
+      {
+        name = "vp_demo";
+        inputs =
+          [ input "x" (V.tint_range 0 3); input "k" (V.tint_range 0 2000) ];
+        outputs = [ output "hi" V.Tbool; output "lo" V.Tbool ];
+        states = [ state "count" (V.tint_range 0 50) (V.Int 0) ];
+        locals = [];
+        body =
+          [
+            assign_out "hi" (cb false);
+            assign_out "lo" (cb false);
+            assign_state "count" (Binop (Min, ci 50, sv "count" +: iv "x"));
+            if_
+              (sv "count" >=: ci 5 &&: (iv "k" =: ci 999))
+              [ assign_out "hi" (cb true) ]
+              [];
+            if_ (ci 1 >: ci 0) [ assign_out "lo" (cb true) ] [];
+          ];
+      }
+  in
+  type_check prog;
+  prog
+
+let tel_pruned = Telemetry.Counter.make "engine.solves_pruned_static"
+let tel_attempts = Telemetry.Counter.make "engine.solve_attempts"
+let tel_reanalyses = Telemetry.Counter.make "engine.reanalyses"
+
+let test_engine_verdict_priority () =
+  Telemetry.enable ();
+  Telemetry.reset ();
+  let cfg vp =
+    {
+      Engine.default_config with
+      Engine.budget = 120.0;
+      seed = 5;
+      analyze = true;
+      random_first = true;
+      verdict_priority = vp;
+    }
+  in
+  let off = Engine.run ~config:(cfg false) vp_demo in
+  let attempts_off = Telemetry.Counter.total tel_attempts in
+  check Alcotest.int "no prune with the flag off" 0
+    (Telemetry.Counter.total tel_pruned);
+  Telemetry.reset ();
+  let on = Engine.run ~config:(cfg true) vp_demo in
+  let attempts_on = Telemetry.Counter.total tel_attempts in
+  let pruned = Telemetry.Counter.total tel_pruned in
+  check Alcotest.bool "off run saturates" true
+    (off.Engine.r_stop = Engine.Full_coverage);
+  check Alcotest.bool "on run saturates" true
+    (on.Engine.r_stop = Engine.Full_coverage);
+  check Alcotest.bool "static prune fired" true (pruned > 0);
+  (* every pruned solve was a real Unsat attempt of the off run *)
+  check Alcotest.int "attempts conserved" attempts_off (attempts_on + pruned);
+  (* the pinned contract: testcase output is identical with the flag on
+     or off (found_at excluded — pruned solves charge no virtual time) *)
+  check Alcotest.bool "identical testcases" true
+    (steps_equal (tc_essence off) (tc_essence on));
+  Telemetry.reset ();
+  Telemetry.disable ()
+
+let test_engine_reanalyze () =
+  Telemetry.enable ();
+  Telemetry.reset ();
+  let config =
+    {
+      Engine.default_config with
+      Engine.budget = 60.0;
+      seed = 5;
+      analyze = true;
+      random_first = true;
+      reanalyze_every = 1;
+    }
+  in
+  let r = Engine.run ~config vp_demo in
+  check Alcotest.bool "reanalysis fired" true
+    (Telemetry.Counter.total tel_reanalyses > 0);
+  check Alcotest.bool "run still saturates" true
+    (r.Engine.r_stop = Engine.Full_coverage);
+  Telemetry.reset ();
+  Telemetry.disable ()
+
 let () =
   Alcotest.run "analysis"
     [
@@ -342,4 +584,26 @@ let () =
       ( "engine skip",
         [ Alcotest.test_case "dead objective justified+skipped" `Quick
             test_engine_skip ] );
+      ( "octagon",
+        [
+          Alcotest.test_case "sampled states contained" `Quick
+            test_octagon_containment;
+          Alcotest.test_case "never contradicts interval" `Quick
+            test_octagon_no_contradiction;
+          Alcotest.test_case "UTPC dual-redundancy win" `Quick
+            test_octagon_utpc_win;
+          QCheck_alcotest.to_alcotest prop_octagon_contains;
+        ] );
+      ( "refinement",
+        [
+          Alcotest.test_case "snapshot refinement reduces Unknown" `Quick
+            test_snapshot_refinement;
+        ] );
+      ( "engine verdicts",
+        [
+          Alcotest.test_case "verdict priority is output-identical" `Quick
+            test_engine_verdict_priority;
+          Alcotest.test_case "reanalysis loop fires" `Quick
+            test_engine_reanalyze;
+        ] );
     ]
